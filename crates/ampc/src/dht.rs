@@ -1,0 +1,234 @@
+//! The distributed hash table.
+//!
+//! One [`Dht`] instance plays the role of a round's *read-only* snapshot.
+//! Machine write buffers are merged into a copy of it at the end of each
+//! round (see [`crate::AmpcSystem`]), which models the common AMPC idiom of
+//! carrying unchanged data forward: conceptually machines rewrite data they
+//! still need; physically nobody implements it that way and neither do we.
+//! Space accounting is unaffected because peak space per round is computed
+//! as `snapshot words + communication words`, which upper-bounds the
+//! literal "fresh output DHT" model.
+
+use std::collections::HashMap;
+use std::hash::{BuildHasherDefault, Hasher};
+
+use crate::key::Key;
+use crate::value::DhtValue;
+
+/// A fast multiply-xor hasher (FxHash-style) for the packed 64-bit keys.
+/// SipHash resistance is unnecessary: keys are internal vertex identifiers.
+#[derive(Default)]
+pub(crate) struct PackedKeyHasher(u64);
+
+impl Hasher for PackedKeyHasher {
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.0
+    }
+
+    fn write(&mut self, bytes: &[u8]) {
+        // Only fixed-width integer keys are ever hashed; route through write_u64.
+        for &b in bytes {
+            self.write_u64(b as u64);
+        }
+    }
+
+    #[inline]
+    fn write_u64(&mut self, i: u64) {
+        // Single multiply-xorshift round; ample for low-collision integer ids.
+        let mut x = self.0 ^ i;
+        x = x.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        x ^= x >> 29;
+        self.0 = x;
+    }
+}
+
+type Build = BuildHasherDefault<PackedKeyHasher>;
+
+/// An immutable-per-round key-value store measured in words.
+///
+/// `Dht` tracks the total word footprint of its contents incrementally so
+/// the executor can account snapshot space in `O(1)` per round.
+#[derive(Clone)]
+pub struct Dht<V> {
+    map: HashMap<u64, V, Build>,
+    words: usize,
+}
+
+impl<V: DhtValue> Default for Dht<V> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<V: DhtValue> Dht<V> {
+    /// Creates an empty table.
+    pub fn new() -> Self {
+        Dht { map: HashMap::default(), words: 0 }
+    }
+
+    /// Creates an empty table with capacity for `n` entries.
+    pub fn with_capacity(n: usize) -> Self {
+        Dht { map: HashMap::with_capacity_and_hasher(n, Build::default()), words: 0 }
+    }
+
+    /// Looks up `key`.
+    #[inline]
+    pub fn get(&self, key: Key) -> Option<&V> {
+        self.map.get(&key.packed())
+    }
+
+    /// Returns true if `key` is present.
+    #[inline]
+    pub fn contains(&self, key: Key) -> bool {
+        self.map.contains_key(&key.packed())
+    }
+
+    /// Inserts `value` at `key`, replacing any previous entry, and returns
+    /// the previous entry if present.
+    pub fn insert(&mut self, key: Key, value: V) -> Option<V> {
+        self.words += value.words();
+        let old = self.map.insert(key.packed(), value);
+        if let Some(ref o) = old {
+            self.words -= o.words();
+        }
+        old
+    }
+
+    /// Merges `value` into the entry at `key` using [`DhtValue::merge`],
+    /// inserting it outright if absent.
+    pub fn merge(&mut self, key: Key, value: V) {
+        match self.map.get_mut(&key.packed()) {
+            Some(existing) => {
+                let before = existing.words();
+                existing.merge(value);
+                self.words = self.words - before + existing.words();
+            }
+            None => {
+                self.words += value.words();
+                self.map.insert(key.packed(), value);
+            }
+        }
+    }
+
+    /// Removes the entry at `key`, returning it if present.
+    pub fn remove(&mut self, key: Key) -> Option<V> {
+        let old = self.map.remove(&key.packed());
+        if let Some(ref o) = old {
+            self.words -= o.words();
+        }
+        old
+    }
+
+    /// Number of entries.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// True when the table holds no entries.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// Total word footprint of all stored values.
+    pub fn words(&self) -> usize {
+        self.words
+    }
+
+    /// Word footprint broken down per keyspace, as sorted
+    /// `(space, entries, words)` triples. O(n); intended for reports and
+    /// tests, not hot paths.
+    pub fn words_by_space(&self) -> Vec<(crate::Space, usize, usize)>
+    where
+        V: DhtValue,
+    {
+        let mut acc: std::collections::BTreeMap<crate::Space, (usize, usize)> =
+            std::collections::BTreeMap::new();
+        for (&packed, v) in &self.map {
+            let space = (packed >> 48) as crate::Space;
+            let e = acc.entry(space).or_insert((0, 0));
+            e.0 += 1;
+            e.1 += v.words();
+        }
+        acc.into_iter().map(|(s, (e, w))| (s, e, w)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const S: u16 = 0;
+
+    #[test]
+    fn insert_get_remove_roundtrip() {
+        let mut d: Dht<u64> = Dht::new();
+        assert!(d.is_empty());
+        assert_eq!(d.insert(Key::new(S, 1), 10), None);
+        assert_eq!(d.insert(Key::new(S, 1), 20), Some(10));
+        assert_eq!(d.get(Key::new(S, 1)), Some(&20));
+        assert_eq!(d.remove(Key::new(S, 1)), Some(20));
+        assert!(d.get(Key::new(S, 1)).is_none());
+        assert_eq!(d.words(), 0);
+    }
+
+    #[test]
+    fn words_track_vector_values() {
+        let mut d: Dht<Vec<u64>> = Dht::new();
+        d.insert(Key::new(S, 1), vec![1, 2, 3]); // 4 words
+        d.insert(Key::new(S, 2), vec![7]); // 2 words
+        assert_eq!(d.words(), 6);
+        d.insert(Key::new(S, 1), vec![9]); // replaces 4 with 2
+        assert_eq!(d.words(), 4);
+        d.remove(Key::new(S, 2));
+        assert_eq!(d.words(), 2);
+    }
+
+    #[test]
+    fn merge_takes_maximum_for_u64() {
+        let mut d: Dht<u64> = Dht::new();
+        d.merge(Key::new(S, 5), 3);
+        d.merge(Key::new(S, 5), 9);
+        d.merge(Key::new(S, 5), 4);
+        assert_eq!(d.get(Key::new(S, 5)), Some(&9));
+        assert_eq!(d.len(), 1);
+    }
+
+    #[test]
+    fn spaces_are_disjoint() {
+        let mut d: Dht<u64> = Dht::new();
+        d.insert(Key::new(1, 7), 100);
+        d.insert(Key::new(2, 7), 200);
+        assert_eq!(d.get(Key::new(1, 7)), Some(&100));
+        assert_eq!(d.get(Key::new(2, 7)), Some(&200));
+    }
+
+    #[test]
+    fn dense_keys_do_not_collide() {
+        let mut d: Dht<u64> = Dht::new();
+        for i in 0..10_000u64 {
+            d.insert(Key::new(3, i), i * 2);
+        }
+        assert_eq!(d.len(), 10_000);
+        for i in (0..10_000u64).step_by(997) {
+            assert_eq!(d.get(Key::new(3, i)), Some(&(i * 2)));
+        }
+    }
+}
+
+#[cfg(test)]
+mod space_breakdown_tests {
+    use super::*;
+    use crate::Key;
+
+    #[test]
+    fn words_by_space_partitions_total() {
+        let mut d: Dht<Vec<u64>> = Dht::new();
+        d.insert(Key::new(1, 0), vec![1, 2]); // 3 words
+        d.insert(Key::new(1, 1), vec![3]); // 2 words
+        d.insert(Key::new(2, 0), vec![4, 5, 6]); // 4 words
+        let by = d.words_by_space();
+        assert_eq!(by, vec![(1, 2, 5), (2, 1, 4)]);
+        assert_eq!(by.iter().map(|&(_, _, w)| w).sum::<usize>(), d.words());
+    }
+}

@@ -1,0 +1,414 @@
+//! The round executor.
+//!
+//! [`AmpcSystem`] owns the current snapshot DHT and runs algorithm rounds:
+//! work items are split into `M` contiguous chunks, one per machine; each
+//! machine executes the user closure over its chunk with a private
+//! [`MachineCtx`]; finally all write buffers are merged into the next
+//! snapshot **in machine-index order**, which makes runs deterministic no
+//! matter how rayon schedules the machines.
+
+use rayon::prelude::*;
+
+use crate::dht::Dht;
+use crate::error::{AmpcError, AmpcResult};
+use crate::key::Key;
+use crate::limits::SpaceLimits;
+use crate::machine::{MachineCtx, WriteOp};
+use crate::stats::{RoundStats, RunStats};
+use crate::value::DhtValue;
+
+/// Configuration of a simulated AMPC deployment.
+#[derive(Debug, Clone)]
+pub struct AmpcConfig {
+    /// Number of machines `M`.
+    pub num_machines: usize,
+    /// Run seed; all algorithm randomness derives from it.
+    pub seed: u64,
+    /// Optional per-machine, per-round space budgets.
+    pub limits: Option<SpaceLimits>,
+    /// Execute machines on the rayon pool. Disable for tiny inputs where
+    /// fork-join overhead dominates, or to simplify debugging.
+    pub parallel: bool,
+}
+
+impl Default for AmpcConfig {
+    fn default() -> Self {
+        AmpcConfig { num_machines: 8, seed: 0xA5A5_1234_5678_9ABC, limits: None, parallel: true }
+    }
+}
+
+impl AmpcConfig {
+    /// Sets the machine count.
+    pub fn with_machines(mut self, m: usize) -> Self {
+        assert!(m > 0, "need at least one machine");
+        self.num_machines = m;
+        self
+    }
+
+    /// Sets the run seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Attaches space budgets.
+    pub fn with_limits(mut self, limits: SpaceLimits) -> Self {
+        self.limits = Some(limits);
+        self
+    }
+
+    /// Enables or disables rayon execution.
+    pub fn with_parallel(mut self, parallel: bool) -> Self {
+        self.parallel = parallel;
+        self
+    }
+}
+
+/// Summary of one executed round, returned alongside the per-item results.
+#[derive(Debug, Clone)]
+pub struct RoundOutcome<R> {
+    /// Results produced by the per-item closure, in item order.
+    pub results: Vec<R>,
+    /// Queries issued during the round.
+    pub reads: usize,
+    /// Words written during the round.
+    pub write_words: usize,
+}
+
+/// A simulated AMPC deployment: snapshot DHT + machines + meters.
+pub struct AmpcSystem<V> {
+    snapshot: Dht<V>,
+    config: AmpcConfig,
+    stats: RunStats,
+}
+
+impl<V: DhtValue> AmpcSystem<V> {
+    /// Creates a system whose first snapshot holds `initial` (the round-0
+    /// input: typically the graph's adjacency or successor tables). Loading
+    /// the input is not charged — the model assumes the input already
+    /// resides in the DHT.
+    pub fn new(config: AmpcConfig, initial: impl IntoIterator<Item = (Key, V)>) -> Self {
+        let mut snapshot = Dht::new();
+        for (k, v) in initial {
+            snapshot.insert(k, v);
+        }
+        AmpcSystem { snapshot, config, stats: RunStats::new() }
+    }
+
+    /// The current read-only snapshot.
+    pub fn snapshot(&self) -> &Dht<V> {
+        &self.snapshot
+    }
+
+    /// Accumulated run statistics.
+    pub fn stats(&self) -> &RunStats {
+        &self.stats
+    }
+
+    /// Mutable access to statistics, for charging host-side primitives.
+    pub fn stats_mut(&mut self) -> &mut RunStats {
+        &mut self.stats
+    }
+
+    /// The deployment configuration.
+    pub fn config(&self) -> &AmpcConfig {
+        &self.config
+    }
+
+    /// Consumes the system, returning the final snapshot and statistics.
+    pub fn finish(self) -> (Dht<V>, RunStats) {
+        (self.snapshot, self.stats)
+    }
+
+    /// Applies a host-side mutation of the snapshot **outside** the metered
+    /// interface. Reserved for cited O(1)-round primitives executed
+    /// natively; callers must pair this with [`RunStats::charge_external`]
+    /// so the primitive pays its published cost (see DESIGN.md).
+    pub fn host_update(&mut self, f: impl FnOnce(&mut Dht<V>)) {
+        f(&mut self.snapshot);
+    }
+
+    /// Executes one AMPC round over `items`.
+    ///
+    /// Items are split into `M` near-equal contiguous chunks; machine `j`
+    /// runs `f(ctx, item)` for each item of chunk `j` against a context that
+    /// reads the current snapshot and buffers writes. After all machines
+    /// finish, buffers are merged in machine order into the next snapshot.
+    ///
+    /// Returns the non-`None` closure results in item order.
+    pub fn round<I, R, F>(&mut self, name: &str, items: &[I], f: F) -> AmpcResult<RoundOutcome<R>>
+    where
+        I: Sync,
+        R: Send,
+        F: Fn(&mut MachineCtx<'_, V>, &I) -> Option<R> + Sync,
+    {
+        let m = self.config.num_machines;
+        let round_index = self.stats.executed_rounds();
+        let chunk = items.len().div_ceil(m).max(1);
+        let snapshot = &self.snapshot;
+        let limits = self.config.limits;
+        let seed = self.config.seed;
+
+        let run_machine = |(j, slice): (usize, &[I])| {
+            let mut ctx = MachineCtx::new(snapshot, limits, j, round_index, seed);
+            let mut out = Vec::new();
+            for item in slice {
+                if let Some(r) = f(&mut ctx, item) {
+                    out.push(r);
+                }
+            }
+            (ctx, out)
+        };
+
+        // Run the machines, then immediately reduce each context to owned
+        // data (buffers + meters) so the borrow of `self.snapshot` ends
+        // before the merge phase mutates it.
+        struct MachineOutput<V, R> {
+            buf: Vec<(Key, WriteOp<V>)>,
+            reads: usize,
+            read_words: usize,
+            writes: usize,
+            write_words: usize,
+            violation: Option<crate::limits::LimitViolation>,
+            results: Vec<R>,
+        }
+        let finish = |(mut ctx, results): (MachineCtx<'_, V>, Vec<R>)| MachineOutput {
+            buf: std::mem::take(&mut ctx.write_buf),
+            reads: ctx.reads,
+            read_words: ctx.read_words,
+            writes: ctx.writes,
+            write_words: ctx.write_words,
+            violation: ctx.violation.clone(),
+            results,
+        };
+        let machines: Vec<MachineOutput<V, R>> = if self.config.parallel {
+            items.par_chunks(chunk).enumerate().map(run_machine).map(finish).collect()
+        } else {
+            items.chunks(chunk).enumerate().map(run_machine).map(finish).collect()
+        };
+
+        // Gather stats and the first violation before consuming the buffers.
+        let mut stats = RoundStats {
+            name: name.to_string(),
+            index: round_index,
+            reads: 0,
+            read_words: 0,
+            writes: 0,
+            write_words: 0,
+            max_machine_read_words: 0,
+            max_machine_write_words: 0,
+            snapshot_entries: snapshot.len(),
+            snapshot_words: snapshot.words(),
+            total_space_words: 0,
+            violations: Vec::new(),
+        };
+        for mo in &machines {
+            stats.reads += mo.reads;
+            stats.read_words += mo.read_words;
+            stats.writes += mo.writes;
+            stats.write_words += mo.write_words;
+            stats.max_machine_read_words = stats.max_machine_read_words.max(mo.read_words);
+            stats.max_machine_write_words = stats.max_machine_write_words.max(mo.write_words);
+            if let Some(mut v) = mo.violation.clone() {
+                v.round_name = name.to_string();
+                stats.violations.push(v);
+            }
+        }
+        stats.total_space_words = stats.snapshot_words + stats.read_words + stats.write_words;
+
+        let enforce = limits.map(|l| l.enforce).unwrap_or(false);
+        if enforce {
+            if let Some(v) = stats.violations.first().cloned() {
+                self.stats.push_round(stats);
+                return Err(AmpcError::LimitExceeded(v));
+            }
+        }
+
+        // Deterministic merge: machine order, then buffer order.
+        let mut results = Vec::new();
+        for mut mo in machines {
+            for (key, op) in mo.buf.drain(..) {
+                match op {
+                    WriteOp::Put(v) => {
+                        self.snapshot.insert(key, v);
+                    }
+                    WriteOp::Merge(v) => {
+                        self.snapshot.merge(key, v);
+                    }
+                    WriteOp::Delete => {
+                        self.snapshot.remove(key);
+                    }
+                }
+            }
+            results.append(&mut mo.results);
+        }
+
+        let outcome =
+            RoundOutcome { results, reads: stats.reads, write_words: stats.write_words };
+        self.stats.push_round(stats);
+        Ok(outcome)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const S: u16 = 0;
+    const AUX: u16 = 1;
+
+    fn system(m: usize, n: u64) -> AmpcSystem<u64> {
+        AmpcSystem::new(
+            AmpcConfig::default().with_machines(m).with_seed(7),
+            (0..n).map(|i| (Key::new(S, i), i)),
+        )
+    }
+
+    #[test]
+    fn round_applies_writes_after_completion() {
+        let mut sys = system(4, 100);
+        let ids: Vec<u64> = (0..100).collect();
+        sys.round("double", &ids, |ctx, &i| {
+            let v = *ctx.read(Key::new(S, i)).unwrap();
+            ctx.write(Key::new(S, i), v * 2);
+            None::<()>
+        })
+        .unwrap();
+        assert_eq!(sys.snapshot().get(Key::new(S, 10)), Some(&20));
+        assert_eq!(sys.stats().rounds(), 1);
+        assert_eq!(sys.stats().total_queries(), 100);
+    }
+
+    #[test]
+    fn results_preserve_item_order() {
+        let mut sys = system(7, 50);
+        let ids: Vec<u64> = (0..50).collect();
+        let out = sys
+            .round("echo", &ids, |_, &i| if i % 2 == 0 { Some(i) } else { None })
+            .unwrap()
+            .results;
+        assert_eq!(out, (0..50).filter(|i| i % 2 == 0).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn writes_invisible_within_round_visible_next_round() {
+        let mut sys = system(3, 10);
+        let ids: Vec<u64> = (0..10).collect();
+        sys.round("stage", &ids, |ctx, &i| {
+            ctx.write(Key::new(AUX, i), i + 100);
+            // Not visible yet:
+            assert!(ctx.read(Key::new(AUX, i)).is_none());
+            None::<()>
+        })
+        .unwrap();
+        sys.round("check", &ids, |ctx, &i| {
+            assert_eq!(ctx.read(Key::new(AUX, i)), Some(&(i + 100)));
+            None::<()>
+        })
+        .unwrap();
+    }
+
+    #[test]
+    fn merge_writes_are_schedule_independent() {
+        // All items merge-stamp key 0; the result must be the max regardless
+        // of machine layout. Compare two very different machine counts.
+        for m in [1, 13] {
+            let mut sys = system(m, 64);
+            let ids: Vec<u64> = (0..64).collect();
+            sys.round("stamp", &ids, |ctx, &i| {
+                ctx.write_merge(Key::new(AUX, 0), i * 31 % 57);
+                None::<()>
+            })
+            .unwrap();
+            assert_eq!(sys.snapshot().get(Key::new(AUX, 0)), Some(&56));
+        }
+    }
+
+    #[test]
+    fn deletes_remove_entries() {
+        let mut sys = system(2, 10);
+        let ids: Vec<u64> = (0..10).collect();
+        sys.round("gc", &ids, |ctx, &i| {
+            if i < 5 {
+                ctx.delete(Key::new(S, i));
+            }
+            None::<()>
+        })
+        .unwrap();
+        assert_eq!(sys.snapshot().len(), 5);
+        assert!(sys.snapshot().get(Key::new(S, 2)).is_none());
+        assert!(sys.snapshot().get(Key::new(S, 7)).is_some());
+    }
+
+    #[test]
+    fn enforcement_errors_the_round() {
+        let mut sys = AmpcSystem::new(
+            AmpcConfig::default().with_machines(1).with_limits(SpaceLimits::enforce(3)),
+            (0..10u64).map(|i| (Key::new(S, i), i)),
+        );
+        let ids: Vec<u64> = (0..10).collect();
+        let err = sys
+            .round("greedy", &ids, |ctx, &i| {
+                ctx.read(Key::new(S, i));
+                None::<()>
+            })
+            .unwrap_err();
+        let AmpcError::LimitExceeded(v) = err;
+        assert_eq!(v.budget, 3);
+    }
+
+    #[test]
+    fn audit_mode_records_without_failing() {
+        let mut sys = AmpcSystem::new(
+            AmpcConfig::default().with_machines(1).with_limits(SpaceLimits::audit(3)),
+            (0..10u64).map(|i| (Key::new(S, i), i)),
+        );
+        let ids: Vec<u64> = (0..10).collect();
+        sys.round("greedy", &ids, |ctx, &i| {
+            ctx.read(Key::new(S, i));
+            None::<()>
+        })
+        .unwrap();
+        assert_eq!(sys.stats().violations().count(), 1);
+    }
+
+    #[test]
+    fn determinism_across_machine_counts() {
+        // Same seed, different machine counts: identical final snapshots for
+        // an algorithm using only puts to distinct keys + rng.
+        let run = |m: usize| -> Vec<(u64, u64)> {
+            let mut sys = system(m, 200);
+            let ids: Vec<u64> = (0..200).collect();
+            sys.round("randomize", &ids, |ctx, &i| {
+                let r = ctx.rng(0, i).next_u64();
+                ctx.write(Key::new(AUX, i), r);
+                None::<()>
+            })
+            .unwrap();
+            (0..200).map(|i| (i, *sys.snapshot().get(Key::new(AUX, i)).unwrap())).collect()
+        };
+        assert_eq!(run(1), run(16));
+    }
+
+    #[test]
+    fn total_space_counts_snapshot_plus_communication() {
+        let mut sys = system(2, 100); // snapshot: 100 words
+        let ids: Vec<u64> = (0..50).collect();
+        sys.round("grow", &ids, |ctx, &i| {
+            ctx.read(Key::new(S, i)); // 50 read words
+            ctx.write(Key::new(AUX, i), i); // 50 write words
+            None::<()>
+        })
+        .unwrap();
+        assert_eq!(sys.stats().peak_total_space(), 200);
+    }
+
+    #[test]
+    fn empty_item_list_is_a_noop_round() {
+        let mut sys = system(4, 10);
+        let ids: Vec<u64> = Vec::new();
+        let out = sys.round("idle", &ids, |_, _: &u64| Some(1u64)).unwrap();
+        assert!(out.results.is_empty());
+        assert_eq!(sys.stats().rounds(), 1);
+    }
+}

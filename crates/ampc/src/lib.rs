@@ -1,0 +1,71 @@
+//! # `ampc` — a simulator runtime for the Adaptive Massively Parallel Computation model
+//!
+//! The AMPC model (Behnezhad et al., and the setting of Latypov–Łącki–Maus–Uitto,
+//! SPAA 2023) extends MPC with a shared **distributed hash table** (DHT):
+//!
+//! * `M` machines, each with local space `S` (strictly sublinear in the input
+//!   size `N`; typically `S = n^δ`).
+//! * Computation proceeds in synchronous **rounds**. Within a round every
+//!   machine may **adaptively** read up to `S` words from a *read-only* DHT
+//!   (the output of the previous round) and write up to `S` words to a
+//!   *write-only* DHT which becomes the next round's read-only input.
+//! * Total space `T = S · M` should be linear in the input, `T = O(N)`.
+//!
+//! This crate executes algorithms against that cost model *in process*. The
+//! quantities the paper reasons about — **rounds**, **queries** (DHT reads),
+//! and **total space** (live DHT words + per-round communication) — are all
+//! counting quantities, so a faithful simulator only has to (a) expose the
+//! same adaptive read/write interface and (b) meter every access. That is
+//! exactly what [`AmpcSystem`] does:
+//!
+//! ```
+//! use ampc::{AmpcConfig, AmpcSystem, Key, DhtValue};
+//!
+//! #[derive(Clone, Debug, PartialEq)]
+//! struct Val(u64);
+//! impl DhtValue for Val {
+//!     fn words(&self) -> usize { 1 }
+//! }
+//!
+//! const SPACE: u16 = 0;
+//! let mut sys = AmpcSystem::new(
+//!     AmpcConfig::default().with_machines(4),
+//!     (0..16u64).map(|i| (Key::new(SPACE, i), Val(i))),
+//! );
+//! // One AMPC round: every item reads its successor's value and writes a sum.
+//! let ids: Vec<u64> = (0..16).collect();
+//! sys.round("sum-with-next", &ids, |ctx, &i| {
+//!     let next = ctx.read(Key::new(SPACE, (i + 1) % 16)).unwrap().0;
+//!     ctx.write(Key::new(SPACE, i), Val(i + next));
+//!     None::<()>
+//! }).unwrap();
+//! assert_eq!(sys.stats().rounds(), 1);
+//! assert_eq!(sys.snapshot().get(Key::new(SPACE, 3)), Some(&Val(3 + 4)));
+//! ```
+//!
+//! Machines within a round are independent by model definition (they read an
+//! immutable snapshot and buffer private writes), so the executor maps them
+//! onto a rayon parallel iterator; write buffers are merged in machine-index
+//! order, keeping every run bit-for-bit deterministic regardless of thread
+//! scheduling.
+
+#![warn(missing_docs)]
+
+mod dht;
+mod error;
+mod executor;
+mod key;
+mod limits;
+mod machine;
+pub mod rng;
+mod stats;
+mod value;
+
+pub use dht::Dht;
+pub use error::{AmpcError, AmpcResult};
+pub use executor::{AmpcConfig, AmpcSystem, RoundOutcome};
+pub use key::{Key, Space};
+pub use limits::{LimitViolation, SpaceLimits};
+pub use machine::MachineCtx;
+pub use stats::{RoundStats, RunStats};
+pub use value::DhtValue;

@@ -1,0 +1,123 @@
+//! Local-space budgets and violation reporting.
+//!
+//! The defining restriction of AMPC is that each machine may read and write
+//! at most `S` words per round, with `S = n^δ` sublinear. [`SpaceLimits`]
+//! carries those budgets; when attached to an [`crate::AmpcConfig`] every
+//! machine's reads and writes are checked each round. Violations are either
+//! recorded (audit mode — useful for experiments that *measure* how close an
+//! algorithm gets to its budget) or turned into hard errors (enforce mode —
+//! used by the test suite to certify that the paper's algorithms really fit
+//! in `n^δ` local space).
+
+use std::fmt;
+
+/// Per-machine, per-round word budgets.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SpaceLimits {
+    /// Maximum words a machine may read from the snapshot DHT per round.
+    pub read_words: usize,
+    /// Maximum words a machine may write to the output DHT per round.
+    pub write_words: usize,
+    /// If true, exceeding a budget aborts the round with
+    /// [`crate::AmpcError::LimitExceeded`]; otherwise the violation is only
+    /// recorded in the round stats.
+    pub enforce: bool,
+}
+
+impl SpaceLimits {
+    /// Symmetric budget: `s` words of reads and `s` words of writes,
+    /// recording violations without aborting.
+    pub fn audit(s: usize) -> Self {
+        SpaceLimits { read_words: s, write_words: s, enforce: false }
+    }
+
+    /// Symmetric budget that aborts the round on violation.
+    pub fn enforce(s: usize) -> Self {
+        SpaceLimits { read_words: s, write_words: s, enforce: true }
+    }
+
+    /// The classic AMPC setting `S = n^δ` (at least 64 words so toy inputs
+    /// remain runnable).
+    pub fn sublinear(n: usize, delta: f64) -> Self {
+        let s = ((n as f64).powf(delta).ceil() as usize).max(64);
+        Self::audit(s)
+    }
+}
+
+/// Which budget a violation breached.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LimitKind {
+    /// Read-side (query) budget.
+    Reads,
+    /// Write-side budget.
+    Writes,
+}
+
+impl fmt::Display for LimitKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LimitKind::Reads => write!(f, "read words"),
+            LimitKind::Writes => write!(f, "write words"),
+        }
+    }
+}
+
+/// A recorded budget breach.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LimitViolation {
+    /// Zero-based round index.
+    pub round: usize,
+    /// Human-readable round label.
+    pub round_name: String,
+    /// Machine index that breached the budget.
+    pub machine: usize,
+    /// Words actually used.
+    pub used: usize,
+    /// The configured budget.
+    pub budget: usize,
+    /// Which side was breached.
+    pub kind: LimitKind,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sublinear_budget_matches_power() {
+        let l = SpaceLimits::sublinear(1 << 20, 0.5);
+        assert_eq!(l.read_words, 1 << 10);
+        assert!(!l.enforce);
+    }
+
+    #[test]
+    fn sublinear_budget_has_floor() {
+        let l = SpaceLimits::sublinear(10, 0.3);
+        assert_eq!(l.read_words, 64);
+    }
+
+    #[test]
+    fn enforce_flag_set_by_constructor() {
+        assert!(SpaceLimits::enforce(128).enforce);
+        assert!(!SpaceLimits::audit(128).enforce);
+    }
+
+    #[test]
+    fn violation_display_is_informative() {
+        let v = LimitViolation {
+            round: 3,
+            round_name: "probe".into(),
+            machine: 7,
+            used: 999,
+            budget: 500,
+            kind: LimitKind::Reads,
+        };
+        let msg = crate::AmpcError::LimitExceeded(v).to_string();
+        assert!(msg.contains("round 3"));
+        assert!(msg.contains("probe"));
+        assert!(msg.contains("machine 7"));
+        assert!(msg.contains("999"));
+        assert!(msg.contains("500"));
+        assert!(msg.contains("read words"));
+    }
+}

@@ -1,0 +1,274 @@
+//! Per-machine execution context.
+//!
+//! A [`MachineCtx`] is handed to algorithm code once per machine per round.
+//! It exposes exactly the capabilities an AMPC machine has:
+//!
+//! * **adaptive reads** from the previous round's snapshot ([`MachineCtx::read`]) —
+//!   a value read may determine the next key read, within the same round;
+//! * **buffered writes** to the next round's table ([`MachineCtx::write`],
+//!   [`MachineCtx::write_merge`], [`MachineCtx::delete`]) — invisible until
+//!   the round completes, exactly like the model's write-only DHT;
+//! * **deterministic randomness** scoped to `(run, round, tag, id)`.
+//!
+//! Every access is metered in words; optional [`SpaceLimits`] breaches are
+//! recorded and reported through the round's statistics.
+
+use crate::dht::Dht;
+use crate::key::Key;
+use crate::limits::{LimitKind, LimitViolation, SpaceLimits};
+use crate::rng::{self, SplitMix64};
+use crate::value::DhtValue;
+
+/// A buffered mutation, applied to the snapshot when the round completes.
+#[derive(Debug, Clone)]
+pub(crate) enum WriteOp<V> {
+    /// Replace the value at the key (last machine in index order wins).
+    Put(V),
+    /// Combine with the existing value via [`DhtValue::merge`].
+    Merge(V),
+    /// Remove the key (models shrinking algorithms retiring dead entries).
+    Delete,
+}
+
+/// Execution context for one simulated machine within one round.
+pub struct MachineCtx<'a, V> {
+    snapshot: &'a Dht<V>,
+    pub(crate) write_buf: Vec<(Key, WriteOp<V>)>,
+    pub(crate) reads: usize,
+    pub(crate) read_words: usize,
+    pub(crate) writes: usize,
+    pub(crate) write_words: usize,
+    pub(crate) violation: Option<LimitViolation>,
+    limits: Option<SpaceLimits>,
+    machine: usize,
+    round: usize,
+    seed: u64,
+}
+
+impl<'a, V: DhtValue> MachineCtx<'a, V> {
+    pub(crate) fn new(
+        snapshot: &'a Dht<V>,
+        limits: Option<SpaceLimits>,
+        machine: usize,
+        round: usize,
+        seed: u64,
+    ) -> Self {
+        MachineCtx {
+            snapshot,
+            write_buf: Vec::new(),
+            reads: 0,
+            read_words: 0,
+            writes: 0,
+            write_words: 0,
+            violation: None,
+            limits,
+            machine,
+            round,
+            seed,
+        }
+    }
+
+    /// Adaptively reads `key` from the round's snapshot. Charges one query
+    /// plus the value's word width against the read budget.
+    #[inline]
+    pub fn read(&mut self, key: Key) -> Option<&V> {
+        let v = self.snapshot.get(key);
+        self.reads += 1;
+        // A miss still costs one word of probe traffic.
+        self.read_words += v.map_or(1, DhtValue::words);
+        self.check_limit(LimitKind::Reads);
+        v
+    }
+
+    /// Reads `key` without charging the query meters. Reserved for data the
+    /// model considers machine-local (e.g. re-reading a value this machine
+    /// already paid for this round). Use sparingly; all paper-relevant reads
+    /// must go through [`MachineCtx::read`].
+    #[inline]
+    pub fn peek(&self, key: Key) -> Option<&V> {
+        self.snapshot.get(key)
+    }
+
+    /// Buffers a replacing write of `value` at `key`.
+    #[inline]
+    pub fn write(&mut self, key: Key, value: V) {
+        self.writes += 1;
+        self.write_words += value.words();
+        self.write_buf.push((key, WriteOp::Put(value)));
+        self.check_limit(LimitKind::Writes);
+    }
+
+    /// Buffers a merging write (combined with [`DhtValue::merge`]). Used for
+    /// aggregate updates such as rank stamps where many machines target the
+    /// same key and the result must be schedule-independent.
+    #[inline]
+    pub fn write_merge(&mut self, key: Key, value: V) {
+        self.writes += 1;
+        self.write_words += value.words();
+        self.write_buf.push((key, WriteOp::Merge(value)));
+        self.check_limit(LimitKind::Writes);
+    }
+
+    /// Buffers a deletion of `key`. Costs one write word (a tombstone).
+    #[inline]
+    pub fn delete(&mut self, key: Key) {
+        self.writes += 1;
+        self.write_words += 1;
+        self.write_buf.push((key, WriteOp::Delete));
+        self.check_limit(LimitKind::Writes);
+    }
+
+    /// Deterministic random stream scoped to `(run seed, round, tag, id)`.
+    /// Identical across machine assignments and thread schedules.
+    #[inline]
+    pub fn rng(&self, tag: u64, id: u64) -> SplitMix64 {
+        rng::stream(self.seed, self.round as u64, tag, id)
+    }
+
+    /// This machine's index within the round.
+    pub fn machine_index(&self) -> usize {
+        self.machine
+    }
+
+    /// The zero-based index of the current round.
+    pub fn round_index(&self) -> usize {
+        self.round
+    }
+
+    /// Queries issued so far this round by this machine.
+    pub fn reads_used(&self) -> usize {
+        self.reads
+    }
+
+    /// Read words consumed so far this round by this machine.
+    pub fn read_words_used(&self) -> usize {
+        self.read_words
+    }
+
+    /// Write words consumed so far this round by this machine.
+    pub fn write_words_used(&self) -> usize {
+        self.write_words
+    }
+
+    #[inline]
+    fn check_limit(&mut self, kind: LimitKind) {
+        let Some(limits) = self.limits else { return };
+        if self.violation.is_some() {
+            return; // only the first breach is recorded
+        }
+        let (used, budget) = match kind {
+            LimitKind::Reads => (self.read_words, limits.read_words),
+            LimitKind::Writes => (self.write_words, limits.write_words),
+        };
+        if used > budget {
+            self.violation = Some(LimitViolation {
+                round: self.round,
+                round_name: String::new(), // filled in by the executor
+                machine: self.machine,
+                used,
+                budget,
+                kind,
+            });
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const S: u16 = 0;
+
+    fn table() -> Dht<u64> {
+        let mut d = Dht::new();
+        for i in 0..10u64 {
+            d.insert(Key::new(S, i), i * i);
+        }
+        d
+    }
+
+    #[test]
+    fn reads_are_metered() {
+        let d = table();
+        let mut ctx = MachineCtx::new(&d, None, 0, 0, 1);
+        assert_eq!(ctx.read(Key::new(S, 3)), Some(&9));
+        assert_eq!(ctx.read(Key::new(S, 99)), None);
+        assert_eq!(ctx.reads_used(), 2);
+        assert_eq!(ctx.read_words_used(), 2); // 1 hit word + 1 miss probe
+    }
+
+    #[test]
+    fn adaptive_read_chain() {
+        // The defining AMPC capability: value of one read chooses the next key.
+        let mut d = Dht::new();
+        d.insert(Key::new(S, 0), 4u64);
+        d.insert(Key::new(S, 4), 7u64);
+        d.insert(Key::new(S, 7), 0u64);
+        let mut ctx = MachineCtx::new(&d, None, 0, 0, 1);
+        let mut cur = 0u64;
+        for _ in 0..3 {
+            cur = *ctx.read(Key::new(S, cur)).unwrap();
+        }
+        assert_eq!(cur, 0);
+        assert_eq!(ctx.reads_used(), 3);
+    }
+
+    #[test]
+    fn writes_are_buffered_not_visible() {
+        let d = table();
+        let mut ctx = MachineCtx::new(&d, None, 0, 0, 1);
+        ctx.write(Key::new(S, 3), 555);
+        // Write-only DHT semantics: the round's snapshot is unchanged.
+        assert_eq!(ctx.read(Key::new(S, 3)), Some(&9));
+        assert_eq!(ctx.write_words_used(), 1);
+    }
+
+    #[test]
+    fn violation_recorded_once() {
+        let d = table();
+        let limits = SpaceLimits::audit(2);
+        let mut ctx = MachineCtx::new(&d, Some(limits), 5, 7, 1);
+        for i in 0..4 {
+            ctx.read(Key::new(S, i));
+        }
+        let v = ctx.violation.clone().expect("violation expected");
+        assert_eq!(v.machine, 5);
+        assert_eq!(v.round, 7);
+        assert_eq!(v.used, 3); // recorded at first breach, not at the end
+        assert_eq!(v.kind, LimitKind::Reads);
+    }
+
+    #[test]
+    fn peek_does_not_charge_meters() {
+        let d = table();
+        let mut ctx = MachineCtx::new(&d, None, 0, 0, 1);
+        assert_eq!(ctx.peek(Key::new(S, 3)), Some(&9));
+        assert_eq!(ctx.reads_used(), 0);
+        assert_eq!(ctx.read_words_used(), 0);
+        ctx.read(Key::new(S, 3));
+        assert_eq!(ctx.reads_used(), 1);
+    }
+
+    #[test]
+    fn write_side_violation_recorded() {
+        let d = table();
+        let mut ctx = MachineCtx::new(&d, Some(SpaceLimits::audit(2)), 1, 0, 1);
+        ctx.write(Key::new(S, 0), 1);
+        ctx.write(Key::new(S, 1), 2);
+        assert!(ctx.violation.is_none());
+        ctx.delete(Key::new(S, 2)); // third write word breaches the budget
+        let v = ctx.violation.clone().expect("violation");
+        assert_eq!(v.kind, LimitKind::Writes);
+        assert_eq!(v.used, 3);
+    }
+
+    #[test]
+    fn rng_is_context_deterministic() {
+        let d = table();
+        let ctx1 = MachineCtx::new(&d, None, 0, 3, 42);
+        let ctx2 = MachineCtx::new(&d, None, 9, 3, 42); // different machine
+        // Streams depend on (seed, round, tag, id), NOT on machine index:
+        assert_eq!(ctx1.rng(1, 5).next_u64(), ctx2.rng(1, 5).next_u64());
+        assert_ne!(ctx1.rng(1, 5).next_u64(), ctx1.rng(1, 6).next_u64());
+    }
+}

@@ -1,0 +1,239 @@
+//! Round and run accounting.
+//!
+//! The paper's cost model is: number of **rounds**, number of **queries**
+//! (adaptive DHT reads), and **total space** per round (live DHT words plus
+//! the round's communication). [`RoundStats`] captures one round;
+//! [`RunStats`] aggregates a full algorithm execution, including costs
+//! *charged* for cited O(1)-round host-side primitives (`Contract`,
+//! `Compose`) that run natively but must still pay their published price.
+
+use crate::limits::LimitViolation;
+
+/// Metered costs of a single executed AMPC round.
+#[derive(Debug, Clone)]
+pub struct RoundStats {
+    /// Human-readable label supplied by the algorithm.
+    pub name: String,
+    /// Zero-based round index within the run.
+    pub index: usize,
+    /// Number of DHT read operations ("queries" in the paper's terminology).
+    pub reads: usize,
+    /// Words transferred by reads.
+    pub read_words: usize,
+    /// Number of write/merge/delete operations.
+    pub writes: usize,
+    /// Words transferred by writes.
+    pub write_words: usize,
+    /// Largest read-word volume of any single machine this round.
+    pub max_machine_read_words: usize,
+    /// Largest write-word volume of any single machine this round.
+    pub max_machine_write_words: usize,
+    /// Entries in the read-only snapshot at the start of the round.
+    pub snapshot_entries: usize,
+    /// Words in the read-only snapshot at the start of the round.
+    pub snapshot_words: usize,
+    /// Total space consumed by this round: the stored snapshot plus the
+    /// round's communication (read and written words). The paper: "the
+    /// total space usage is determined by the maximum amount of
+    /// communication that happens in any round".
+    pub total_space_words: usize,
+    /// Budget violations observed (empty unless limits are configured).
+    pub violations: Vec<LimitViolation>,
+}
+
+/// Aggregated costs of an algorithm run.
+#[derive(Debug, Clone, Default)]
+pub struct RunStats {
+    rounds: Vec<RoundStats>,
+    charged_rounds: usize,
+    charged_queries: usize,
+    charged_space_peak: usize,
+}
+
+impl RunStats {
+    /// Creates empty statistics.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    pub(crate) fn push_round(&mut self, r: RoundStats) {
+        self.rounds.push(r);
+    }
+
+    /// Records the published cost of a host-side primitive: `rounds` AMPC
+    /// rounds, `queries` DHT reads, and a round space footprint of
+    /// `space_words`. Used for cited O(1)-round building blocks that the
+    /// simulator executes natively (see DESIGN.md, "Charging model").
+    pub fn charge_external(&mut self, rounds: usize, queries: usize, space_words: usize) {
+        self.charged_rounds += rounds;
+        self.charged_queries += queries;
+        self.charged_space_peak = self.charged_space_peak.max(space_words);
+    }
+
+    /// Total rounds: executed plus externally charged.
+    pub fn rounds(&self) -> usize {
+        self.rounds.len() + self.charged_rounds
+    }
+
+    /// Rounds actually executed through the DHT interface.
+    pub fn executed_rounds(&self) -> usize {
+        self.rounds.len()
+    }
+
+    /// Rounds charged on behalf of host-side primitives.
+    pub fn charged_rounds(&self) -> usize {
+        self.charged_rounds
+    }
+
+    /// Total queries: executed DHT reads plus externally charged reads.
+    pub fn total_queries(&self) -> usize {
+        self.rounds.iter().map(|r| r.reads).sum::<usize>() + self.charged_queries
+    }
+
+    /// Total words written across all executed rounds.
+    pub fn total_write_words(&self) -> usize {
+        self.rounds.iter().map(|r| r.write_words).sum()
+    }
+
+    /// Maximum per-round total space over the run (executed and charged).
+    pub fn peak_total_space(&self) -> usize {
+        self.rounds
+            .iter()
+            .map(|r| r.total_space_words)
+            .max()
+            .unwrap_or(0)
+            .max(self.charged_space_peak)
+    }
+
+    /// Largest single-machine read volume in any round.
+    pub fn peak_machine_read_words(&self) -> usize {
+        self.rounds.iter().map(|r| r.max_machine_read_words).max().unwrap_or(0)
+    }
+
+    /// Largest single-machine write volume in any round.
+    pub fn peak_machine_write_words(&self) -> usize {
+        self.rounds.iter().map(|r| r.max_machine_write_words).max().unwrap_or(0)
+    }
+
+    /// Per-round detail.
+    pub fn per_round(&self) -> &[RoundStats] {
+        &self.rounds
+    }
+
+    /// All recorded budget violations across rounds.
+    pub fn violations(&self) -> impl Iterator<Item = &LimitViolation> {
+        self.rounds.iter().flat_map(|r| r.violations.iter())
+    }
+
+    /// Renders a per-round cost table (markdown-ish, fixed-width) for
+    /// reports and debugging.
+    pub fn round_table(&self) -> String {
+        use std::fmt::Write;
+        let mut s = String::new();
+        let _ = writeln!(
+            s,
+            "{:>4}  {:<22} {:>12} {:>12} {:>12} {:>14}",
+            "#", "round", "reads", "read words", "write words", "total space"
+        );
+        for r in &self.rounds {
+            let _ = writeln!(
+                s,
+                "{:>4}  {:<22} {:>12} {:>12} {:>12} {:>14}",
+                r.index, r.name, r.reads, r.read_words, r.write_words, r.total_space_words
+            );
+        }
+        if self.charged_rounds > 0 {
+            let _ = writeln!(
+                s,
+                "   +  {:<22} {:>12} {:>12} {:>12} {:>14}",
+                format!("(charged x{})", self.charged_rounds),
+                self.charged_queries,
+                "-",
+                "-",
+                self.charged_space_peak
+            );
+        }
+        s
+    }
+
+    /// Folds another run's statistics into this one (used when an algorithm
+    /// invokes a sub-algorithm that ran its own [`crate::AmpcSystem`]).
+    pub fn absorb(&mut self, other: &RunStats) {
+        let base = self.rounds.len();
+        for (i, r) in other.rounds.iter().enumerate() {
+            let mut r = r.clone();
+            r.index = base + i;
+            self.rounds.push(r);
+        }
+        self.charged_rounds += other.charged_rounds;
+        self.charged_queries += other.charged_queries;
+        self.charged_space_peak = self.charged_space_peak.max(other.charged_space_peak);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn round(reads: usize, space: usize) -> RoundStats {
+        RoundStats {
+            name: "t".into(),
+            index: 0,
+            reads,
+            read_words: reads,
+            writes: 0,
+            write_words: 0,
+            max_machine_read_words: reads,
+            max_machine_write_words: 0,
+            snapshot_entries: 0,
+            snapshot_words: space,
+            total_space_words: space,
+            violations: Vec::new(),
+        }
+    }
+
+    #[test]
+    fn totals_accumulate() {
+        let mut s = RunStats::new();
+        s.push_round(round(10, 100));
+        s.push_round(round(5, 300));
+        assert_eq!(s.rounds(), 2);
+        assert_eq!(s.total_queries(), 15);
+        assert_eq!(s.peak_total_space(), 300);
+    }
+
+    #[test]
+    fn external_charges_count() {
+        let mut s = RunStats::new();
+        s.push_round(round(10, 100));
+        s.charge_external(2, 50, 500);
+        assert_eq!(s.rounds(), 3);
+        assert_eq!(s.executed_rounds(), 1);
+        assert_eq!(s.total_queries(), 60);
+        assert_eq!(s.peak_total_space(), 500);
+    }
+
+    #[test]
+    fn round_table_lists_rounds_and_charges() {
+        let mut s = RunStats::new();
+        s.push_round(round(10, 100));
+        s.charge_external(2, 50, 500);
+        let table = s.round_table();
+        assert!(table.contains("t")); // round name
+        assert!(table.contains("(charged x2)"));
+        assert!(table.contains("500"));
+    }
+
+    #[test]
+    fn absorb_reindexes_rounds() {
+        let mut a = RunStats::new();
+        a.push_round(round(1, 1));
+        let mut b = RunStats::new();
+        b.push_round(round(2, 2));
+        b.charge_external(1, 3, 4);
+        a.absorb(&b);
+        assert_eq!(a.rounds(), 3);
+        assert_eq!(a.per_round()[1].index, 1);
+        assert_eq!(a.total_queries(), 6);
+    }
+}

@@ -1,0 +1,28 @@
+//! E9 bench — ablating Step 2 and the B-doubling schedule.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use ampc_cc::forest::pipeline::{connected_components_forest, ForestCcConfig};
+use ampc_graph::generators::ForestFamily;
+
+fn bench_ablations(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablations");
+    group.sample_size(10);
+    let g = ForestFamily::TinyTrees.generate(1 << 12, 0xE9);
+    for (name, step2, double_b) in
+        [("full", true, true), ("no_step2", false, true), ("fixed_b", true, false)]
+    {
+        group.bench_with_input(BenchmarkId::new("variant", name), &name, |b, _| {
+            b.iter(|| {
+                let mut cfg = ForestCcConfig::default().with_seed(0xE9);
+                cfg.enable_step2 = step2;
+                cfg.double_b = double_b;
+                connected_components_forest(&g, &cfg).expect("cc").rounds()
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_ablations);
+criterion_main!(benches);

@@ -1,0 +1,53 @@
+//! E8 bench — this paper's algorithms vs the Theorem 4.1 subroutine vs MPC
+//! label propagation on the same workloads.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use ampc::AmpcConfig;
+use ampc_cc::baselines::mpc_label_prop::{exponentiated_propagation, min_label_propagation};
+use ampc_cc::forest::pipeline::{connected_components_forest, ForestCcConfig};
+use ampc_cc::general::algorithm2::{connected_components_general, GeneralCcConfig};
+use ampc_cc::general::bdeplus::theorem41;
+use ampc_graph::generators::{grid2d, path};
+
+fn bench_baselines(c: &mut Criterion) {
+    let mut group = c.benchmark_group("baseline_comparison");
+    group.sample_size(10);
+
+    let p = path(1 << 11);
+    group.bench_function("path/ampc_alg1", |b| {
+        b.iter(|| {
+            connected_components_forest(&p, &ForestCcConfig::default().with_seed(1))
+                .expect("cc")
+                .rounds()
+        })
+    });
+    group.bench_function("path/mpc_min_label", |b| {
+        b.iter(|| min_label_propagation(&p).rounds)
+    });
+    group.bench_function("path/mpc_doubling", |b| {
+        b.iter(|| exponentiated_propagation(&p).rounds)
+    });
+
+    let g = grid2d(40, 40);
+    group.bench_function("grid/ampc_alg2", |b| {
+        b.iter(|| {
+            connected_components_general(&g, &GeneralCcConfig::default().with_seed(1))
+                .expect("cc")
+                .stats
+                .rounds()
+        })
+    });
+    group.bench_function("grid/bde21_thm41", |b| {
+        b.iter(|| {
+            theorem41(&g, 8 * (g.n() + g.m()), 1 << 10, &AmpcConfig::default().with_seed(1))
+                .expect("cc")
+                .stats
+                .rounds()
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_baselines);
+criterion_main!(benches);

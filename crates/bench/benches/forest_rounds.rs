@@ -1,0 +1,38 @@
+//! E1 bench — Algorithm 1 end-to-end on forest families (Theorem 1.1).
+//!
+//! Times the full forest-connectivity pipeline per family and size; the
+//! companion `experiments` binary prints the round/space tables this bench
+//! times.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+use ampc_cc::forest::pipeline::{connected_components_forest, ForestCcConfig};
+use ampc_graph::generators::ForestFamily;
+
+fn bench_forest_rounds(c: &mut Criterion) {
+    let mut group = c.benchmark_group("forest_rounds");
+    group.sample_size(10);
+    for fam in [ForestFamily::RandomTree, ForestFamily::TinyTrees, ForestFamily::Path] {
+        for exp in [12u32, 14] {
+            let n = 1usize << exp;
+            let g = fam.generate(n, 0xBE);
+            group.throughput(Throughput::Elements(n as u64));
+            group.bench_with_input(
+                BenchmarkId::new(fam.name(), n),
+                &g,
+                |b, g| {
+                    b.iter(|| {
+                        let cfg = ForestCcConfig::default().with_seed(0xBE);
+                        let res = connected_components_forest(g, &cfg).expect("cc");
+                        assert!(res.labeling.len() == g.n());
+                        res.rounds()
+                    })
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_forest_rounds);
+criterion_main!(benches);

@@ -1,0 +1,26 @@
+//! E2 bench — the Theorem 1.1 rounds/space trade-off across `k`.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use ampc_cc::forest::pipeline::{connected_components_forest, ForestCcConfig};
+use ampc_graph::generators::random_forest;
+
+fn bench_forest_tradeoff(c: &mut Criterion) {
+    let mut group = c.benchmark_group("forest_tradeoff");
+    group.sample_size(10);
+    let n = 1 << 13;
+    let g = random_forest(n, n / 48, 0xE2);
+    for k in [1u32, 3, 5] {
+        group.bench_with_input(BenchmarkId::new("k", k), &k, |b, &k| {
+            b.iter(|| {
+                let mut cfg = ForestCcConfig::default().with_seed(0xE2).with_tradeoff_k(n, k);
+                cfg.skip_shrink_large = true;
+                connected_components_forest(&g, &cfg).expect("cc").rounds()
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_forest_tradeoff);
+criterion_main!(benches);

@@ -1,0 +1,25 @@
+//! E5 bench — Algorithm 2 end-to-end across `k` (Theorem 1.2).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use ampc_cc::general::algorithm2::{connected_components_general, GeneralCcConfig};
+use ampc_graph::generators::erdos_renyi_gnm;
+
+fn bench_general_rounds(c: &mut Criterion) {
+    let mut group = c.benchmark_group("general_rounds");
+    group.sample_size(10);
+    let g = erdos_renyi_gnm(1 << 11, 1 << 13, 0xE5);
+    for k in [1u32, 3, 5] {
+        group.bench_with_input(BenchmarkId::new("k", k), &k, |b, &k| {
+            b.iter(|| {
+                let cfg = GeneralCcConfig::default().with_seed(0xE5).with_k(k);
+                let res = connected_components_general(&g, &cfg).expect("cc");
+                (res.cc_calls, res.stats.rounds())
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_general_rounds);
+criterion_main!(benches);

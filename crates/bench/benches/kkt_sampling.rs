@@ -1,0 +1,30 @@
+//! E7 bench — KKT edge sampling and crossing-edge counting (Theorem 4.3).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+use ampc_cc::general::sampling::{
+    algorithm2_sample_probability, crossing_edges, sample_edges,
+};
+use ampc_graph::generators::erdos_renyi_gnm;
+
+fn bench_kkt(c: &mut Criterion) {
+    let mut group = c.benchmark_group("kkt_sampling");
+    group.sample_size(10);
+    let n = 1 << 11;
+    for factor in [4usize, 16] {
+        let m = n * factor;
+        let g = erdos_renyi_gnm(n, m, 0xE7);
+        let p = algorithm2_sample_probability(n, m);
+        group.throughput(Throughput::Elements(m as u64));
+        group.bench_with_input(BenchmarkId::new("avg_degree", 2 * factor), &g, |b, g| {
+            b.iter(|| {
+                let h = sample_edges(g, p, 0xE7);
+                crossing_edges(g, &h)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_kkt);
+criterion_main!(benches);

@@ -1,0 +1,35 @@
+//! E3 bench — one `ShrinkSmallCycles` iteration vs rank width `B`
+//! (Lemmas 3.6 and 3.7: queries scale with `B`, not with cycle length).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+use ampc::AmpcConfig;
+use ampc_cc::cycles::CycleState;
+use ampc_cc::forest::shrink_small::shrink_small_cycles;
+
+fn ring(n: usize) -> Vec<u64> {
+    (0..n as u64).map(|i| (i + 1) % n as u64).collect()
+}
+
+fn bench_query_complexity(c: &mut Criterion) {
+    let mut group = c.benchmark_group("query_complexity");
+    group.sample_size(10);
+    let n = 1 << 14;
+    let succ = ring(n);
+    for b in [2u16, 4, 8] {
+        group.throughput(Throughput::Elements(n as u64));
+        group.bench_with_input(BenchmarkId::new("B", b), &b, |bench, &b| {
+            bench.iter(|| {
+                let mut st = CycleState::from_successors(
+                    &succ,
+                    AmpcConfig::default().with_machines(8).with_seed(0xE3),
+                );
+                shrink_small_cycles(&mut st, b, n, true).expect("iteration").queries
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_query_complexity);
+criterion_main!(benches);

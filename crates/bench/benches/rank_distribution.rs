@@ -1,0 +1,26 @@
+//! E10 bench — sampling `π_B` by CDF inversion vs the Claim 3.11 coin game.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+use ampc::rng::stream;
+use ampc_cc::forest::ranks::{sample_rank, sample_rank_coin_game};
+
+fn bench_ranks(c: &mut Criterion) {
+    let mut group = c.benchmark_group("rank_distribution");
+    let n = 100_000u64;
+    group.throughput(Throughput::Elements(n));
+    for b in [4u16, 8, 16] {
+        group.bench_with_input(BenchmarkId::new("inversion/B", b), &b, |bench, &b| {
+            let mut rng = stream(1, 0, 0, 0);
+            bench.iter(|| (0..n).map(|_| sample_rank(&mut rng, b) as u64).sum::<u64>())
+        });
+        group.bench_with_input(BenchmarkId::new("coin_game/B", b), &b, |bench, &b| {
+            let mut rng = stream(2, 0, 0, 0);
+            bench.iter(|| (0..n).map(|_| sample_rank_coin_game(&mut rng, b) as u64).sum::<u64>())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_ranks);
+criterion_main!(benches);

@@ -1,0 +1,26 @@
+//! E11 bench — Claim 4.12 rooted-forest resolution variants.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use ampc::AmpcConfig;
+use ampc_cc::general::rooted_forest::{resolve_roots_chase, resolve_roots_euler};
+use ampc_graph::VertexId;
+
+fn bench_rooted_forest(c: &mut Criterion) {
+    let mut group = c.benchmark_group("rooted_forest");
+    group.sample_size(10);
+    let n = 1 << 12;
+    // Deep chain: worst case for chasing, routine for the Euler sweep.
+    let parents: Vec<Option<VertexId>> =
+        (0..n).map(|v| if v == 0 { None } else { Some(v as VertexId - 1) }).collect();
+    group.bench_with_input(BenchmarkId::new("variant", "euler"), &parents, |b, p| {
+        b.iter(|| resolve_roots_euler(p, 1 << 13, AmpcConfig::default()).expect("euler").labels)
+    });
+    group.bench_with_input(BenchmarkId::new("variant", "chase"), &parents, |b, p| {
+        b.iter(|| resolve_roots_chase(p, 256, AmpcConfig::default()).expect("chase").labels)
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_rooted_forest);
+criterion_main!(benches);

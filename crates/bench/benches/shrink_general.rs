@@ -1,0 +1,32 @@
+//! E6 bench — one `ShrinkGeneral(G, t)` application vs `t` (Lemma 4.2).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+use ampc::AmpcConfig;
+use ampc_cc::general::shrink_general::shrink_general;
+use ampc_graph::generators::erdos_renyi_gnm;
+
+fn bench_shrink_general(c: &mut Criterion) {
+    let mut group = c.benchmark_group("shrink_general");
+    group.sample_size(10);
+    let g = erdos_renyi_gnm(1 << 11, 1 << 12, 0xE6);
+    for t in [2usize, 8, 32] {
+        group.throughput(Throughput::Elements(g.m() as u64));
+        group.bench_with_input(BenchmarkId::new("t", t), &t, |b, &t| {
+            b.iter(|| {
+                let out = shrink_general(
+                    &g,
+                    t,
+                    1 << 16,
+                    AmpcConfig::default().with_machines(8).with_seed(0xE6),
+                )
+                .expect("shrink");
+                (out.h.n(), out.bfs_queries)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_shrink_general);
+criterion_main!(benches);

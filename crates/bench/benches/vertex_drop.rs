@@ -1,0 +1,33 @@
+//! E4 bench — vertex drop per iteration (Lemmas 3.10 and 3.12).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use ampc::AmpcConfig;
+use ampc_cc::cycles::CycleState;
+use ampc_cc::forest::shrink_small::shrink_small_cycles;
+
+fn bench_vertex_drop(c: &mut Criterion) {
+    let mut group = c.benchmark_group("vertex_drop");
+    group.sample_size(10);
+    let n = 1 << 14;
+    let succ: Vec<u64> = (0..n as u64).map(|i| (i + 1) % n as u64).collect();
+    for b in [3u16, 6] {
+        group.bench_with_input(BenchmarkId::new("B", b), &b, |bench, &b| {
+            bench.iter(|| {
+                let mut st = CycleState::from_successors(
+                    &succ,
+                    AmpcConfig::default().with_machines(8).with_seed(0xE4),
+                );
+                let out = shrink_small_cycles(&mut st, b, n, true).expect("iteration");
+                // Lemma 3.12's bound, asserted inside the hot loop so the
+                // bench doubles as a soak test.
+                assert!(out.alive_after as f64 <= 6.0 * n as f64 / (1u64 << b) as f64);
+                out.alive_after
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_vertex_drop);
+criterion_main!(benches);

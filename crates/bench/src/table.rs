@@ -1,0 +1,145 @@
+//! Markdown table rendering for experiment output.
+
+use std::fmt;
+
+/// A titled markdown table.
+#[derive(Debug, Clone)]
+pub struct Table {
+    /// Experiment title, e.g. `"E1 — forest rounds vs n (Theorem 1.1)"`.
+    pub title: String,
+    /// One-line description of the paper claim being reproduced.
+    pub claim: String,
+    /// Column headers.
+    pub header: Vec<String>,
+    /// Row cells (already formatted).
+    pub rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates an empty table.
+    pub fn new(
+        title: impl Into<String>,
+        claim: impl Into<String>,
+        header: &[&str],
+    ) -> Self {
+        Table {
+            title: title.into(),
+            claim: claim.into(),
+            header: header.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row.
+    pub fn push(&mut self, row: Vec<String>) {
+        assert_eq!(row.len(), self.header.len(), "row width mismatch");
+        self.rows.push(row);
+    }
+
+    /// Renders the table as CSV (for plotting pipelines). Numeric cells
+    /// keep the `_` thousands separators stripped.
+    pub fn to_csv(&self) -> String {
+        let escape = |cell: &str| -> String {
+            let cleaned =
+                if cell.chars().all(|c| c.is_ascii_digit() || c == '_' || c == '.') {
+                    cell.replace('_', "")
+                } else {
+                    cell.to_string()
+                };
+            if cleaned.contains(',') || cleaned.contains('"') {
+                format!("\"{}\"", cleaned.replace('"', "\"\""))
+            } else {
+                cleaned
+            }
+        };
+        let mut out = String::new();
+        out.push_str(&self.header.iter().map(|h| escape(h)).collect::<Vec<_>>().join(","));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&row.iter().map(|c| escape(c)).collect::<Vec<_>>().join(","));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+impl fmt::Display for Table {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "### {}", self.title)?;
+        writeln!(f)?;
+        writeln!(f, "*{}*", self.claim)?;
+        writeln!(f)?;
+        let widths: Vec<usize> = self
+            .header
+            .iter()
+            .enumerate()
+            .map(|(i, h)| {
+                self.rows.iter().map(|r| r[i].len()).chain([h.len()]).max().unwrap_or(0)
+            })
+            .collect();
+        let line = |cells: &[String], f: &mut fmt::Formatter<'_>| -> fmt::Result {
+            write!(f, "|")?;
+            for (c, w) in cells.iter().zip(&widths) {
+                write!(f, " {:<w$} |", c, w = w)?;
+            }
+            writeln!(f)
+        };
+        line(&self.header, f)?;
+        write!(f, "|")?;
+        for w in &widths {
+            write!(f, "{:-<w$}|", "", w = w + 2)?;
+        }
+        writeln!(f)?;
+        for row in &self.rows {
+            line(row, f)?;
+        }
+        Ok(())
+    }
+}
+
+/// Formats a float with 2 decimals.
+pub fn f2(x: f64) -> String {
+    format!("{x:.2}")
+}
+
+/// Formats a count with thousands separators.
+pub fn big(x: usize) -> String {
+    let s = x.to_string();
+    let mut out = String::new();
+    for (i, c) in s.chars().enumerate() {
+        if i > 0 && (s.len() - i).is_multiple_of(3) {
+            out.push('_');
+        }
+        out.push(c);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_markdown() {
+        let mut t = Table::new("T", "claim", &["a", "bb"]);
+        t.push(vec!["1".into(), "2".into()]);
+        let s = t.to_string();
+        assert!(s.contains("### T"));
+        assert!(s.contains("| a | bb |"));
+        assert!(s.contains("| 1 | 2  |"));
+    }
+
+    #[test]
+    fn big_inserts_separators() {
+        assert_eq!(big(1_234_567), "1_234_567");
+        assert_eq!(big(42), "42");
+        assert_eq!(big(1000), "1_000");
+    }
+
+    #[test]
+    #[should_panic(expected = "row width mismatch")]
+    fn row_width_checked() {
+        let mut t = Table::new("T", "c", &["a"]);
+        t.push(vec!["1".into(), "2".into()]);
+    }
+}

@@ -1,0 +1,3 @@
+//! Baseline algorithms for the comparison experiments (E8).
+
+pub mod mpc_label_prop;

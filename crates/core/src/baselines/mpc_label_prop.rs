@@ -1,0 +1,138 @@
+//! Classic MPC baseline: synchronous min-label propagation.
+//!
+//! In the (non-adaptive) MPC model a machine only sees the messages it
+//! received, so component labels spread one hop per round and connectivity
+//! needs `Θ(D)` rounds (or `Θ(log D)` with graph exponentiation, at a
+//! super-linear space cost — exactly the trade-off the paper's introduction
+//! discusses: under the 1-vs-2-cycles conjecture `Ω(log D)` is optimal for
+//! MPC, while the AMPC DHT removes the dependence on `D` entirely).
+//!
+//! Both variants are provided for experiment E8:
+//! * [`min_label_propagation`] — one hop per round, linear total space;
+//! * [`exponentiated_propagation`] — pointer doubling over current labels,
+//!   `O(log n)` rounds, but the label-graph densification mirrors why MPC
+//!   round compression needs `ω(n)` space.
+
+use ampc_graph::{Graph, Labeling, VertexId};
+
+/// Result of an MPC baseline run.
+#[derive(Debug, Clone)]
+pub struct MpcRunResult {
+    /// The computed CC-labeling.
+    pub labeling: Labeling,
+    /// Synchronous MPC rounds used.
+    pub rounds: usize,
+    /// Total messages sent (words) across all rounds — the MPC analogue of
+    /// total communication.
+    pub total_messages: usize,
+}
+
+/// Min-label propagation: every vertex repeatedly adopts the minimum label
+/// in its closed neighborhood until fixpoint. `Θ(D)` rounds, `O(m)` words
+/// per round.
+pub fn min_label_propagation(g: &Graph) -> MpcRunResult {
+    let n = g.n();
+    let mut labels: Vec<u64> = (0..n as u64).collect();
+    let mut rounds = 0usize;
+    let mut total_messages = 0usize;
+    loop {
+        let mut next = labels.clone();
+        let mut changed = false;
+        for v in 0..n as VertexId {
+            for &w in g.neighbors(v) {
+                total_messages += 1;
+                if labels[w as usize] < next[v as usize] {
+                    next[v as usize] = labels[w as usize];
+                    changed = true;
+                }
+            }
+        }
+        rounds += 1;
+        labels = next;
+        if !changed {
+            break;
+        }
+        assert!(rounds <= 2 * n + 2, "propagation failed to converge");
+    }
+    MpcRunResult { labeling: Labeling(labels), rounds, total_messages }
+}
+
+/// Label propagation with pointer doubling: each round every vertex adopts
+/// `min(label[v], label[label[v]], min over neighbors' labels)`. Converges
+/// in `O(log n)` rounds; message volume per round includes the label
+/// indirections.
+pub fn exponentiated_propagation(g: &Graph) -> MpcRunResult {
+    let n = g.n();
+    let mut labels: Vec<u64> = (0..n as u64).collect();
+    let mut rounds = 0usize;
+    let mut total_messages = 0usize;
+    loop {
+        let mut next = labels.clone();
+        let mut changed = false;
+        for v in 0..n {
+            // Neighbor minimum (one message per edge endpoint)…
+            for &w in g.neighbors(v as VertexId) {
+                total_messages += 1;
+                next[v] = next[v].min(labels[w as usize]);
+            }
+            // …then hook to the label's label (pointer doubling).
+            total_messages += 1;
+            let ll = labels[labels[v] as usize];
+            next[v] = next[v].min(ll);
+        }
+        if next != labels {
+            changed = true;
+        }
+        labels = next;
+        rounds += 1;
+        if !changed {
+            break;
+        }
+        assert!(rounds <= 4 * (n.max(2) as f64).log2() as usize + 16, "doubling failed");
+    }
+    MpcRunResult { labeling: Labeling(labels), rounds, total_messages }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ampc_graph::generators::{erdos_renyi_gnm, grid2d, path};
+    use ampc_graph::reference_components;
+
+    #[test]
+    fn both_variants_correct() {
+        for g in [erdos_renyi_gnm(500, 1200, 1), grid2d(20, 25), path(300)] {
+            let truth = reference_components(&g);
+            assert!(min_label_propagation(&g).labeling.same_partition(&truth));
+            assert!(exponentiated_propagation(&g).labeling.same_partition(&truth));
+        }
+    }
+
+    #[test]
+    fn propagation_pays_diameter_rounds() {
+        // A path of length L needs ≈ L rounds — the MPC pain point.
+        let g = path(400);
+        let res = min_label_propagation(&g);
+        assert!(res.rounds >= 399, "only {} rounds on a 400-path", res.rounds);
+    }
+
+    #[test]
+    fn doubling_pays_log_rounds() {
+        let g = path(4096);
+        let res = exponentiated_propagation(&g);
+        assert!(
+            res.rounds <= 40,
+            "doubling took {} rounds on a 4096-path",
+            res.rounds
+        );
+        assert!(res.rounds >= 10);
+    }
+
+    #[test]
+    fn isolated_vertices_keep_own_labels() {
+        let g = Graph::empty(10);
+        let res = min_label_propagation(&g);
+        assert_eq!(res.labeling.num_components(), 10);
+        assert_eq!(res.rounds, 1);
+    }
+}

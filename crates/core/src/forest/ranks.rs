@@ -1,0 +1,124 @@
+//! The truncated geometric rank distribution `π_B` (Figure 1) and its
+//! coin-tossing characterization (Claim 3.11).
+//!
+//! `π_B(i) = C_B / 2^i` for `i ∈ {1, …, B}`, `C_B = 1 / (1 − 2^{−B})`.
+//! Claim 3.4 shows this is a probability distribution; Claim 3.11 shows it
+//! equals the law of the following game: start with `q = 1`, repeatedly
+//! toss a fair coin, on success set `q ← (q mod B) + 1`, on failure stop
+//! and output `q`. Both samplers are implemented; a property test checks
+//! they agree in distribution.
+
+use ampc::rng::SplitMix64;
+
+/// Samples a rank from `π_B` by CDF inversion. `B` must be in `1..=64`
+/// (ranks are packed into 16 pointer bits; the paper caps `B` at
+/// `ε·log(n)/100` which is far below `2^16` for every feasible input).
+pub fn sample_rank(rng: &mut SplitMix64, b: u16) -> u16 {
+    assert!((1..=64).contains(&b), "rank width B={b} outside supported range");
+    let u = rng.next_f64();
+    // CDF(i) = C_B · (1 − 2^{−i}); find the smallest i with CDF(i) > u.
+    let cb = 1.0 / (1.0 - 0.5f64.powi(b as i32));
+    let mut acc = 0.0;
+    for i in 1..=b {
+        acc += cb * 0.5f64.powi(i as i32);
+        if u < acc {
+            return i;
+        }
+    }
+    b
+}
+
+/// Samples a rank via the coin-tossing game of Claim 3.11.
+pub fn sample_rank_coin_game(rng: &mut SplitMix64, b: u16) -> u16 {
+    assert!((1..=64).contains(&b));
+    let mut q: u16 = 1;
+    while rng.bernoulli(0.5) {
+        q = (q % b) + 1;
+    }
+    q
+}
+
+/// Exact probability `π_B(i)`.
+pub fn pi_b(i: u16, b: u16) -> f64 {
+    if i == 0 || i > b {
+        return 0.0;
+    }
+    let cb = 1.0 / (1.0 - 0.5f64.powi(b as i32));
+    cb * 0.5f64.powi(i as i32)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ampc::rng::stream;
+
+    #[test]
+    fn pi_b_is_a_distribution() {
+        // Claim 3.4: Σ_i π_B(i) = 1 for every B.
+        for b in 1..=64 {
+            let total: f64 = (1..=b).map(|i| pi_b(i, b)).sum();
+            assert!((total - 1.0).abs() < 1e-12, "B={b} sums to {total}");
+        }
+    }
+
+    #[test]
+    fn empirical_rank_frequencies_match_pi_b() {
+        let b = 6;
+        let trials = 200_000;
+        let mut counts = vec![0usize; b as usize + 1];
+        let mut rng = stream(99, 0, 0, 0);
+        for _ in 0..trials {
+            counts[sample_rank(&mut rng, b) as usize] += 1;
+        }
+        for i in 1..=b {
+            let expected = pi_b(i, b);
+            let observed = counts[i as usize] as f64 / trials as f64;
+            assert!(
+                (observed - expected).abs() < 0.01,
+                "rank {i}: observed {observed:.4}, expected {expected:.4}"
+            );
+        }
+    }
+
+    #[test]
+    fn coin_game_matches_pi_b_distribution() {
+        // Claim 3.11: the coin game has law π_B.
+        let b = 4;
+        let trials = 200_000;
+        let mut inv = vec![0usize; b as usize + 1];
+        let mut game = vec![0usize; b as usize + 1];
+        let mut rng1 = stream(7, 1, 0, 0);
+        let mut rng2 = stream(7, 2, 0, 0);
+        for _ in 0..trials {
+            inv[sample_rank(&mut rng1, b) as usize] += 1;
+            game[sample_rank_coin_game(&mut rng2, b) as usize] += 1;
+        }
+        for i in 1..=b as usize {
+            let a = inv[i] as f64 / trials as f64;
+            let g = game[i] as f64 / trials as f64;
+            assert!((a - g).abs() < 0.01, "rank {i}: inversion {a:.4} vs game {g:.4}");
+        }
+    }
+
+    #[test]
+    fn ranks_always_in_range() {
+        let mut rng = stream(3, 0, 0, 0);
+        for b in [1u16, 2, 8, 16] {
+            for _ in 0..1000 {
+                let r = sample_rank(&mut rng, b);
+                assert!((1..=b).contains(&r));
+                let g = sample_rank_coin_game(&mut rng, b);
+                assert!((1..=b).contains(&g));
+            }
+        }
+    }
+
+    #[test]
+    fn b_equals_one_is_deterministic() {
+        let mut rng = stream(5, 0, 0, 0);
+        for _ in 0..100 {
+            assert_eq!(sample_rank(&mut rng, 1), 1);
+            assert_eq!(sample_rank_coin_game(&mut rng, 1), 1);
+        }
+    }
+}

@@ -1,0 +1,245 @@
+//! `ShrinkLargeCycles` — capping the maximum cycle length (Lemma 3.2).
+//!
+//! The paper cites [BDE+21, Corollary 8.1]: a CC-shrinking algorithm that
+//! reduces every cycle to length `O(n^ε)` w.h.p. in `O(1)` AMPC rounds and
+//! optimal space. The cited construction is not restated in the paper, so
+//! we implement a sampling-based equivalent with the same interface (see
+//! DESIGN.md, substitutions):
+//!
+//! Repeat `O(1)` times (the repetition count depends only on `ε`):
+//!  1. every alive vertex marks itself independently with probability `ρ`;
+//!  2. every *marked* vertex walks forward to the next marked vertex
+//!     (capped at the machine budget) and contracts the unmarked segment
+//!     behind it.
+//!
+//! With `ρ = c·ln(n)/L` each inter-mark gap is `≤ L` w.h.p., so walks stay
+//! within budget, and each repetition multiplies cycle lengths by `≈ ρ`.
+//! After `r` repetitions lengths are `≈ n·ρ^r ≤ L` for a constant `r`.
+//! Cycles that happen to receive no mark are untouched — they are already
+//! shorter than `L` w.h.p. A walk that hits its cap abstains entirely, so
+//! the pointer structure stays consistent even in the improbable tail.
+
+use std::collections::HashSet;
+
+use ampc::{AmpcResult, Key};
+
+use crate::cycles::{pack, unpack, CycleState, BWD, FWD, PARENT, STAMP};
+
+/// Measurements of a `ShrinkLargeCycles` invocation.
+#[derive(Debug, Clone)]
+pub struct ShrinkLargeOutcome {
+    /// Sampling probability used per repetition.
+    pub rho: f64,
+    /// Number of mark-and-jump repetitions executed.
+    pub repetitions: usize,
+    /// Vertices contracted away in total.
+    pub contracted: usize,
+    /// AMPC rounds consumed.
+    pub rounds: usize,
+    /// DHT queries issued.
+    pub queries: usize,
+}
+
+/// Runs the length-capping procedure with target maximum cycle length
+/// `target_len` and per-walk budget `walk_cap` (walks are capped at
+/// `min(walk_cap, 4·target_len)`).
+pub fn shrink_large_cycles(
+    state: &mut CycleState,
+    target_len: usize,
+    walk_cap: usize,
+) -> AmpcResult<ShrinkLargeOutcome> {
+    let n0 = state.n0.max(2) as f64;
+    let target = target_len.max(4);
+    let rho = (4.0 * n0.ln() / target as f64).min(1.0);
+    // Lengths shrink by ≈ρ per repetition; stop when n·ρ^r ≤ target.
+    let repetitions = if rho >= 1.0 || state.n0 <= target {
+        0 // every cycle is already within the target (or ρ degenerates)
+    } else {
+        let r = (n0.ln() - (target as f64).ln()) / -(rho.ln());
+        (r.ceil() as usize + 1).min(12)
+    };
+    let cap = walk_cap.min(4 * target);
+
+    let queries_before = state.sys.stats().total_queries();
+    let rounds_before = state.sys.stats().rounds();
+    let mut contracted = 0usize;
+
+    for rep in 0..repetitions {
+        // Round A: sample marks into the pointer words.
+        let alive = state.alive.clone();
+        state.sys.round("slc-mark", &alive, |ctx, &v| {
+            let (succ, rank, _) = unpack(*ctx.read(Key::new(FWD, v)).expect("alive"));
+            let mark = ctx.rng(rep as u64, v).bernoulli(rho);
+            ctx.write(Key::new(FWD, v), pack(succ, rank, mark));
+            None::<()>
+        })?;
+
+        // Round B: marked vertices jump to the next mark, contracting the
+        // unmarked segment in between.
+        let jump = state.sys.round("slc-jump", &alive, |ctx, &v| {
+            let (succ, _, marked) = unpack(*ctx.read(Key::new(FWD, v)).expect("alive"));
+            if !marked {
+                return None;
+            }
+            let mut interior = Vec::new();
+            let mut cur = succ;
+            loop {
+                if cur == v {
+                    // Whole cycle walked: v is the only mark. If the cycle
+                    // is already within the target, leave it alone — the
+                    // cited primitive only shrinks *long* cycles, and
+                    // freezing short ones preserves the `n' > n/log n`
+                    // regime in which Algorithm 1's main loop operates.
+                    if interior.len() < target {
+                        return None;
+                    }
+                    break;
+                }
+                let (next, _, mark) = unpack(*ctx.read(Key::new(FWD, cur)).expect("alive"));
+                if mark {
+                    break;
+                }
+                interior.push(cur);
+                if interior.len() >= cap {
+                    return None; // cap hit (w.h.p. never): abstain entirely
+                }
+                cur = next;
+            }
+            if interior.is_empty() {
+                return None;
+            }
+            for &x in &interior {
+                ctx.write(Key::new(PARENT, x), v);
+                ctx.delete(Key::new(FWD, x));
+                ctx.delete(Key::new(BWD, x));
+                ctx.delete(Key::new(STAMP, x));
+            }
+            // Rewire across the segment. `cur` is the next mark (or v
+            // itself when the whole cycle collapsed into v).
+            let collapsed = cur == v;
+            ctx.write(Key::new(FWD, v), pack(cur, 0, true));
+            ctx.write(Key::new(BWD, cur), pack(v, 0, false));
+            Some((v, interior, collapsed))
+        })?;
+
+        let mut dead: HashSet<u64> = HashSet::new();
+        let mut done: Vec<u64> = Vec::new();
+        for (v, interior, collapsed) in jump.results {
+            contracted += interior.len();
+            dead.extend(interior);
+            if collapsed {
+                // The whole cycle folded into its only marked vertex.
+                dead.insert(v);
+                done.push(v);
+            }
+        }
+        state.retire(&dead, &done);
+    }
+
+    Ok(ShrinkLargeOutcome {
+        rho,
+        repetitions,
+        contracted,
+        rounds: state.sys.stats().rounds() - rounds_before,
+        queries: state.sys.stats().total_queries() - queries_before,
+    })
+}
+
+/// Host-side audit: maximum alive cycle length, walked over the snapshot.
+/// Used by tests and experiments (not an AMPC operation).
+pub fn max_cycle_length(state: &CycleState) -> usize {
+    let mut seen: HashSet<u64> = HashSet::new();
+    let mut max_len = 0;
+    for &v in &state.alive {
+        if seen.contains(&v) {
+            continue;
+        }
+        let mut len = 0;
+        let mut cur = v;
+        loop {
+            seen.insert(cur);
+            len += 1;
+            let w = state.sys.snapshot().get(Key::new(FWD, cur)).expect("alive pointer");
+            cur = unpack(*w).0;
+            if cur == v {
+                break;
+            }
+        }
+        max_len = max_len.max(len);
+    }
+    max_len
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ampc::AmpcConfig;
+
+    fn ring_state(n: usize, seed: u64) -> CycleState {
+        let succ: Vec<u64> = (0..n as u64).map(|i| (i + 1) % n as u64).collect();
+        CycleState::from_successors(&succ, AmpcConfig::default().with_machines(4).with_seed(seed))
+    }
+
+    #[test]
+    fn long_cycle_gets_capped() {
+        let n = 50_000;
+        let mut st = ring_state(n, 1);
+        let target = 256;
+        let out = shrink_large_cycles(&mut st, target, 1 << 20).unwrap();
+        assert!(out.contracted > 0);
+        let max_len = max_cycle_length(&st);
+        // W.h.p. within a small constant of the target.
+        assert!(max_len <= 4 * target, "max cycle length {max_len} vs target {target}");
+        assert!(st.alive.len() < n / 10, "only {} of {n} contracted", n - st.alive.len());
+    }
+
+    #[test]
+    fn constant_rounds() {
+        let mut st = ring_state(100_000, 2);
+        let out = shrink_large_cycles(&mut st, 512, 1 << 20).unwrap();
+        // O(1): two rounds per repetition, constant repetitions.
+        assert!(out.rounds <= 24, "rounds {}", out.rounds);
+        assert_eq!(out.rounds, 2 * out.repetitions);
+    }
+
+    #[test]
+    fn parent_chains_stay_within_cycle() {
+        // After shrinking, composing labels must keep the two cycles apart.
+        let a = 3_000usize;
+        let b = 2_000usize;
+        let mut succ: Vec<u64> = (0..a as u64).map(|i| (i + 1) % a as u64).collect();
+        succ.extend((0..b as u64).map(|i| a as u64 + (i + 1) % b as u64));
+        let mut st =
+            CycleState::from_successors(&succ, AmpcConfig::default().with_machines(4).with_seed(3));
+        let out = shrink_large_cycles(&mut st, 64, 1 << 20).unwrap();
+        let labels = st.compose_labels(out.repetitions + 4).unwrap();
+        // Every original vertex's chain ends at an alive vertex of its own cycle.
+        for x in 0..(a + b) {
+            let root = labels[x] as usize;
+            assert_eq!(root < a, x < a, "vertex {x} mapped across cycles to {root}");
+        }
+    }
+
+    #[test]
+    fn short_cycles_untouched_when_target_large() {
+        let mut st = ring_state(64, 4);
+        let out = shrink_large_cycles(&mut st, 4096, 1 << 20).unwrap();
+        // Target beyond the cycle length → rho would exceed 1 → no-op.
+        assert_eq!(out.repetitions, 0);
+        assert_eq!(st.alive.len(), 64);
+    }
+
+    #[test]
+    fn total_queries_linearish() {
+        // Each repetition costs O(alive) queries: marked walks partition
+        // the cycle, so walk lengths sum to ≈ alive.
+        let n = 40_000;
+        let mut st = ring_state(n, 5);
+        let out = shrink_large_cycles(&mut st, 200, 1 << 20).unwrap();
+        let per_rep = out.queries as f64 / out.repetitions.max(1) as f64;
+        assert!(
+            per_rep < 4.0 * n as f64,
+            "queries per repetition {per_rep} not linear in n={n}"
+        );
+    }
+}

@@ -1,0 +1,555 @@
+//! `ShrinkSmallCycles(G, B)` — Figure 1 of the paper.
+//!
+//! One *iteration* runs four AMPC rounds over the alive cycle vertices:
+//!
+//! 1. **ranks** — every vertex samples a rank from the truncated geometric
+//!    distribution `π_B` and publishes it (packed into its pointer words);
+//!    rank stamps are reset.
+//! 2. **probe** (Step 1, traversal) — every vertex traverses the cycle in
+//!    both directions until it meets a vertex of equal-or-higher rank,
+//!    *stamping* every vertex it encounters with its own rank (merge-max
+//!    writes). A vertex that loops back to itself is the unique maximum of
+//!    its cycle and contracts the whole cycle immediately.
+//! 3. **contract** (Step 1, contraction) — each vertex compares its rank
+//!    with the maximum stamp it received; the highest-rank vertices are the
+//!    cycle's *leaders* (Claim 3.9 shows everyone is stamped with the cycle
+//!    maximum). For each pair of adjacent leaders, the one with the higher
+//!    id contracts the strictly-lower-rank segment between them and
+//!    re-links the cycle across it.
+//! 4. **step2** (Step 2, deterministic) — every surviving vertex explores
+//!    its `16B`-hop neighborhood. If the neighborhood contains the whole
+//!    cycle and the vertex has the highest id, it contracts the whole
+//!    cycle; otherwise, if it has the highest id in the neighborhood, it
+//!    contracts its `4B`-hop neighborhood (`8B` vertices — Lemma 3.8's
+//!    guaranteed removal of `min{8B, k}` vertices, which defeats the
+//!    additive `2^B` term of Lemma 3.10 on short cycles).
+//!
+//! ### Write-conflict freedom
+//!
+//! Pointer rewrites are assigned so every DHT key has at most one writer
+//! per round: in round 3 the *segment owner* writes both endpoints' facing
+//! pointers (`FWD` of the tail, `BWD` of the head); in round 4 compressors
+//! are pairwise `> 16B` apart (each is the id-maximum of its `16B`-hop
+//! neighborhood) while each rewires only `4B + 1` hops away, so their
+//! updates cannot touch the same vertex. Stamps use merge-max writes, which
+//! commute.
+
+use std::collections::HashSet;
+
+use ampc::{AmpcResult, Key, MachineCtx};
+
+use crate::cycles::{pack, unpack, CycleState, BWD, FWD, PARENT, STAMP};
+use crate::forest::ranks::sample_rank;
+
+/// Per-iteration measurements used by experiments E3 (query complexity) and
+/// E4 (vertex drop).
+#[derive(Debug, Clone)]
+pub struct IterationOutcome {
+    /// Rank width `B` used this iteration.
+    pub b: u16,
+    /// Alive cycle vertices entering the iteration.
+    pub alive_before: usize,
+    /// Alive cycle vertices after the iteration.
+    pub alive_after: usize,
+    /// Vertices removed by the whole-cycle loop case of Step 1.
+    pub loop_contracted: usize,
+    /// Vertices removed by leader segment contraction (Step 1).
+    pub segment_contracted: usize,
+    /// Vertices removed by the deterministic Step 2.
+    pub step2_contracted: usize,
+    /// Cycles that finished (reduced to a single representative).
+    pub finished_cycles: usize,
+    /// DHT queries issued during the iteration.
+    pub queries: usize,
+    /// AMPC rounds consumed (constant: 4, or 3 with Step 2 disabled).
+    pub rounds: usize,
+}
+
+/// Result of one probe (round 2) for one vertex.
+enum ProbeOutcome {
+    /// Unique cycle maximum: contracted the whole cycle; lists the removed.
+    Loop { leader: u64, removed: Vec<u64> },
+}
+
+/// Result of round 3 / round 4 for one vertex.
+enum ContractOutcome {
+    /// Vertices this machine contracted away.
+    Removed(Vec<u64>),
+    /// Whole cycle contracted into `leader`; `removed` lists the rest.
+    Done { leader: u64, removed: Vec<u64> },
+}
+
+/// Walks one step in direction `space` (FWD or BWD), returning
+/// `(next_vertex, rank_of_current)` as stored at `cur`.
+#[inline]
+fn read_link(ctx: &mut MachineCtx<'_, u64>, space: ampc::Space, cur: u64) -> (u64, u16) {
+    let word = *ctx.read(Key::new(space, cur)).expect("alive vertex must have pointers");
+    let (next, rank, _) = unpack(word);
+    (next, rank)
+}
+
+/// Executes one `ShrinkSmallCycles(G', B)` iteration on `state`.
+///
+/// `walk_cap` bounds any single traversal (the paper guarantees `n^ε`-length
+/// cycles after `ShrinkLargeCycles`, so the cap is never reached there; on a
+/// cap hit the traversal safely abstains from contracting). `enable_step2`
+/// exists for the E9 ablation.
+pub fn shrink_small_cycles(
+    state: &mut CycleState,
+    b: u16,
+    walk_cap: usize,
+    enable_step2: bool,
+) -> AmpcResult<IterationOutcome> {
+    let alive_before = state.alive.len();
+    let queries_before = state.sys.stats().total_queries();
+    let rounds_before = state.sys.stats().rounds();
+
+    // Round 1: sample ranks, publish them in both pointer words, reset stamps.
+    let alive = state.alive.clone();
+    state.sys.round("ssc-ranks", &alive, |ctx, &v| {
+        let (succ, _, _) = unpack(*ctx.read(Key::new(FWD, v)).expect("alive"));
+        let (pred, _, _) = unpack(*ctx.read(Key::new(BWD, v)).expect("alive"));
+        let rank = sample_rank(&mut ctx.rng(0, v), b);
+        ctx.write(Key::new(FWD, v), pack(succ, rank, false));
+        ctx.write(Key::new(BWD, v), pack(pred, rank, false));
+        ctx.write(Key::new(STAMP, v), 0);
+        None::<()>
+    })?;
+
+    // Round 2: probe + stamp; unique maxima contract their whole cycle.
+    let probe = state.sys.round("ssc-probe", &alive, |ctx, &v| {
+        let (succ, my_rank) = read_link(ctx, FWD, v);
+        // Forward traversal.
+        let mut visited = Vec::new();
+        let mut cur = succ;
+        let mut looped = false;
+        loop {
+            if cur == v {
+                looped = true;
+                break;
+            }
+            let (next, rank) = read_link(ctx, FWD, cur);
+            ctx.write_merge(Key::new(STAMP, cur), my_rank as u64);
+            if rank >= my_rank {
+                break;
+            }
+            visited.push(cur);
+            if visited.len() >= walk_cap {
+                break;
+            }
+            cur = next;
+        }
+        if looped {
+            // Case (i) of Step 1: v looped back to itself → v is the unique
+            // maximum; contract the whole cycle into v.
+            for &x in &visited {
+                ctx.write(Key::new(PARENT, x), v);
+                ctx.delete(Key::new(FWD, x));
+                ctx.delete(Key::new(BWD, x));
+                ctx.delete(Key::new(STAMP, x));
+            }
+            ctx.write(Key::new(FWD, v), pack(v, 0, false));
+            ctx.write(Key::new(BWD, v), pack(v, 0, false));
+            return Some(ProbeOutcome::Loop { leader: v, removed: visited });
+        }
+        // Backward traversal (stamping only; the loop case cannot occur
+        // here without having occurred forward).
+        let (pred, _) = read_link(ctx, BWD, v);
+        let mut cur = pred;
+        let mut steps = 0usize;
+        loop {
+            if cur == v {
+                break;
+            }
+            let (next, rank) = read_link(ctx, BWD, cur);
+            ctx.write_merge(Key::new(STAMP, cur), my_rank as u64);
+            if rank >= my_rank {
+                break;
+            }
+            steps += 1;
+            if steps >= walk_cap {
+                break;
+            }
+            cur = next;
+        }
+        None
+    })?;
+
+    let mut loop_contracted = 0usize;
+    let mut finished_cycles = 0usize;
+    let mut dead: HashSet<u64> = HashSet::new();
+    let mut done_roots: Vec<u64> = Vec::new();
+    for out in probe.results {
+        let ProbeOutcome::Loop { leader, removed } = out;
+        loop_contracted += removed.len();
+        finished_cycles += 1;
+        dead.extend(removed);
+        dead.insert(leader);
+        done_roots.push(leader);
+    }
+    state.retire(&dead, &done_roots);
+
+    // Round 3: leaders contract the segments between them.
+    let alive = state.alive.clone();
+    let contract = state.sys.round("ssc-contract", &alive, |ctx, &v| {
+        let (succ, my_rank) = read_link(ctx, FWD, v);
+        let stamp = ctx.read(Key::new(STAMP, v)).copied().unwrap_or(0) as u16;
+        if stamp > my_rank {
+            return None; // not a leader; some leader will absorb this vertex
+        }
+        // Leader: find both neighboring leaders and the segments between.
+        let walk = |ctx: &mut MachineCtx<'_, u64>, space, start: u64| -> Option<(u64, Vec<u64>)> {
+            let mut interior = Vec::new();
+            let mut cur = start;
+            loop {
+                debug_assert_ne!(cur, v, "leader re-encountered itself; loop case should have fired");
+                let (next, rank) = read_link(ctx, space, cur);
+                if rank >= my_rank {
+                    return Some((cur, interior));
+                }
+                interior.push(cur);
+                if interior.len() >= walk_cap {
+                    return None; // cap hit: abstain (consistency preserved)
+                }
+                cur = next;
+            }
+        };
+        let fwd = walk(ctx, FWD, succ);
+        let (pred, _) = read_link(ctx, BWD, v);
+        let bwd = walk(ctx, BWD, pred);
+
+        let mut removed = Vec::new();
+        // Segment ownership: for adjacent leaders (v, u) the higher id
+        // contracts. The owner writes BOTH facing pointers of the segment's
+        // endpoints, so a capped/abstaining neighbor never leaves the cycle
+        // half-rewired.
+        if let Some((w_f, interior)) = fwd {
+            if v > w_f {
+                for &x in &interior {
+                    ctx.write(Key::new(PARENT, x), v);
+                    ctx.delete(Key::new(FWD, x));
+                    ctx.delete(Key::new(BWD, x));
+                    ctx.delete(Key::new(STAMP, x));
+                }
+                ctx.write(Key::new(FWD, v), pack(w_f, 0, false));
+                ctx.write(Key::new(BWD, w_f), pack(v, 0, false));
+                removed.extend(interior);
+            }
+        }
+        if let Some((w_b, interior)) = bwd {
+            if v > w_b {
+                for &x in &interior {
+                    ctx.write(Key::new(PARENT, x), v);
+                    ctx.delete(Key::new(FWD, x));
+                    ctx.delete(Key::new(BWD, x));
+                    ctx.delete(Key::new(STAMP, x));
+                }
+                ctx.write(Key::new(BWD, v), pack(w_b, 0, false));
+                ctx.write(Key::new(FWD, w_b), pack(v, 0, false));
+                removed.extend(interior);
+            }
+        }
+        if removed.is_empty() {
+            None
+        } else {
+            Some(ContractOutcome::Removed(removed))
+        }
+    })?;
+
+    let mut segment_contracted = 0usize;
+    let mut dead: HashSet<u64> = HashSet::new();
+    for out in contract.results {
+        if let ContractOutcome::Removed(r) = out {
+            segment_contracted += r.len();
+            dead.extend(r);
+        }
+    }
+    state.retire(&dead, &[]);
+
+    // Round 4 (Step 2): deterministic 16B-hop compression.
+    let mut step2_contracted = 0usize;
+    if enable_step2 {
+        let alive = state.alive.clone();
+        let hop16 = 16 * b as usize;
+        let hop4 = 4 * b as usize;
+        let step2 = state.sys.round("ssc-step2", &alive, |ctx, &v| {
+            // Forward 16B-hop scan.
+            let mut fwd = Vec::with_capacity(hop16);
+            let mut cur = read_link(ctx, FWD, v).0;
+            let mut looped = false;
+            while fwd.len() < hop16 {
+                if cur == v {
+                    looped = true;
+                    break;
+                }
+                fwd.push(cur);
+                cur = read_link(ctx, FWD, cur).0;
+            }
+            if looped {
+                // Whole cycle visible forward (k ≤ 16B).
+                return if fwd.iter().all(|&x| x < v) {
+                    for &x in &fwd {
+                        ctx.write(Key::new(PARENT, x), v);
+                        ctx.delete(Key::new(FWD, x));
+                        ctx.delete(Key::new(BWD, x));
+                        ctx.delete(Key::new(STAMP, x));
+                    }
+                    ctx.write(Key::new(FWD, v), pack(v, 0, false));
+                    ctx.write(Key::new(BWD, v), pack(v, 0, false));
+                    Some(ContractOutcome::Done { leader: v, removed: fwd })
+                } else {
+                    None
+                };
+            }
+            // Backward 16B-hop scan.
+            let mut bwd = Vec::with_capacity(hop16);
+            let mut cur = read_link(ctx, BWD, v).0;
+            while bwd.len() < hop16 {
+                debug_assert_ne!(cur, v, "backward loop without forward loop is impossible");
+                bwd.push(cur);
+                cur = read_link(ctx, BWD, cur).0;
+            }
+            // If the two scans overlap the neighborhood covers the whole
+            // cycle (16B < k ≤ 32B).
+            let fset: HashSet<u64> = fwd.iter().copied().collect();
+            if bwd.iter().any(|x| fset.contains(x)) {
+                let all: HashSet<u64> = fwd.iter().chain(bwd.iter()).copied().collect();
+                return if all.iter().all(|&x| x < v) {
+                    let removed: Vec<u64> = all.into_iter().collect();
+                    for &x in &removed {
+                        ctx.write(Key::new(PARENT, x), v);
+                        ctx.delete(Key::new(FWD, x));
+                        ctx.delete(Key::new(BWD, x));
+                        ctx.delete(Key::new(STAMP, x));
+                    }
+                    ctx.write(Key::new(FWD, v), pack(v, 0, false));
+                    ctx.write(Key::new(BWD, v), pack(v, 0, false));
+                    Some(ContractOutcome::Done { leader: v, removed })
+                } else {
+                    None
+                };
+            }
+            // k > 32B: compress the 4B-hop neighborhood if v is the highest
+            // id within 16B hops. Compressors are > 16B apart, so the 4B+1
+            // rewiring regions below never collide.
+            if fwd.iter().chain(bwd.iter()).all(|&x| x < v) {
+                let mut removed = Vec::with_capacity(2 * hop4);
+                removed.extend_from_slice(&fwd[..hop4]);
+                removed.extend_from_slice(&bwd[..hop4]);
+                for &x in &removed {
+                    ctx.write(Key::new(PARENT, x), v);
+                    ctx.delete(Key::new(FWD, x));
+                    ctx.delete(Key::new(BWD, x));
+                    ctx.delete(Key::new(STAMP, x));
+                }
+                let f_end = fwd[hop4];
+                let b_end = bwd[hop4];
+                ctx.write(Key::new(FWD, v), pack(f_end, 0, false));
+                ctx.write(Key::new(BWD, f_end), pack(v, 0, false));
+                ctx.write(Key::new(BWD, v), pack(b_end, 0, false));
+                ctx.write(Key::new(FWD, b_end), pack(v, 0, false));
+                return Some(ContractOutcome::Removed(removed));
+            }
+            None
+        })?;
+
+        let mut dead: HashSet<u64> = HashSet::new();
+        let mut done_roots: Vec<u64> = Vec::new();
+        for out in step2.results {
+            match out {
+                ContractOutcome::Removed(r) => {
+                    step2_contracted += r.len();
+                    dead.extend(r);
+                }
+                ContractOutcome::Done { leader, removed } => {
+                    step2_contracted += removed.len();
+                    finished_cycles += 1;
+                    dead.extend(removed);
+                    dead.insert(leader);
+                    done_roots.push(leader);
+                }
+            }
+        }
+        state.retire(&dead, &done_roots);
+    }
+
+    Ok(IterationOutcome {
+        b,
+        alive_before,
+        alive_after: state.alive.len(),
+        loop_contracted,
+        segment_contracted,
+        step2_contracted,
+        finished_cycles,
+        queries: state.sys.stats().total_queries() - queries_before,
+        rounds: state.sys.stats().rounds() - rounds_before,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ampc::AmpcConfig;
+
+    fn ring(n: usize) -> Vec<u64> {
+        (0..n as u64).map(|i| (i + 1) % n as u64).collect()
+    }
+
+    fn state_of(succ: Vec<u64>, seed: u64) -> CycleState {
+        CycleState::from_successors(&succ, AmpcConfig::default().with_machines(4).with_seed(seed))
+    }
+
+    /// Drives iterations until everything contracts, then checks that the
+    /// PARENT forest maps every vertex to its cycle's representative.
+    fn run_to_completion(succ: Vec<u64>, b: u16, seed: u64) -> Vec<u64> {
+        let n = succ.len();
+        let mut st = state_of(succ, seed);
+        let mut guard = 0;
+        while !st.alive.is_empty() {
+            shrink_small_cycles(&mut st, b, 1 << 20, true).unwrap();
+            guard += 1;
+            assert!(guard < 64, "did not converge");
+        }
+        // Parent chains deepen by at most 3 per iteration (segment
+        // contraction, then Step 2, plus a possible same-round relay).
+        st.compose_labels(guard * 3 + 8).unwrap().into_iter().take(n).collect()
+    }
+
+    fn assert_cycles_labeled(succ: &[u64], labels: &[u64]) {
+        // Vertices on the same cycle of `succ` must share a label; vertices
+        // on different cycles must not.
+        let n = succ.len();
+        let mut cycle_id = vec![u64::MAX; n];
+        let mut next_id = 0;
+        for start in 0..n {
+            if cycle_id[start] != u64::MAX {
+                continue;
+            }
+            let mut cur = start;
+            while cycle_id[cur] == u64::MAX {
+                cycle_id[cur] = next_id;
+                cur = succ[cur] as usize;
+            }
+            next_id += 1;
+        }
+        for i in 0..n {
+            for j in (i + 1)..n {
+                assert_eq!(
+                    labels[i] == labels[j],
+                    cycle_id[i] == cycle_id[j],
+                    "vertices {i},{j}: labels {} {} cycles {} {}",
+                    labels[i],
+                    labels[j],
+                    cycle_id[i],
+                    cycle_id[j]
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn single_small_cycle_contracts() {
+        let succ = ring(10);
+        let labels = run_to_completion(succ.clone(), 2, 1);
+        assert_cycles_labeled(&succ, &labels);
+    }
+
+    #[test]
+    fn two_cycles_stay_separate() {
+        // Cycles {0..5} and {6..14}.
+        let mut succ: Vec<u64> = (0..6u64).map(|i| (i + 1) % 6).collect();
+        succ.extend((6..15u64).map(|i| if i == 14 { 6 } else { i + 1 }));
+        let labels = run_to_completion(succ.clone(), 2, 7);
+        assert_cycles_labeled(&succ, &labels);
+    }
+
+    #[test]
+    fn many_tiny_cycles_finish_in_one_iteration_via_step2() {
+        // 2-cycles everywhere: Step 2's whole-cycle case must finish them
+        // all in a single iteration (they fit in any 16B-hop neighborhood).
+        let n = 50;
+        let succ: Vec<u64> =
+            (0..n as u64).map(|i| if i % 2 == 0 { i + 1 } else { i - 1 }).collect();
+        let mut st = state_of(succ.clone(), 3);
+        let out = shrink_small_cycles(&mut st, 2, 1 << 20, true).unwrap();
+        assert!(st.alive.is_empty(), "alive left: {:?}", st.alive);
+        assert_eq!(out.finished_cycles, n / 2);
+    }
+
+    #[test]
+    fn step2_disabled_still_correct_but_slower() {
+        let succ = ring(64);
+        let n = succ.len();
+        let mut st = state_of(succ.clone(), 11);
+        let mut guard = 0;
+        while !st.alive.is_empty() && guard < 200 {
+            shrink_small_cycles(&mut st, 3, 1 << 20, false).unwrap();
+            guard += 1;
+        }
+        assert!(st.alive.is_empty(), "no-step2 run stalled");
+        let labels: Vec<u64> =
+            st.compose_labels(512).unwrap().into_iter().take(n).collect();
+        assert_cycles_labeled(&succ, &labels);
+    }
+
+    #[test]
+    fn large_cycle_shrinks_by_roughly_2_pow_b() {
+        // Lemma 3.12 (shape): one iteration on a long cycle should cut the
+        // vertex count by a factor in the vicinity of 2^B.
+        let n = 20_000;
+        let mut st = state_of(ring(n), 5);
+        let out = shrink_small_cycles(&mut st, 4, 1 << 20, true).unwrap();
+        let drop = out.alive_before as f64 / (out.alive_after.max(1)) as f64;
+        // 2^4 = 16; accept a generous band.
+        assert!(drop > 4.0, "drop factor {drop} too small");
+        assert!(out.alive_after < n / 4);
+    }
+
+    #[test]
+    fn query_complexity_near_4b_per_vertex() {
+        // Lemma 3.6/3.7 (shape): probe queries are O(B) per vertex.
+        let n = 10_000;
+        let mut st = state_of(ring(n), 9);
+        let b = 4;
+        let out = shrink_small_cycles(&mut st, b, 1 << 20, true).unwrap();
+        let per_vertex = out.queries as f64 / n as f64;
+        // Full iteration: probe (≤ ~4B expected) + contract + step2 (≤ 32B).
+        let bound = 40.0 * b as f64 + 16.0;
+        assert!(per_vertex < bound, "queries/vertex {per_vertex} exceeds {bound}");
+    }
+
+    #[test]
+    fn deterministic_across_machine_counts() {
+        let succ = ring(300);
+        let run = |machines: usize| -> Vec<u64> {
+            let mut st = CycleState::from_successors(
+                &succ,
+                AmpcConfig::default().with_machines(machines).with_seed(77),
+            );
+            shrink_small_cycles(&mut st, 3, 1 << 20, true).unwrap();
+            let mut alive = st.alive.clone();
+            alive.sort_unstable();
+            alive
+        };
+        assert_eq!(run(1), run(8));
+    }
+
+    #[test]
+    fn three_vertex_cycle_handles_all_rank_patterns() {
+        // Tiny cycles exercise loop case, tie-breaks, and Step 2 together.
+        for seed in 0..20 {
+            let succ = vec![1u64, 2, 0];
+            let labels = run_to_completion(succ.clone(), 2, seed);
+            assert_cycles_labeled(&succ, &labels);
+        }
+    }
+
+    #[test]
+    fn b_one_degenerate_rank_still_progresses() {
+        // B = 1 → all ranks equal → every vertex is a leader; Step 1 removes
+        // nothing, but Step 2 must still make progress (Lemma 3.8).
+        let succ = ring(40);
+        let labels = run_to_completion(succ.clone(), 1, 13);
+        assert_cycles_labeled(&succ, &labels);
+    }
+}

@@ -1,0 +1,8 @@
+//! Theorem 1.2 — general-graph connectivity in `2^O(k)` rounds with
+//! `O(m + n·log^(k) n)` total space per round.
+
+pub mod algorithm2;
+pub mod bdeplus;
+pub mod sampling;
+pub mod shrink_general;
+pub mod rooted_forest;

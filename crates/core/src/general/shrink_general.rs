@@ -1,0 +1,399 @@
+//! `ShrinkGeneral` — the CC-shrinking algorithm of Lemma 4.2.
+//!
+//! For a parameter `1 ≤ t = O(√S)`, outputs a graph `H` with
+//! `E[|V(H)|] = O(m/t)` and `|E(H)| = O(m)` in `O(1)` AMPC rounds using
+//! `O(m log t)` space in expectation. Following §4.3 (which extends
+//! Algorithm 1 of [BDE+20]):
+//!
+//! 1. transform `G` into `G3` of maximum degree 3 (vertex → cycle gadget);
+//! 2. give every vertex a uniformly random rank;
+//! 3. run a truncated BFS from every vertex `v`, stopping when (a) `t`
+//!    vertices have been explored, (b) the component is exhausted, or
+//!    (c) a vertex `w` of *lower* rank is reached — in which case a
+//!    directed super-edge `w → v` is created (i.e. `v`'s parent is `w`);
+//! 4. the super-edges form a forest of rooted trees and the probability of
+//!    being a root is `O(1/t)`; compute a CC-labeling of that forest and
+//!    return `Contract(G3, C)`.
+//!
+//! Claim 4.11 (the paper's improvement over [BDE+20]) says the BFS step
+//! costs `O(m log t)` expected total queries — measured by experiment E6.
+//!
+//! Step 4's rooted-forest labeling (Claim 4.12) is implemented as adaptive
+//! root-chasing with path compression: every vertex follows parent pointers
+//! (ranks strictly decrease along them, so chains are short — `O(log n)` in
+//! expectation) and rewrites its pointer to the furthest vertex reached if
+//! the walk is capped. One round suffices unless a chain exceeds the
+//! machine budget; the loop below charges exactly the rounds it uses. See
+//! DESIGN.md (substitutions) for why this preserves the cited interface.
+
+use ampc::{AmpcConfig, AmpcResult, AmpcSystem, DhtValue, Key, RunStats, Space};
+use ampc_graph::contract::contract;
+use ampc_graph::degree3::to_degree3;
+use ampc_graph::{Graph, VertexId};
+
+/// Keyspace: adjacency lists of `G3`.
+const ADJ: Space = 0;
+/// Keyspace: random vertex ranks.
+const RANK: Space = 1;
+/// Keyspace: super-edge parent pointers.
+const SUPER: Space = 2;
+
+/// DHT value for the general-graph algorithms: either an adjacency list or
+/// a scalar word.
+#[derive(Clone, Debug)]
+pub enum GVal {
+    /// Adjacency list (charged one word of header plus one per neighbor).
+    Adj(Vec<u64>),
+    /// A scalar (rank or parent pointer).
+    Num(u64),
+}
+
+impl GVal {
+    fn num(&self) -> u64 {
+        match self {
+            GVal::Num(x) => *x,
+            GVal::Adj(_) => panic!("expected scalar DHT value, found adjacency list"),
+        }
+    }
+}
+
+impl DhtValue for GVal {
+    fn words(&self) -> usize {
+        match self {
+            GVal::Adj(v) => 1 + v.len(),
+            GVal::Num(_) => 1,
+        }
+    }
+}
+
+/// Result of a `ShrinkGeneral` invocation.
+#[derive(Debug)]
+pub struct ShrinkGeneralOutcome {
+    /// The shrunk graph `H` (a contraction of `G3`, hence of `G`).
+    pub h: Graph,
+    /// Mapping from input vertices to `H` vertices (any gadget copy works:
+    /// copies of one vertex are connected in `G3`, so their classes lie in
+    /// one component of `H`).
+    pub to_h: Vec<VertexId>,
+    /// AMPC accounting for this invocation.
+    pub stats: RunStats,
+    /// Queries spent in the truncated-BFS round (Claim 4.11's `O(m log t)`).
+    pub bfs_queries: usize,
+    /// Number of super-edge roots (`E = O(m/t)` by Lemma 3.3 of [BDE+20]).
+    pub roots: usize,
+    /// Vertices of the degree-3 transform.
+    pub n3: usize,
+    /// Rounds spent chasing super-edge parents (1 unless chains exceeded
+    /// the budget).
+    pub chase_rounds: usize,
+}
+
+/// Strategy for labeling the super-edge rooted forest (Claim 4.12).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum RootResolution {
+    /// Adaptive parent chasing with path compression (default: chains
+    /// follow strictly decreasing ranks and are short in practice).
+    #[default]
+    Chase,
+    /// The full Claim 4.12 construction: Euler tour of the parent forest,
+    /// capped cycles, one whole-cycle sweep per marked root. Depth
+    /// independent — `O(1)` rounds even on adversarially deep forests.
+    EulerTour,
+}
+
+/// Runs `ShrinkGeneral(G, t)` with the default (chasing) root resolution.
+///
+/// `chase_cap` bounds each adaptive walk (use the machine budget `S`).
+pub fn shrink_general(
+    g: &Graph,
+    t: usize,
+    chase_cap: usize,
+    ampc_cfg: AmpcConfig,
+) -> AmpcResult<ShrinkGeneralOutcome> {
+    shrink_general_with(g, t, chase_cap, ampc_cfg, RootResolution::Chase)
+}
+
+/// Runs `ShrinkGeneral(G, t)` with an explicit root-resolution strategy.
+pub fn shrink_general_with(
+    g: &Graph,
+    t: usize,
+    chase_cap: usize,
+    ampc_cfg: AmpcConfig,
+    resolution: RootResolution,
+) -> AmpcResult<ShrinkGeneralOutcome> {
+    let t = t.max(1);
+    // Step 1: degree-3 transform (host-side cited primitive; charged).
+    let d3 = to_degree3(g);
+    let n3 = d3.graph.n();
+    let m3 = d3.graph.m();
+
+    let mut sys: AmpcSystem<GVal> = AmpcSystem::new(
+        ampc_cfg,
+        (0..n3).map(|v| {
+            let adj: Vec<u64> =
+                d3.graph.neighbors(v as VertexId).iter().map(|&w| w as u64).collect();
+            (Key::new(ADJ, v as u64), GVal::Adj(adj))
+        }),
+    );
+    sys.stats_mut().charge_external(1, 2 * g.m(), 2 * (g.n() + g.m()));
+
+    let items: Vec<u64> = (0..n3 as u64).collect();
+
+    // Step 2: random ranks.
+    sys.round("sg-ranks", &items, |ctx, &v| {
+        let r = ctx.rng(0, v).next_u64();
+        ctx.write(Key::new(RANK, v), GVal::Num(r));
+        None::<()>
+    })?;
+
+    // Step 3: truncated BFS from every vertex. Results report the created
+    // super-edges so the Euler-tour resolution can build the parent forest
+    // host-side (orchestration; the edges are also written to the DHT).
+    let bfs_before = sys.stats().total_queries();
+    let bfs = sys.round("sg-bfs", &items, |ctx, &v| {
+        let my_rank = ctx.read(Key::new(RANK, v)).expect("rank").num();
+        let me = (my_rank, v);
+        let mut queue = std::collections::VecDeque::from([v]);
+        let mut visited = std::collections::HashSet::from([v]);
+        let mut explored = 0usize;
+        while let Some(u) = queue.pop_front() {
+            // Stop (a): the search has explored t vertices (v itself counts,
+            // so t = 1 performs no expansion and every vertex is a root).
+            if explored + 1 >= t {
+                return None;
+            }
+            explored += 1;
+            let adj = match ctx.read(Key::new(ADJ, u)) {
+                Some(GVal::Adj(a)) => a.clone(),
+                _ => panic!("missing adjacency"),
+            };
+            for w in adj {
+                if !visited.insert(w) {
+                    continue;
+                }
+                let rw = ctx.read(Key::new(RANK, w)).expect("rank").num();
+                if (rw, w) < me {
+                    // Stop (c): lower-rank vertex reached → super-edge w → v.
+                    ctx.write(Key::new(SUPER, v), GVal::Num(w));
+                    return Some((v, w));
+                }
+                queue.push_back(w);
+            }
+        }
+        // Stop (b): component exhausted → v is a root.
+        None
+    })?;
+    let bfs_queries = sys.stats().total_queries() - bfs_before;
+
+    // Step 4: label the rooted super-edge forest (Claim 4.12).
+    let mut labels3 = vec![u64::MAX; n3];
+    let mut chase_rounds = 0usize;
+    match resolution {
+        RootResolution::EulerTour => {
+            let mut parents: Vec<Option<VertexId>> = vec![None; n3];
+            for (v, w) in bfs.results {
+                parents[v as usize] = Some(w as VertexId);
+            }
+            let sub_cfg = sys.config().clone().with_seed(sys.config().seed ^ 0xC412);
+            let out =
+                crate::general::rooted_forest::resolve_roots_euler(&parents, chase_cap, sub_cfg)?;
+            chase_rounds = out.traversal_rounds;
+            sys.stats_mut().absorb(&out.stats);
+            labels3.copy_from_slice(&out.labels);
+        }
+        RootResolution::Chase => {
+            let mut unresolved: Vec<u64> = items.clone();
+            while !unresolved.is_empty() {
+                chase_rounds += 1;
+                assert!(chase_rounds <= 32, "super-edge chains failed to resolve");
+                let out = sys.round("sg-chase", &unresolved, |ctx, &v| {
+                    let mut cur = v;
+                    for _ in 0..chase_cap.max(2) {
+                        match ctx.read(Key::new(SUPER, cur)) {
+                            Some(p) => cur = p.num(),
+                            None => return Some((v, Some(cur))), // reached a root
+                        }
+                    }
+                    // Budget exhausted: compress the path and retry next round.
+                    ctx.write(Key::new(SUPER, v), GVal::Num(cur));
+                    Some((v, None))
+                })?;
+                unresolved = out
+                    .results
+                    .into_iter()
+                    .filter_map(|(v, root)| match root {
+                        Some(r) => {
+                            labels3[v as usize] = r;
+                            None
+                        }
+                        None => Some(v),
+                    })
+                    .collect();
+            }
+        }
+    }
+    let roots = {
+        let mut rs: Vec<u64> = labels3.to_vec();
+        rs.sort_unstable();
+        rs.dedup();
+        rs.len()
+    };
+
+    // Contract(G3, C) — cited O(1)-round primitive, charged.
+    let contraction = contract(&d3.graph, &labels3);
+    sys.stats_mut().charge_external(1, 2 * m3, 2 * (n3 + m3));
+
+    // Map each input vertex through its first gadget copy.
+    let mut to_h = vec![VertexId::MAX; g.n()];
+    for (v3, &orig) in d3.origin.iter().enumerate() {
+        if to_h[orig as usize] == VertexId::MAX {
+            to_h[orig as usize] = contraction.class_of[v3];
+        }
+    }
+
+    let (_, stats) = sys.finish();
+    Ok(ShrinkGeneralOutcome {
+        h: contraction.graph,
+        to_h,
+        stats,
+        bfs_queries,
+        roots,
+        n3,
+        chase_rounds,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ampc_graph::generators::{erdos_renyi_gnm, grid2d, preferential_attachment};
+    use ampc_graph::{reference_components, Labeling};
+
+    fn cfg(seed: u64) -> AmpcConfig {
+        AmpcConfig::default().with_machines(4).with_seed(seed)
+    }
+
+    /// `ShrinkGeneral` must be CC-shrinking: labeling H + mapping → correct
+    /// labeling of G (Definition 2.1).
+    fn assert_cc_shrinking(g: &Graph, t: usize, seed: u64) -> ShrinkGeneralOutcome {
+        let out = shrink_general(g, t, 4096, cfg(seed)).unwrap();
+        let h_labels = reference_components(&out.h);
+        let g_labels: Vec<u64> =
+            out.to_h.iter().map(|&c| h_labels.get(c)).collect();
+        assert!(
+            Labeling(g_labels).same_partition(&reference_components(g)),
+            "composition broke components (t={t})"
+        );
+        out
+    }
+
+    #[test]
+    fn shrinks_er_graph_correctly() {
+        let g = erdos_renyi_gnm(500, 1200, 3);
+        for t in [1, 2, 4, 16, 64] {
+            assert_cc_shrinking(&g, t, t as u64);
+        }
+    }
+
+    #[test]
+    fn vertex_reduction_scales_with_t() {
+        // Lemma 4.2: E|V(H)| = O(m/t). Doubling t should roughly halve |V(H)|.
+        let g = erdos_renyi_gnm(4000, 10_000, 7);
+        let v4 = assert_cc_shrinking(&g, 4, 1).h.n();
+        let v32 = assert_cc_shrinking(&g, 32, 2).h.n();
+        assert!(
+            (v32 as f64) < (v4 as f64) * 0.4,
+            "t=32 gave {v32} vertices vs t=4 giving {v4}: no m/t scaling"
+        );
+    }
+
+    #[test]
+    fn root_probability_near_one_over_t() {
+        let g = erdos_renyi_gnm(3000, 9000, 11);
+        let t = 16usize;
+        let out = assert_cc_shrinking(&g, t, 5);
+        let rate = out.roots as f64 / out.n3 as f64;
+        // Lemma 3.3 of [BDE+20]: P(root) = O(1/t). Allow a small constant.
+        assert!(rate < 4.0 / t as f64, "root rate {rate} vs 1/t = {}", 1.0 / t as f64);
+    }
+
+    #[test]
+    fn bfs_queries_are_m_log_t_shaped() {
+        // Claim 4.11: expected BFS space O(m log t) — i.e. queries per G3
+        // vertex should grow like log t, not like t.
+        let g = erdos_renyi_gnm(4000, 8000, 13);
+        let q4 = assert_cc_shrinking(&g, 4, 1).bfs_queries as f64;
+        let q64 = assert_cc_shrinking(&g, 64, 1).bfs_queries as f64;
+        // t grew 16×; log t grew 3×; queries must stay well below 16×.
+        assert!(q64 < 6.0 * q4, "BFS queries {q4} → {q64}: grows like t, not log t");
+    }
+
+    #[test]
+    fn disconnected_graph_components_survive() {
+        let g = ampc_graph::generators::disjoint_cliques(10, 12);
+        let out = assert_cc_shrinking(&g, 8, 9);
+        assert!(reference_components(&out.h).num_components() == 10);
+    }
+
+    #[test]
+    fn grid_and_power_law_workloads() {
+        assert_cc_shrinking(&grid2d(30, 30), 8, 1);
+        assert_cc_shrinking(&preferential_attachment(800, 3, 2), 8, 2);
+    }
+
+    #[test]
+    fn t_equals_one_still_valid() {
+        // Degenerate t: every vertex is a root; H ≅ G3 contract-by-identity.
+        let g = erdos_renyi_gnm(200, 400, 17);
+        let out = assert_cc_shrinking(&g, 1, 3);
+        assert_eq!(out.h.n(), out.n3);
+    }
+
+    #[test]
+    fn edge_bound_preserved() {
+        // |E(H)| = O(m): contraction never adds edges.
+        let g = erdos_renyi_gnm(2000, 6000, 19);
+        let out = assert_cc_shrinking(&g, 16, 4);
+        assert!(out.h.m() <= g.m() + out.n3); // gadget cycle edges also shrink
+    }
+
+    #[test]
+    fn single_round_chase_in_practice() {
+        let g = erdos_renyi_gnm(3000, 6000, 23);
+        let out = assert_cc_shrinking(&g, 16, 6);
+        assert_eq!(out.chase_rounds, 1, "decreasing-rank chains should resolve in one round");
+    }
+
+    #[test]
+    fn euler_tour_resolution_matches_chase() {
+        // The Claim 4.12 construction and the chasing substitute must pick
+        // exactly the same roots (they label the same parent forest), hence
+        // produce identical shrunk graphs.
+        let g = erdos_renyi_gnm(1500, 4500, 29);
+        for t in [4usize, 16] {
+            let chase = shrink_general_with(
+                &g,
+                t,
+                4096,
+                cfg(31),
+                RootResolution::Chase,
+            )
+            .unwrap();
+            let euler = shrink_general_with(
+                &g,
+                t,
+                4096,
+                cfg(31),
+                RootResolution::EulerTour,
+            )
+            .unwrap();
+            assert_eq!(chase.h.n(), euler.h.n(), "t={t}");
+            assert_eq!(chase.to_h, euler.to_h, "t={t}");
+            // And the Euler variant is CC-shrinking in its own right.
+            let h_labels = reference_components(&euler.h);
+            let composed =
+                Labeling(euler.to_h.iter().map(|&c| h_labels.get(c)).collect());
+            assert!(composed.same_partition(&reference_components(&g)));
+        }
+    }
+}

@@ -1,0 +1,154 @@
+//! The maximum-degree-3 transform of §4.3.
+//!
+//! `ShrinkGeneral` begins "by transforming the input graph G to a graph G3
+//! with maximum degree 3 … by replacing each vertex v of degree d > 3 with a
+//! cycle of length d. Each edge incident to v is then connected to a
+//! different vertex of the cycle."
+//!
+//! Connectivity is preserved (a gadget cycle is connected and carries its
+//! vertex's identity), so a CC-labeling of `G3` projects to one of `G`
+//! through [`Degree3::origin`].
+
+use crate::csr::{Graph, VertexId};
+
+/// Result of the degree-3 transform.
+#[derive(Clone, Debug)]
+pub struct Degree3 {
+    /// The transformed graph, `max_degree() <= 3`.
+    pub graph: Graph,
+    /// `origin[x]` = vertex of the input graph that `x` belongs to.
+    pub origin: Vec<VertexId>,
+}
+
+/// Applies the transform. Vertices of degree ≤ 3 are kept as single nodes;
+/// each vertex of degree `d > 3` becomes a `d`-cycle of gadget nodes, edge
+/// `i` of the vertex attaching to gadget node `i`.
+pub fn to_degree3(g: &Graph) -> Degree3 {
+    let n = g.n();
+
+    // Layout: vertex v occupies new ids base[v] .. base[v] + slots(v) - 1,
+    // where slots(v) = 1 for degree ≤ 3 and degree(v) otherwise.
+    let mut base = vec![0u32; n + 1];
+    for v in 0..n {
+        let d = g.degree(v as VertexId);
+        let slots = if d > 3 { d } else { 1 };
+        base[v + 1] = base[v] + slots as u32;
+    }
+    let n3 = base[n] as usize;
+
+    let mut origin = vec![0 as VertexId; n3];
+    for v in 0..n as VertexId {
+        for slot in base[v as usize]..base[v as usize + 1] {
+            origin[slot as usize] = v;
+        }
+    }
+
+    // Attachment point of edge slot j at vertex v.
+    let attach = |v: VertexId, j: usize| -> u32 {
+        if g.degree(v) > 3 {
+            base[v as usize] + j as u32
+        } else {
+            base[v as usize]
+        }
+    };
+
+    let mut edges: Vec<(u32, u32)> = Vec::with_capacity(g.m() + n3);
+    // Gadget cycles.
+    for v in 0..n as VertexId {
+        let d = g.degree(v);
+        if d > 3 {
+            for j in 0..d {
+                edges.push((base[v as usize] + j as u32, base[v as usize] + ((j + 1) % d) as u32));
+            }
+        }
+    }
+    // Cross edges: one per original edge, using each endpoint's slot for the
+    // other endpoint (its position in the sorted adjacency list).
+    for (u, v) in g.edges() {
+        let ju = g.neighbor_position(u, v).expect("CSR symmetric");
+        let jv = g.neighbor_position(v, u).expect("CSR symmetric");
+        edges.push((attach(u, ju), attach(v, jv)));
+    }
+
+    Degree3 { graph: Graph::from_edges(n3, &edges), origin }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{reference_components, Labeling};
+
+    #[test]
+    fn low_degree_graph_unchanged_in_size() {
+        let g = Graph::from_edges(4, &[(0, 1), (1, 2), (2, 3)]);
+        let t = to_degree3(&g);
+        assert_eq!(t.graph.n(), 4);
+        assert_eq!(t.graph.m(), 3);
+        assert!(t.graph.max_degree() <= 3);
+    }
+
+    #[test]
+    fn star_center_becomes_cycle() {
+        // Center of a 6-star has degree 5 → becomes a 5-cycle.
+        let g = Graph::from_edges(6, &[(0, 1), (0, 2), (0, 3), (0, 4), (0, 5)]);
+        let t = to_degree3(&g);
+        assert_eq!(t.graph.n(), 5 + 5); // 5 gadget nodes + 5 leaves
+        assert!(t.graph.max_degree() <= 3);
+        // All gadget nodes map back to vertex 0.
+        let zero_copies = t.origin.iter().filter(|&&o| o == 0).count();
+        assert_eq!(zero_copies, 5);
+    }
+
+    #[test]
+    fn transform_preserves_components() {
+        let g = Graph::from_edges(
+            12,
+            &[
+                (0, 1), (0, 2), (0, 3), (0, 4), (0, 5), // star (deg 5 center)
+                (6, 7), (7, 8), (8, 6), // triangle
+                (9, 10), // edge; 11 isolated
+            ],
+        );
+        let t = to_degree3(&g);
+        assert!(t.graph.max_degree() <= 3);
+        let l3 = reference_components(&t.graph);
+        // Project to the original vertex set.
+        let mut proj = vec![u64::MAX; g.n()];
+        for (x, &o) in t.origin.iter().enumerate() {
+            let lab = l3.get(x as VertexId);
+            if proj[o as usize] == u64::MAX {
+                proj[o as usize] = lab;
+            } else {
+                // All copies of one vertex must be in one G3 component.
+                assert_eq!(proj[o as usize], lab);
+            }
+        }
+        // Isolated original vertices stay as their own G3 vertex:
+        assert!(proj.iter().all(|&p| p != u64::MAX));
+        assert!(Labeling(proj).same_partition(&reference_components(&g)));
+    }
+
+    #[test]
+    fn degree4_vertex_splits() {
+        let g = Graph::from_edges(5, &[(0, 1), (0, 2), (0, 3), (0, 4)]);
+        let t = to_degree3(&g);
+        assert_eq!(t.graph.n(), 4 + 4);
+        assert!(t.graph.max_degree() <= 3);
+        assert!(reference_components(&t.graph).num_components() == 1);
+    }
+
+    #[test]
+    fn clique_transform_keeps_connectivity() {
+        let mut edges = Vec::new();
+        for u in 0..8u32 {
+            for v in (u + 1)..8 {
+                edges.push((u, v));
+            }
+        }
+        let g = Graph::from_edges(8, &edges);
+        let t = to_degree3(&g);
+        assert!(t.graph.max_degree() <= 3);
+        assert_eq!(reference_components(&t.graph).num_components(), 1);
+        assert_eq!(t.graph.n(), 8 * 7); // every vertex has degree 7 → 7-cycles
+    }
+}

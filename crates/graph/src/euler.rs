@@ -1,0 +1,220 @@
+//! Forests to cycles: the Euler-tour reduction of Observation 3.1.
+//!
+//! Following Tarjan–Vishkin (TV85) as used by the paper: replace each edge
+//! by two oppositely directed arcs; a vertex `v` of degree `d` splits into
+//! `d` copies `v_0 … v_{d-1}`, where copy `v_j` represents the arc entering
+//! `v` from its `j`-th neighbor. The successor of the arc entering `v` from
+//! neighbor `j` is the arc leaving `v` to neighbor `(j+1) mod d` — i.e. the
+//! arc entering that neighbor from `v`. On a forest this decomposes the arc
+//! set into one cycle per tree: a tree on `k > 1` vertices becomes a cycle
+//! of length `2k − 2`.
+//!
+//! This is a **CC-shrinking** step in the paper's sense: a CC-labeling of
+//! the cycles plus the copy→original mapping yields a CC-labeling of the
+//! forest (labels transfer through `origin`).
+
+use crate::csr::{Graph, VertexId};
+
+/// A vertex-disjoint collection of cycles, represented by a successor
+/// permutation over *cycle vertices* plus the mapping back to original
+/// vertices.
+#[derive(Clone, Debug)]
+pub struct CycleDecomposition {
+    /// Successor permutation: `succ[a]` is the next cycle vertex after `a`.
+    pub succ: Vec<u32>,
+    /// `origin[a]` = original vertex that cycle vertex `a` is a copy of.
+    pub origin: Vec<VertexId>,
+    /// Original vertices of degree zero (each trivially its own component).
+    pub isolated: Vec<VertexId>,
+}
+
+impl CycleDecomposition {
+    /// Number of cycle vertices.
+    pub fn len(&self) -> usize {
+        self.succ.len()
+    }
+
+    /// True when there are no cycle vertices (edgeless input).
+    pub fn is_empty(&self) -> bool {
+        self.succ.is_empty()
+    }
+
+    /// Predecessor permutation (inverse of `succ`), for bidirectional
+    /// traversal in Step 1 of `ShrinkSmallCycles`.
+    pub fn predecessors(&self) -> Vec<u32> {
+        let mut pred = vec![0u32; self.succ.len()];
+        for (a, &s) in self.succ.iter().enumerate() {
+            pred[s as usize] = a as u32;
+        }
+        pred
+    }
+
+    /// Debug invariant: `succ` is a permutation (every vertex has exactly
+    /// one predecessor).
+    pub fn is_permutation(&self) -> bool {
+        let mut seen = vec![false; self.succ.len()];
+        for &s in &self.succ {
+            let i = s as usize;
+            if i >= seen.len() || seen[i] {
+                return false;
+            }
+            seen[i] = true;
+        }
+        true
+    }
+
+    /// Lengths of all cycles, found by walking the permutation.
+    pub fn cycle_lengths(&self) -> Vec<usize> {
+        let mut visited = vec![false; self.succ.len()];
+        let mut lengths = Vec::new();
+        for start in 0..self.succ.len() {
+            if visited[start] {
+                continue;
+            }
+            let mut len = 0;
+            let mut cur = start;
+            while !visited[cur] {
+                visited[cur] = true;
+                len += 1;
+                cur = self.succ[cur] as usize;
+            }
+            lengths.push(len);
+        }
+        lengths
+    }
+}
+
+/// Performs the forest→cycles reduction.
+///
+/// # Panics
+/// Panics if `g` is not a forest (the construction is only meaningful — and
+/// only used by the paper — on forests).
+pub fn forest_to_cycles(g: &Graph) -> CycleDecomposition {
+    assert!(g.is_forest(), "forest_to_cycles requires a forest input");
+    let n = g.n();
+
+    // base[v] = first arc id of v's copies; copies are laid out densely.
+    let mut base = vec![0u32; n + 1];
+    for v in 0..n {
+        base[v + 1] = base[v] + g.degree(v as VertexId) as u32;
+    }
+    let total_arcs = base[n] as usize;
+
+    let mut succ = vec![0u32; total_arcs];
+    let mut origin = vec![0 as VertexId; total_arcs];
+    let mut isolated = Vec::new();
+
+    for v in 0..n as VertexId {
+        let nbrs = g.neighbors(v);
+        if nbrs.is_empty() {
+            isolated.push(v);
+            continue;
+        }
+        let d = nbrs.len();
+        for j in 0..d {
+            // Cycle vertex base[v]+j = arc entering v from nbrs[j].
+            let a = base[v as usize] + j as u32;
+            origin[a as usize] = v;
+            // Successor: the arc leaving v toward neighbor (j+1) mod d,
+            // i.e. the arc entering w := nbrs[(j+1)%d] from v.
+            let w = nbrs[(j + 1) % d];
+            let pos = g
+                .neighbor_position(w, v)
+                .expect("undirected CSR stores both endpoints");
+            succ[a as usize] = base[w as usize] + pos as u32;
+        }
+    }
+
+    CycleDecomposition { succ, origin, isolated }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::reference_components;
+
+    #[test]
+    fn single_edge_becomes_2_cycle() {
+        let g = Graph::from_edges(2, &[(0, 1)]);
+        let c = forest_to_cycles(&g);
+        assert_eq!(c.len(), 2);
+        assert!(c.is_permutation());
+        assert_eq!(c.cycle_lengths(), vec![2]);
+    }
+
+    #[test]
+    fn tree_of_k_vertices_gives_cycle_2k_minus_2() {
+        // Star on 5 vertices (k=5 → cycle length 8).
+        let g = Graph::from_edges(5, &[(0, 1), (0, 2), (0, 3), (0, 4)]);
+        let c = forest_to_cycles(&g);
+        assert_eq!(c.cycle_lengths(), vec![8]);
+        // Path on 6 vertices (k=6 → 10).
+        let g = Graph::from_edges(6, &[(0, 1), (1, 2), (2, 3), (3, 4), (4, 5)]);
+        let c = forest_to_cycles(&g);
+        assert_eq!(c.cycle_lengths(), vec![10]);
+    }
+
+    #[test]
+    fn forest_gives_one_cycle_per_nontrivial_tree() {
+        // Two trees (sizes 3 and 4) + one isolated vertex.
+        let g = Graph::from_edges(8, &[(0, 1), (1, 2), (3, 4), (4, 5), (5, 6)]);
+        let c = forest_to_cycles(&g);
+        let mut lens = c.cycle_lengths();
+        lens.sort_unstable();
+        assert_eq!(lens, vec![4, 6]);
+        assert_eq!(c.isolated, vec![7]);
+    }
+
+    #[test]
+    fn cycle_components_match_tree_components() {
+        // Every cycle stays within one original tree: walking a cycle must
+        // visit origins of a single reference component.
+        let g = Graph::from_edges(10, &[(0, 1), (1, 2), (2, 3), (5, 6), (6, 7), (7, 8), (8, 9)]);
+        let c = forest_to_cycles(&g);
+        let refl = reference_components(&g);
+        let mut visited = vec![false; c.len()];
+        for start in 0..c.len() {
+            if visited[start] {
+                continue;
+            }
+            let comp = refl.get(c.origin[start]);
+            let mut cur = start;
+            let mut origins = std::collections::HashSet::new();
+            while !visited[cur] {
+                visited[cur] = true;
+                assert_eq!(refl.get(c.origin[cur]), comp);
+                origins.insert(c.origin[cur]);
+                cur = c.succ[cur] as usize;
+            }
+            // The Euler tour visits every vertex of its tree.
+            let tree_size = (0..g.n() as VertexId).filter(|&v| refl.get(v) == comp).count();
+            assert_eq!(origins.len(), tree_size);
+        }
+    }
+
+    #[test]
+    fn predecessors_invert_successors() {
+        let g = Graph::from_edges(7, &[(0, 1), (1, 2), (1, 3), (3, 4), (4, 5), (4, 6)]);
+        let c = forest_to_cycles(&g);
+        let pred = c.predecessors();
+        for a in 0..c.len() {
+            assert_eq!(pred[c.succ[a] as usize], a as u32);
+            assert_eq!(c.succ[pred[a] as usize], a as u32);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "requires a forest")]
+    fn rejects_cyclic_input() {
+        let g = Graph::from_edges(3, &[(0, 1), (1, 2), (2, 0)]);
+        forest_to_cycles(&g);
+    }
+
+    #[test]
+    fn edgeless_graph_all_isolated() {
+        let g = Graph::empty(3);
+        let c = forest_to_cycles(&g);
+        assert!(c.is_empty());
+        assert_eq!(c.isolated.len(), 3);
+    }
+}

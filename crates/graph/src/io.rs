@@ -1,0 +1,154 @@
+//! Plain-text edge-list I/O.
+//!
+//! The de-facto interchange format of the large-graph literature (SNAP,
+//! DIMACS-like): one `u v` pair per line, `#`-prefixed comments, vertices
+//! numbered `0..n`. A header comment `# nodes: N` pins the vertex count so
+//! trailing isolated vertices survive a round-trip.
+
+use std::io::{self, BufRead, BufReader, Read, Write};
+use std::path::Path;
+
+use crate::csr::{Graph, VertexId};
+
+/// Writes `g` as an edge list with a `# nodes:` header.
+pub fn write_edge_list<W: Write>(g: &Graph, mut w: W) -> io::Result<()> {
+    writeln!(w, "# nodes: {}", g.n())?;
+    writeln!(w, "# edges: {}", g.m())?;
+    for (u, v) in g.edges() {
+        writeln!(w, "{u} {v}")?;
+    }
+    Ok(())
+}
+
+/// Parses an edge list. Accepts `# nodes: N` headers, blank lines, and
+/// whitespace-separated pairs; without a header the vertex count is
+/// `max id + 1`.
+pub fn read_edge_list<R: Read>(r: R) -> io::Result<Graph> {
+    let reader = BufReader::new(r);
+    let mut declared_n: Option<usize> = None;
+    let mut max_id: u64 = 0;
+    let mut edges: Vec<(VertexId, VertexId)> = Vec::new();
+    let mut saw_vertex = false;
+
+    for (lineno, line) in reader.lines().enumerate() {
+        let line = line?;
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix('#') {
+            let rest = rest.trim();
+            if let Some(nodes) = rest.strip_prefix("nodes:") {
+                declared_n = Some(nodes.trim().parse().map_err(|e| {
+                    io::Error::new(
+                        io::ErrorKind::InvalidData,
+                        format!("line {}: bad nodes header: {e}", lineno + 1),
+                    )
+                })?);
+            }
+            continue;
+        }
+        let mut it = line.split_whitespace();
+        let parse = |tok: Option<&str>| -> io::Result<u64> {
+            tok.ok_or_else(|| {
+                io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    format!("line {}: expected two vertex ids", lineno + 1),
+                )
+            })?
+            .parse()
+            .map_err(|e| {
+                io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    format!("line {}: bad vertex id: {e}", lineno + 1),
+                )
+            })
+        };
+        let u = parse(it.next())?;
+        let v = parse(it.next())?;
+        max_id = max_id.max(u).max(v);
+        saw_vertex = true;
+        edges.push((u as VertexId, v as VertexId));
+    }
+
+    let n = declared_n.unwrap_or(if saw_vertex { max_id as usize + 1 } else { 0 });
+    if saw_vertex && (max_id as usize) >= n {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("vertex id {max_id} outside declared node count {n}"),
+        ));
+    }
+    Ok(Graph::from_edges(n, &edges))
+}
+
+/// Convenience: writes `g` to `path`.
+pub fn save(g: &Graph, path: impl AsRef<Path>) -> io::Result<()> {
+    write_edge_list(g, std::fs::File::create(path)?)
+}
+
+/// Convenience: reads a graph from `path`.
+pub fn load(path: impl AsRef<Path>) -> io::Result<Graph> {
+    read_edge_list(std::fs::File::open(path)?)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators::{erdos_renyi_gnm, random_forest};
+
+    #[test]
+    fn roundtrip_preserves_graph() {
+        let g = erdos_renyi_gnm(200, 500, 1);
+        let mut buf = Vec::new();
+        write_edge_list(&g, &mut buf).unwrap();
+        let h = read_edge_list(&buf[..]).unwrap();
+        assert_eq!(g, h);
+    }
+
+    #[test]
+    fn roundtrip_preserves_trailing_isolated_vertices() {
+        // Vertex 9 is isolated; without the header it would be dropped.
+        let g = Graph::from_edges(10, &[(0, 1), (2, 3)]);
+        let mut buf = Vec::new();
+        write_edge_list(&g, &mut buf).unwrap();
+        let h = read_edge_list(&buf[..]).unwrap();
+        assert_eq!(h.n(), 10);
+        assert_eq!(g, h);
+    }
+
+    #[test]
+    fn parses_headerless_input() {
+        let text = "0 1\n1 2\n\n# a comment\n2 0\n";
+        let g = read_edge_list(text.as_bytes()).unwrap();
+        assert_eq!(g.n(), 3);
+        assert_eq!(g.m(), 3);
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(read_edge_list("0 x\n".as_bytes()).is_err());
+        assert!(read_edge_list("0\n".as_bytes()).is_err());
+        assert!(read_edge_list("# nodes: two\n".as_bytes()).is_err());
+        // id exceeding declared count:
+        assert!(read_edge_list("# nodes: 2\n0 5\n".as_bytes()).is_err());
+    }
+
+    #[test]
+    fn empty_input_is_empty_graph() {
+        let g = read_edge_list("".as_bytes()).unwrap();
+        assert_eq!(g.n(), 0);
+        assert_eq!(g.m(), 0);
+    }
+
+    #[test]
+    fn file_roundtrip() {
+        let g = random_forest(300, 7, 2);
+        let dir = std::env::temp_dir().join("ampc_graph_io_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("forest.txt");
+        save(&g, &path).unwrap();
+        let h = load(&path).unwrap();
+        assert_eq!(g, h);
+        std::fs::remove_file(&path).ok();
+    }
+}

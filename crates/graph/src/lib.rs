@@ -1,0 +1,31 @@
+//! # `ampc-graph` — graph substrate for the AMPC connectivity reproduction
+//!
+//! Everything the paper's algorithms need *around* the AMPC model:
+//!
+//! * [`Graph`] — compact CSR storage for undirected graphs;
+//! * [`generators`] — seeded workload families (forests, cycles, random
+//!   graphs, grids, power-law graphs, adversarial shapes);
+//! * [`euler`] — the Tarjan–Vishkin forest→cycles reduction backing
+//!   Observation 3.1 of the paper;
+//! * [`degree3`] — the max-degree-3 gadget transform used by
+//!   `ShrinkGeneral` (§4.3);
+//! * [`contract`] — the `Contract(G, C)` CC-shrinking primitive
+//!   (Observation 2.2);
+//! * [`UnionFind`] / [`Labeling`] — sequential ground truth and CC-labeling
+//!   comparison, used to validate every AMPC run.
+
+#![warn(missing_docs)]
+
+pub mod contract;
+pub mod degree3;
+pub mod euler;
+pub mod generators;
+pub mod io;
+pub mod metrics;
+mod csr;
+mod labeling;
+mod unionfind;
+
+pub use csr::{Graph, VertexId};
+pub use labeling::{reference_components, Labeling};
+pub use unionfind::UnionFind;

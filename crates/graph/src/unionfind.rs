@@ -1,0 +1,102 @@
+//! Sequential union-find: the ground truth every AMPC run is validated
+//! against, and a building block for the KKT sampling experiments.
+
+use crate::csr::VertexId;
+
+/// Disjoint-set forest with union by rank and path halving.
+#[derive(Clone, Debug)]
+pub struct UnionFind {
+    parent: Vec<VertexId>,
+    rank: Vec<u8>,
+    components: usize,
+}
+
+impl UnionFind {
+    /// `n` singleton sets.
+    pub fn new(n: usize) -> Self {
+        UnionFind { parent: (0..n as VertexId).collect(), rank: vec![0; n], components: n }
+    }
+
+    /// Representative of `v`'s set (with path halving).
+    pub fn find(&mut self, mut v: VertexId) -> VertexId {
+        while self.parent[v as usize] != v {
+            let grand = self.parent[self.parent[v as usize] as usize];
+            self.parent[v as usize] = grand;
+            v = grand;
+        }
+        v
+    }
+
+    /// Merges the sets of `u` and `v`. Returns `false` if already merged.
+    pub fn union(&mut self, u: VertexId, v: VertexId) -> bool {
+        let (ru, rv) = (self.find(u), self.find(v));
+        if ru == rv {
+            return false;
+        }
+        let (hi, lo) = if self.rank[ru as usize] >= self.rank[rv as usize] { (ru, rv) } else { (rv, ru) };
+        self.parent[lo as usize] = hi;
+        if self.rank[hi as usize] == self.rank[lo as usize] {
+            self.rank[hi as usize] += 1;
+        }
+        self.components -= 1;
+        true
+    }
+
+    /// True iff `u` and `v` are in the same set.
+    pub fn connected(&mut self, u: VertexId, v: VertexId) -> bool {
+        self.find(u) == self.find(v)
+    }
+
+    /// Current number of disjoint sets.
+    pub fn num_components(&self) -> usize {
+        self.components
+    }
+
+    /// Flattens to a label per vertex (the set representative).
+    pub fn labels(&mut self) -> Vec<u64> {
+        (0..self.parent.len() as VertexId).map(|v| self.find(v) as u64).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unions_merge_and_count() {
+        let mut uf = UnionFind::new(5);
+        assert_eq!(uf.num_components(), 5);
+        assert!(uf.union(0, 1));
+        assert!(uf.union(3, 4));
+        assert!(!uf.union(1, 0));
+        assert_eq!(uf.num_components(), 3);
+        assert!(uf.connected(0, 1));
+        assert!(!uf.connected(0, 3));
+    }
+
+    #[test]
+    fn labels_are_consistent_within_sets() {
+        let mut uf = UnionFind::new(6);
+        uf.union(0, 2);
+        uf.union(2, 4);
+        uf.union(1, 5);
+        let l = uf.labels();
+        assert_eq!(l[0], l[2]);
+        assert_eq!(l[0], l[4]);
+        assert_eq!(l[1], l[5]);
+        assert_ne!(l[0], l[1]);
+        assert_ne!(l[3], l[0]);
+    }
+
+    #[test]
+    fn long_chain_flattens() {
+        let n = 10_000;
+        let mut uf = UnionFind::new(n);
+        for i in 0..n - 1 {
+            uf.union(i as VertexId, i as VertexId + 1);
+        }
+        assert_eq!(uf.num_components(), 1);
+        let l = uf.labels();
+        assert!(l.iter().all(|&x| x == l[0]));
+    }
+}

@@ -1,0 +1,21 @@
+//! # adaptive-mpc-connectivity
+//!
+//! Umbrella crate for the reproduction of *"Adaptive Massively Parallel
+//! Connectivity in Optimal Space"* (Latypov, Łącki, Maus, Uitto — SPAA 2023).
+//!
+//! Re-exports the three layers of the workspace:
+//!
+//! * [`ampc`] — the AMPC model runtime simulator (DHT, machines, rounds,
+//!   space/query metering);
+//! * [`graph`] — the graph substrate (CSR storage, generators, Euler tours,
+//!   contraction, ground-truth connectivity);
+//! * [`cc`] — the paper's algorithms (Algorithm 1 forest pipeline,
+//!   Algorithm 2 general-graph recursion) plus cited subroutines and
+//!   baselines.
+//!
+//! See `examples/quickstart.rs` for a five-minute tour and `DESIGN.md` for
+//! the full system inventory.
+
+pub use ampc;
+pub use ampc_cc as cc;
+pub use ampc_graph as graph;

@@ -1,0 +1,168 @@
+//! Property-based tests: correctness of the full pipelines and the
+//! CC-shrinking contract on arbitrary random inputs.
+
+use adaptive_mpc_connectivity::ampc::AmpcConfig;
+use adaptive_mpc_connectivity::cc::forest::pipeline::{
+    connected_components_forest, ForestCcConfig,
+};
+use adaptive_mpc_connectivity::cc::general::algorithm2::{
+    connected_components_general, GeneralCcConfig,
+};
+use adaptive_mpc_connectivity::cc::general::sampling::{crossing_edges, sample_edges};
+use adaptive_mpc_connectivity::cc::general::shrink_general::shrink_general;
+use adaptive_mpc_connectivity::graph::contract::{compose_labels, contract};
+use adaptive_mpc_connectivity::graph::euler::forest_to_cycles;
+use adaptive_mpc_connectivity::graph::{reference_components, Graph, Labeling, UnionFind};
+use proptest::prelude::*;
+
+/// Arbitrary forest on up to `max_n` vertices: each vertex beyond the first
+/// may attach to any earlier vertex or stay detached.
+fn arb_forest(max_n: usize) -> impl Strategy<Value = Graph> {
+    prop::collection::vec(prop::option::of(0u64..u64::MAX), 1..max_n).prop_map(|parents| {
+        let n = parents.len() + 1;
+        let edges: Vec<(u32, u32)> = parents
+            .iter()
+            .enumerate()
+            .filter_map(|(i, p)| p.map(|p| ((p % (i as u64 + 1)) as u32, i as u32 + 1)))
+            .collect();
+        Graph::from_edges(n, &edges)
+    })
+}
+
+/// Arbitrary graph on up to `max_n` vertices with arbitrary edges.
+fn arb_graph(max_n: usize) -> impl Strategy<Value = Graph> {
+    (2..max_n).prop_flat_map(|n| {
+        prop::collection::vec((0..n as u32, 0..n as u32), 0..4 * n)
+            .prop_map(move |edges| Graph::from_edges(n, &edges))
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn forest_pipeline_matches_union_find(g in arb_forest(400), seed in 0u64..1000) {
+        let cfg = ForestCcConfig::default().with_seed(seed);
+        let res = connected_components_forest(&g, &cfg).unwrap();
+        prop_assert!(res.labeling.same_partition(&reference_components(&g)));
+    }
+
+    #[test]
+    fn general_pipeline_matches_union_find(g in arb_graph(200), seed in 0u64..1000) {
+        let cfg = GeneralCcConfig::default().with_seed(seed);
+        let res = connected_components_general(&g, &cfg).unwrap();
+        prop_assert!(res.labeling.same_partition(&reference_components(&g)));
+    }
+
+    #[test]
+    fn euler_tour_is_cc_shrinking(g in arb_forest(300)) {
+        // Observation 3.1: cycles partition per tree; labeling the cycles by
+        // any CC-labeling and projecting through origins recovers the forest
+        // components.
+        let d = forest_to_cycles(&g);
+        prop_assert!(d.is_permutation());
+        // Label cycles by orbit.
+        let mut cycle_label = vec![u64::MAX; d.len()];
+        let mut next = 0u64;
+        for s in 0..d.len() {
+            if cycle_label[s] != u64::MAX { continue; }
+            let mut cur = s;
+            while cycle_label[cur] == u64::MAX {
+                cycle_label[cur] = next;
+                cur = d.succ[cur] as usize;
+            }
+            next += 1;
+        }
+        let mut labels = vec![u64::MAX; g.n()];
+        for (a, &orig) in d.origin.iter().enumerate() {
+            labels[orig as usize] = cycle_label[a] ;
+        }
+        for &v in &d.isolated {
+            labels[v as usize] = next + v as u64;
+        }
+        prop_assert!(Labeling(labels).same_partition(&reference_components(&g)));
+    }
+
+    #[test]
+    fn euler_cycle_lengths_are_2k_minus_2(g in arb_forest(300)) {
+        // Each tree of k > 1 vertices yields one cycle of exactly 2k−2.
+        let d = forest_to_cycles(&g);
+        let mut lens = d.cycle_lengths();
+        lens.sort_unstable();
+        // Tree sizes from ground truth.
+        let refl = reference_components(&g);
+        let mut sizes = std::collections::HashMap::new();
+        for v in 0..g.n() as u32 {
+            *sizes.entry(refl.get(v)).or_insert(0usize) += 1;
+        }
+        let mut expected: Vec<usize> =
+            sizes.values().filter(|&&k| k > 1).map(|&k| 2 * k - 2).collect();
+        expected.sort_unstable();
+        prop_assert_eq!(lens, expected);
+    }
+
+    #[test]
+    fn contract_compose_roundtrip(g in arb_graph(150), classes in 1u64..40) {
+        // Contracting by any vertex partition and composing a correct
+        // labeling of the quotient yields a correct labeling of the input —
+        // Definition 2.1 for Contract, for arbitrary (even cross-component)
+        // mappings that refine nothing.
+        let mapping: Vec<u64> = (0..g.n() as u64).map(|v| v % classes).collect();
+        let c = contract(&g, &mapping);
+        prop_assert!(c.new_n <= classes as usize);
+        let h_labels = reference_components(&c.graph);
+        let composed = Labeling(compose_labels(&c, &h_labels.0));
+        // Composition must be a *coarsening* consistent with merging the
+        // classes: check against union-find seeded with the class merges.
+        let mut uf = UnionFind::new(g.n());
+        for (u, v) in g.edges() { uf.union(u, v); }
+        for v in 1..g.n() as u32 {
+            let u = (0..v).find(|&u| mapping[u as usize] == mapping[v as usize]);
+            if let Some(u) = u { uf.union(u, v); }
+        }
+        prop_assert!(composed.same_partition(&Labeling(uf.labels())));
+    }
+
+    #[test]
+    fn shrink_general_is_cc_shrinking(g in arb_graph(120), t in 1usize..40, seed in 0u64..100) {
+        let out = shrink_general(&g, t, 1 << 14, AmpcConfig::default().with_seed(seed)).unwrap();
+        let h_labels = reference_components(&out.h);
+        let composed = Labeling(out.to_h.iter().map(|&c| h_labels.get(c)).collect());
+        prop_assert!(composed.same_partition(&reference_components(&g)));
+    }
+
+    #[test]
+    fn sampled_subgraph_components_refine_originals(g in arb_graph(150), p in 0.0f64..1.0, seed in 0u64..100) {
+        // H ⊆ G: every component of H lies inside one component of G, and
+        // crossing edges + H's merges account for all of G's connectivity.
+        let h = sample_edges(&g, p, seed);
+        prop_assert_eq!(h.n(), g.n());
+        prop_assert!(h.m() <= g.m());
+        let gl = reference_components(&g);
+        let hl = reference_components(&h);
+        for (u, v) in h.edges() {
+            prop_assert_eq!(gl.get(u), gl.get(v));
+        }
+        // Refinement: equal H-labels ⇒ equal G-labels.
+        for v in 0..g.n() as u32 {
+            for w in 0..v {
+                if hl.get(v) == hl.get(w) {
+                    prop_assert_eq!(gl.get(v), gl.get(w));
+                }
+            }
+        }
+        // Contracting H's components and adding crossing edges restores G's
+        // component count.
+        let crossing = crossing_edges(&g, &h);
+        prop_assert!(crossing <= g.m());
+    }
+
+    #[test]
+    fn labeling_canonicalization_is_idempotent(labels in prop::collection::vec(0u64..20, 1..100)) {
+        let l = Labeling(labels);
+        let c1 = Labeling(l.canonical());
+        let c2 = Labeling(c1.canonical());
+        prop_assert_eq!(&c1.0, &c2.0);
+        prop_assert!(l.same_partition(&c1));
+    }
+}
