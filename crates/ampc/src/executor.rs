@@ -5,9 +5,7 @@
 //! machine executes the user closure over its chunk with a private
 //! [`MachineCtx`]; finally all write buffers are merged into the next
 //! snapshot **in machine-index order**, which makes runs deterministic no
-//! matter how rayon schedules the machines.
-
-use rayon::prelude::*;
+//! matter how the OS schedules the machine threads.
 
 use crate::dht::Dht;
 use crate::error::{AmpcError, AmpcResult};
@@ -26,8 +24,10 @@ pub struct AmpcConfig {
     pub seed: u64,
     /// Optional per-machine, per-round space budgets.
     pub limits: Option<SpaceLimits>,
-    /// Execute machines on the rayon pool. Disable for tiny inputs where
-    /// fork-join overhead dominates, or to simplify debugging.
+    /// Execute machines on scoped OS threads (capped at the hardware
+    /// parallelism; each worker runs a block of machines). Disable for
+    /// tiny inputs where fork-join overhead dominates, or to simplify
+    /// debugging.
     pub parallel: bool,
 }
 
@@ -57,7 +57,7 @@ impl AmpcConfig {
         self
     }
 
-    /// Enables or disables rayon execution.
+    /// Enables or disables threaded execution.
     pub fn with_parallel(mut self, parallel: bool) -> Self {
         self.parallel = parallel;
         self
@@ -181,11 +181,35 @@ impl<V: DhtValue> AmpcSystem<V> {
             violation: ctx.violation.clone(),
             results,
         };
-        let machines: Vec<MachineOutput<V, R>> = if self.config.parallel {
-            items.par_chunks(chunk).enumerate().map(run_machine).map(finish).collect()
-        } else {
-            items.chunks(chunk).enumerate().map(run_machine).map(finish).collect()
-        };
+        // Deployments are often configured with far more simulated machines
+        // than the host has cores (e.g. M = n/4 in the audit experiments),
+        // so workers are capped at the hardware parallelism and each worker
+        // runs a contiguous block of machine indices. Results land in a
+        // slot per machine, which keeps the merge below in machine-index
+        // order no matter which worker ran which machine.
+        let workers = std::thread::available_parallelism().map_or(1, usize::from).min(m);
+        let machines: Vec<MachineOutput<V, R>> =
+            if self.config.parallel && workers > 1 && items.len() > chunk {
+                let jobs: Vec<(usize, &[I])> = items.chunks(chunk).enumerate().collect();
+                let mut slots: Vec<Option<MachineOutput<V, R>>> = Vec::new();
+                slots.resize_with(jobs.len(), || None);
+                let block = jobs.len().div_ceil(workers).max(1);
+                std::thread::scope(|scope| {
+                    let run_machine = &run_machine;
+                    let finish = &finish;
+                    let jobs = &jobs;
+                    for (w, block_of_slots) in slots.chunks_mut(block).enumerate() {
+                        scope.spawn(move || {
+                            for (off, slot) in block_of_slots.iter_mut().enumerate() {
+                                *slot = Some(finish(run_machine(jobs[w * block + off])));
+                            }
+                        });
+                    }
+                });
+                slots.into_iter().map(|s| s.expect("machine worker panicked")).collect()
+            } else {
+                items.chunks(chunk).enumerate().map(run_machine).map(finish).collect()
+            };
 
         // Gather stats and the first violation before consuming the buffers.
         let mut stats = RoundStats {
@@ -243,8 +267,7 @@ impl<V: DhtValue> AmpcSystem<V> {
             results.append(&mut mo.results);
         }
 
-        let outcome =
-            RoundOutcome { results, reads: stats.reads, write_words: stats.write_words };
+        let outcome = RoundOutcome { results, reads: stats.reads, write_words: stats.write_words };
         self.stats.push_round(stats);
         Ok(outcome)
     }

@@ -72,4 +72,27 @@ mod tests {
     fn debug_format_is_compact() {
         assert_eq!(format!("{:?}", Key::new(3, 42)), "Key(3:42)");
     }
+
+    #[test]
+    fn packed_round_trips_for_random_keys() {
+        // packed() is (space << 48) | id with id < 2^48; unpacking those
+        // fields must recover the key exactly.
+        let mut r = crate::rng::SplitMix64::new(0xC0FFEE);
+        for _ in 0..1000 {
+            let key = Key::new(r.next_below(1 << 16) as Space, r.next_below(1 << 48));
+            let p = key.packed();
+            let unpacked = Key::new((p >> 48) as Space, p & ((1 << 48) - 1));
+            assert_eq!(unpacked, key);
+        }
+    }
+
+    #[test]
+    fn packed_preserves_ordering_within_a_space() {
+        let mut r = crate::rng::SplitMix64::new(11);
+        for _ in 0..1000 {
+            let a = Key::new(5, r.next_below(1 << 48));
+            let b = Key::new(5, r.next_below(1 << 48));
+            assert_eq!(a.packed().cmp(&b.packed()), a.cmp(&b));
+        }
+    }
 }

@@ -44,10 +44,10 @@
 //! ```
 //!
 //! Machines within a round are independent by model definition (they read an
-//! immutable snapshot and buffer private writes), so the executor maps them
-//! onto a rayon parallel iterator; write buffers are merged in machine-index
-//! order, keeping every run bit-for-bit deterministic regardless of thread
-//! scheduling.
+//! immutable snapshot and buffer private writes), so the executor spreads
+//! them over scoped OS threads (capped at the hardware parallelism); write
+//! buffers are merged in machine-index order, keeping every run bit-for-bit
+//! deterministic regardless of thread scheduling.
 
 #![warn(missing_docs)]
 

@@ -266,8 +266,9 @@ mod tests {
     fn rng_is_context_deterministic() {
         let d = table();
         let ctx1 = MachineCtx::new(&d, None, 0, 3, 42);
-        let ctx2 = MachineCtx::new(&d, None, 9, 3, 42); // different machine
-        // Streams depend on (seed, round, tag, id), NOT on machine index:
+        // Same context on a different machine: streams depend on
+        // (seed, round, tag, id), NOT on the machine index.
+        let ctx2 = MachineCtx::new(&d, None, 9, 3, 42);
         assert_eq!(ctx1.rng(1, 5).next_u64(), ctx2.rng(1, 5).next_u64());
         assert_ne!(ctx1.rng(1, 5).next_u64(), ctx1.rng(1, 6).next_u64());
     }

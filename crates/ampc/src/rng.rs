@@ -86,8 +86,10 @@ mod tests {
 
     #[test]
     fn deterministic_for_same_context() {
-        let a: Vec<u64> = (0..8).map(|_| 0).scan(stream(1, 2, 3, 4), |r, _| Some(r.next_u64())).collect();
-        let b: Vec<u64> = (0..8).map(|_| 0).scan(stream(1, 2, 3, 4), |r, _| Some(r.next_u64())).collect();
+        let a: Vec<u64> =
+            (0..8).map(|_| 0).scan(stream(1, 2, 3, 4), |r, _| Some(r.next_u64())).collect();
+        let b: Vec<u64> =
+            (0..8).map(|_| 0).scan(stream(1, 2, 3, 4), |r, _| Some(r.next_u64())).collect();
         assert_eq!(a, b);
     }
 

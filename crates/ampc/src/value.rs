@@ -27,7 +27,9 @@ pub trait DhtValue: Clone + Send + Sync {
     /// can rely on the default, which panics to surface accidental use.
     fn merge(&mut self, other: Self) {
         let _ = other;
-        panic!("DhtValue::merge not implemented for this type; use write() instead of write_merge()");
+        panic!(
+            "DhtValue::merge not implemented for this type; use write() instead of write_merge()"
+        );
     }
 }
 

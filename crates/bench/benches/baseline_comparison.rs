@@ -22,12 +22,8 @@ fn bench_baselines(c: &mut Criterion) {
                 .rounds()
         })
     });
-    group.bench_function("path/mpc_min_label", |b| {
-        b.iter(|| min_label_propagation(&p).rounds)
-    });
-    group.bench_function("path/mpc_doubling", |b| {
-        b.iter(|| exponentiated_propagation(&p).rounds)
-    });
+    group.bench_function("path/mpc_min_label", |b| b.iter(|| min_label_propagation(&p).rounds));
+    group.bench_function("path/mpc_doubling", |b| b.iter(|| exponentiated_propagation(&p).rounds));
 
     let g = grid2d(40, 40);
     group.bench_function("grid/ampc_alg2", |b| {

@@ -17,18 +17,14 @@ fn bench_forest_rounds(c: &mut Criterion) {
             let n = 1usize << exp;
             let g = fam.generate(n, 0xBE);
             group.throughput(Throughput::Elements(n as u64));
-            group.bench_with_input(
-                BenchmarkId::new(fam.name(), n),
-                &g,
-                |b, g| {
-                    b.iter(|| {
-                        let cfg = ForestCcConfig::default().with_seed(0xBE);
-                        let res = connected_components_forest(g, &cfg).expect("cc");
-                        assert!(res.labeling.len() == g.n());
-                        res.rounds()
-                    })
-                },
-            );
+            group.bench_with_input(BenchmarkId::new(fam.name(), n), &g, |b, g| {
+                b.iter(|| {
+                    let cfg = ForestCcConfig::default().with_seed(0xBE);
+                    let res = connected_components_forest(g, &cfg).expect("cc");
+                    assert!(res.labeling.len() == g.n());
+                    res.rounds()
+                })
+            });
         }
     }
     group.finish();

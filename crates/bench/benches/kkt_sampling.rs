@@ -2,9 +2,7 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 
-use ampc_cc::general::sampling::{
-    algorithm2_sample_probability, crossing_edges, sample_edges,
-};
+use ampc_cc::general::sampling::{algorithm2_sample_probability, crossing_edges, sample_edges};
 use ampc_graph::generators::erdos_renyi_gnm;
 
 fn bench_kkt(c: &mut Criterion) {

@@ -31,10 +31,8 @@ fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let quick = args.iter().any(|a| a == "--quick" || a == "-q");
     // --csv DIR: additionally write each table as DIR/eN.csv.
-    let csv_dir: Option<String> = args
-        .iter()
-        .position(|a| a == "--csv")
-        .and_then(|i| args.get(i + 1).cloned());
+    let csv_dir: Option<String> =
+        args.iter().position(|a| a == "--csv").and_then(|i| args.get(i + 1).cloned());
     if args.iter().any(|a| a == "trace") {
         trace();
         return;

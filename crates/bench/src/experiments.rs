@@ -219,8 +219,7 @@ pub fn e6_shrink_general(quick: bool) -> Table {
             .expect("shrink");
         // CC-shrinking check: compose back through H.
         let h_labels = reference_components(&out.h);
-        let g_labels =
-            ampc_graph::Labeling(out.to_h.iter().map(|&c| h_labels.get(c)).collect());
+        let g_labels = ampc_graph::Labeling(out.to_h.iter().map(|&c| h_labels.get(c)).collect());
         assert_correct(&g, &g_labels, "E6");
         let m3 = out.n3 as f64; // |E(G3)| = Θ(m); vertices of G3 ≈ 2m
         let mt = m3 / tpar as f64;
@@ -328,8 +327,8 @@ pub fn e8_baseline_comparison(quick: bool) -> Table {
     ]);
     let t_total = 8 * (g.n() + g.m());
     let s_local = ((g.n() + g.m()) as f64).powf(0.6) as usize;
-    let b41 = theorem41(&g, t_total, s_local, &AmpcConfig::default().with_seed(0xE8))
-        .expect("thm41");
+    let b41 =
+        theorem41(&g, t_total, s_local, &AmpcConfig::default().with_seed(0xE8)).expect("thm41");
     assert_correct(&g, &b41.labeling, "E8 grid thm41");
     t.push(vec![
         format!("grid {side}x{side}"),
@@ -368,11 +367,9 @@ pub fn e9_ablations(quick: bool) -> Table {
     let medium = random_forest(n, (n / medium_tree).max(2), 0xE9);
 
     for (wname, g) in [("tiny-trees", &tiny), ("medium-trees", &medium)] {
-        for (vname, step2, double_b) in [
-            ("full", true, true),
-            ("no-step2", false, true),
-            ("fixed-B", true, false),
-        ] {
+        for (vname, step2, double_b) in
+            [("full", true, true), ("no-step2", false, true), ("fixed-B", true, false)]
+        {
             let mut cfg = ForestCcConfig::default().with_seed(0xE9);
             cfg.enable_step2 = step2;
             cfg.double_b = double_b;
@@ -456,7 +453,8 @@ pub fn e11_rooted_forest(quick: bool) -> Table {
         let depth = {
             // host-side measurement for the report
             let mut max_d = 0usize;
-            for mut v in 0..parents.len() {
+            for start in 0..parents.len() {
+                let mut v = start;
                 let mut d = 0;
                 while let Some(p) = parents[v] {
                     v = p as usize;

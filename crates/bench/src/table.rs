@@ -17,11 +17,7 @@ pub struct Table {
 
 impl Table {
     /// Creates an empty table.
-    pub fn new(
-        title: impl Into<String>,
-        claim: impl Into<String>,
-        header: &[&str],
-    ) -> Self {
+    pub fn new(title: impl Into<String>, claim: impl Into<String>, header: &[&str]) -> Self {
         Table {
             title: title.into(),
             claim: claim.into(),
@@ -40,12 +36,11 @@ impl Table {
     /// keep the `_` thousands separators stripped.
     pub fn to_csv(&self) -> String {
         let escape = |cell: &str| -> String {
-            let cleaned =
-                if cell.chars().all(|c| c.is_ascii_digit() || c == '_' || c == '.') {
-                    cell.replace('_', "")
-                } else {
-                    cell.to_string()
-                };
+            let cleaned = if cell.chars().all(|c| c.is_ascii_digit() || c == '_' || c == '.') {
+                cell.replace('_', "")
+            } else {
+                cell.to_string()
+            };
             if cleaned.contains(',') || cleaned.contains('"') {
                 format!("\"{}\"", cleaned.replace('"', "\"\""))
             } else {
@@ -73,9 +68,7 @@ impl fmt::Display for Table {
             .header
             .iter()
             .enumerate()
-            .map(|(i, h)| {
-                self.rows.iter().map(|r| r[i].len()).chain([h.len()]).max().unwrap_or(0)
-            })
+            .map(|(i, h)| self.rows.iter().map(|r| r[i].len()).chain([h.len()]).max().unwrap_or(0))
             .collect();
         let line = |cells: &[String], f: &mut fmt::Formatter<'_>| -> fmt::Result {
             write!(f, "|")?;

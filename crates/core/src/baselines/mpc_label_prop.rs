@@ -120,11 +120,7 @@ mod tests {
     fn doubling_pays_log_rounds() {
         let g = path(4096);
         let res = exponentiated_propagation(&g);
-        assert!(
-            res.rounds <= 40,
-            "doubling took {} rounds on a 4096-path",
-            res.rounds
-        );
+        assert!(res.rounds <= 40, "doubling took {} rounds on a 4096-path", res.rounds);
         assert!(res.rounds >= 10);
     }
 

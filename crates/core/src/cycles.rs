@@ -142,7 +142,9 @@ mod tests {
 
     #[test]
     fn pack_unpack_roundtrip() {
-        for (id, rank, mark) in [(0u64, 0u16, false), (5, 9, true), ((1 << 47) - 1, u16::MAX, false)] {
+        for (id, rank, mark) in
+            [(0u64, 0u16, false), (5, 9, true), ((1 << 47) - 1, u16::MAX, false)]
+        {
             assert_eq!(unpack(pack(id, rank, mark)), (id, rank, mark));
         }
     }
@@ -150,7 +152,8 @@ mod tests {
     #[test]
     fn from_successors_initializes_pointers() {
         // One 3-cycle (0→1→2→0) and one singleton (3).
-        let mut st = CycleState::from_successors(&[1, 2, 0, 3], AmpcConfig::default().with_machines(2));
+        let mut st =
+            CycleState::from_successors(&[1, 2, 0, 3], AmpcConfig::default().with_machines(2));
         assert_eq!(st.alive, vec![0, 1, 2]);
         assert_eq!(st.roots, vec![3]);
         let (succ, _, _) = unpack(*st.sys.snapshot().get(Key::new(FWD, 1)).unwrap());

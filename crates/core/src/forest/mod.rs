@@ -1,7 +1,7 @@
 //! Theorem 1.1 — forest connectivity in `O(log* n)` rounds, optimal space.
 
-pub mod ranks;
-pub mod shrink_small;
-pub mod shrink_large;
-pub mod standard_cycle_cc;
 pub mod pipeline;
+pub mod ranks;
+pub mod shrink_large;
+pub mod shrink_small;
+pub mod standard_cycle_cc;

@@ -181,10 +181,7 @@ impl ForestCcResult {
 ///
 /// # Panics
 /// Panics if `g` is not a forest.
-pub fn connected_components_forest(
-    g: &Graph,
-    cfg: &ForestCcConfig,
-) -> AmpcResult<ForestCcResult> {
+pub fn connected_components_forest(g: &Graph, cfg: &ForestCcConfig) -> AmpcResult<ForestCcResult> {
     let n = g.n();
     let local_space = cfg.local_space(n.max(2));
 
@@ -208,8 +205,7 @@ pub fn connected_components_forest(
     // we fall back to S/4, which still keeps walks within budget.
     let preferred = local_space / 16;
     let sampling_floor = (16.0 * (n.max(2) as f64).ln()) as usize;
-    let target_len =
-        if preferred >= sampling_floor { preferred } else { local_space / 4 }.max(16);
+    let target_len = if preferred >= sampling_floor { preferred } else { local_space / 4 }.max(16);
     let walk_cap = local_space;
     let shrink_large = if cfg.skip_shrink_large {
         shrink_large_cycles(&mut state, n0.max(4), walk_cap)? // degenerate: no-op
@@ -235,8 +231,7 @@ pub fn connected_components_forest(
 
     // Compose: resolve PARENT chains (Definition 2.1). Chain depth grows by
     // at most 3 per contraction phase.
-    let max_chain =
-        3 * (iterations.len() + finisher.iterations + shrink_large.repetitions) + 8;
+    let max_chain = 3 * (iterations.len() + finisher.iterations + shrink_large.repetitions) + 8;
     let arc_labels = state.compose_labels(max_chain)?;
 
     // Project cycle-vertex labels back to forest vertices (each tree is one
@@ -312,10 +307,7 @@ mod tests {
         // and n = 2^17 the round count should stay within a small constant.
         let r10 = check(&random_forest(1 << 10, 4, 7), &ForestCcConfig::default()).rounds();
         let r17 = check(&random_forest(1 << 17, 4, 7), &ForestCcConfig::default()).rounds();
-        assert!(
-            r17 <= r10 + 24,
-            "rounds grew from {r10} to {r17}: not log*-like"
-        );
+        assert!(r17 <= r10 + 24, "rounds grew from {r10} to {r17}: not log*-like");
     }
 
     #[test]
@@ -362,10 +354,12 @@ mod tests {
         // factor), no machine should exceed its budget.
         let n = 1 << 16;
         let g = random_forest(n, 4, 17);
-        let mut cfg = ForestCcConfig::default();
-        cfg.delta = 0.7;
-        cfg.audit_limits = true;
-        cfg.machines = n / 4;
+        let cfg = ForestCcConfig {
+            delta: 0.7,
+            audit_limits: true,
+            machines: n / 4,
+            ..ForestCcConfig::default()
+        };
         let res = connected_components_forest(&g, &cfg).unwrap();
         assert!(res.labeling.same_partition(&reference_components(&g)));
         let violations = res.stats.violations().count();
@@ -375,16 +369,14 @@ mod tests {
     #[test]
     fn step2_ablation_still_correct() {
         let g = random_forest(4000, 40, 19);
-        let mut cfg = ForestCcConfig::default();
-        cfg.enable_step2 = false;
+        let cfg = ForestCcConfig { enable_step2: false, ..ForestCcConfig::default() };
         check(&g, &cfg);
     }
 
     #[test]
     fn fixed_b_ablation_still_correct() {
         let g = random_forest(4000, 10, 23);
-        let mut cfg = ForestCcConfig::default();
-        cfg.double_b = false;
+        let cfg = ForestCcConfig { double_b: false, ..ForestCcConfig::default() };
         check(&g, &cfg);
     }
 

@@ -214,8 +214,8 @@ mod tests {
         let out = shrink_large_cycles(&mut st, 64, 1 << 20).unwrap();
         let labels = st.compose_labels(out.repetitions + 4).unwrap();
         // Every original vertex's chain ends at an alive vertex of its own cycle.
-        for x in 0..(a + b) {
-            let root = labels[x] as usize;
+        for (x, &l) in labels.iter().enumerate() {
+            let root = l as usize;
             assert_eq!(root < a, x < a, "vertex {x} mapped across cycles to {root}");
         }
     }
@@ -237,9 +237,6 @@ mod tests {
         let mut st = ring_state(n, 5);
         let out = shrink_large_cycles(&mut st, 200, 1 << 20).unwrap();
         let per_rep = out.queries as f64 / out.repetitions.max(1) as f64;
-        assert!(
-            per_rep < 4.0 * n as f64,
-            "queries per repetition {per_rep} not linear in n={n}"
-        );
+        assert!(per_rep < 4.0 * n as f64, "queries per repetition {per_rep} not linear in n={n}");
     }
 }

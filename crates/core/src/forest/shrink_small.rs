@@ -202,7 +202,10 @@ pub fn shrink_small_cycles(
             let mut interior = Vec::new();
             let mut cur = start;
             loop {
-                debug_assert_ne!(cur, v, "leader re-encountered itself; loop case should have fired");
+                debug_assert_ne!(
+                    cur, v,
+                    "leader re-encountered itself; loop case should have fired"
+                );
                 let (next, rank) = read_link(ctx, space, cur);
                 if rank >= my_rank {
                     return Some((cur, interior));
@@ -487,8 +490,7 @@ mod tests {
             guard += 1;
         }
         assert!(st.alive.is_empty(), "no-step2 run stalled");
-        let labels: Vec<u64> =
-            st.compose_labels(512).unwrap().into_iter().take(n).collect();
+        let labels: Vec<u64> = st.compose_labels(512).unwrap().into_iter().take(n).collect();
         assert_cycles_labeled(&succ, &labels);
     }
 

@@ -193,8 +193,7 @@ impl Driver<'_> {
         let contraction = contract(g, &c);
         self.stats.charge_external(1, 2 * m, n + 2 * m);
         let c2 = self.shrink_recurse(&contraction.graph, depth)?;
-        let labels: Vec<u64> =
-            contraction.class_of.iter().map(|&cls| c2[cls as usize]).collect();
+        let labels: Vec<u64> = contraction.class_of.iter().map(|&cls| c2[cls as usize]).collect();
         self.stats.charge_external(1, n, n);
         Ok(labels)
     }
@@ -311,7 +310,7 @@ mod tests {
     }
 
     #[test]
-    fn cc_calls_bounded(){
+    fn cc_calls_bounded() {
         // Lemma 4.6 shape: the number of recursive calls is 2^O(k), which
         // for k=2 and these sizes should be a small constant.
         let g = erdos_renyi_gnm(8000, 32_000, 6);

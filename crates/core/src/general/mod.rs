@@ -3,6 +3,6 @@
 
 pub mod algorithm2;
 pub mod bdeplus;
+pub mod rooted_forest;
 pub mod sampling;
 pub mod shrink_general;
-pub mod rooted_forest;

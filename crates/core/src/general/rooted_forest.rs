@@ -48,11 +48,8 @@ pub fn resolve_roots_euler(
     ampc_cfg: AmpcConfig,
 ) -> AmpcResult<RootedForestOutcome> {
     let n = parents.len();
-    let edges: Vec<(VertexId, VertexId)> = parents
-        .iter()
-        .enumerate()
-        .filter_map(|(v, p)| p.map(|p| (v as VertexId, p)))
-        .collect();
+    let edges: Vec<(VertexId, VertexId)> =
+        parents.iter().enumerate().filter_map(|(v, p)| p.map(|p| (v as VertexId, p))).collect();
     let forest = Graph::from_edges(n, &edges);
 
     // Euler tour (Observation 3.1; cited O(1)-round primitive, charged).
@@ -81,11 +78,8 @@ pub fn resolve_roots_euler(
     // represents a root arc walks its entire cycle, labeling everything it
     // passes with the root id — one adaptive round.
     let rounds_before = state.sys.stats().rounds();
-    let marked: Vec<(u64, u64)> = state
-        .alive
-        .iter()
-        .filter_map(|&a| root_rep[a as usize].map(|r| (a, r)))
-        .collect();
+    let marked: Vec<(u64, u64)> =
+        state.alive.iter().filter_map(|&a| root_rep[a as usize].map(|r| (a, r))).collect();
     let sweeps = state.sys.round("rf-traverse", &marked, |ctx, &(start, root)| {
         let mut covered = vec![start];
         let mut cur = unpack(*ctx.read(Key::new(FWD, start)).expect("alive")).0;
@@ -182,13 +176,7 @@ mod tests {
         // uniformly random earlier vertex.
         let mut rng = stream(seed, 0, 0, 0);
         (0..n)
-            .map(|v| {
-                if v < roots {
-                    None
-                } else {
-                    Some(rng.next_below(v as u64) as VertexId)
-                }
-            })
+            .map(|v| if v < roots { None } else { Some(rng.next_below(v as u64) as VertexId) })
             .collect()
     }
 

@@ -278,8 +278,7 @@ mod tests {
     fn assert_cc_shrinking(g: &Graph, t: usize, seed: u64) -> ShrinkGeneralOutcome {
         let out = shrink_general(g, t, 4096, cfg(seed)).unwrap();
         let h_labels = reference_components(&out.h);
-        let g_labels: Vec<u64> =
-            out.to_h.iter().map(|&c| h_labels.get(c)).collect();
+        let g_labels: Vec<u64> = out.to_h.iter().map(|&c| h_labels.get(c)).collect();
         assert!(
             Labeling(g_labels).same_partition(&reference_components(g)),
             "composition broke components (t={t})"
@@ -371,28 +370,14 @@ mod tests {
         // produce identical shrunk graphs.
         let g = erdos_renyi_gnm(1500, 4500, 29);
         for t in [4usize, 16] {
-            let chase = shrink_general_with(
-                &g,
-                t,
-                4096,
-                cfg(31),
-                RootResolution::Chase,
-            )
-            .unwrap();
-            let euler = shrink_general_with(
-                &g,
-                t,
-                4096,
-                cfg(31),
-                RootResolution::EulerTour,
-            )
-            .unwrap();
+            let chase = shrink_general_with(&g, t, 4096, cfg(31), RootResolution::Chase).unwrap();
+            let euler =
+                shrink_general_with(&g, t, 4096, cfg(31), RootResolution::EulerTour).unwrap();
             assert_eq!(chase.h.n(), euler.h.n(), "t={t}");
             assert_eq!(chase.to_h, euler.to_h, "t={t}");
             // And the Euler variant is CC-shrinking in its own right.
             let h_labels = reference_components(&euler.h);
-            let composed =
-                Labeling(euler.to_h.iter().map(|&c| h_labels.get(c)).collect());
+            let composed = Labeling(euler.to_h.iter().map(|&c| h_labels.get(c)).collect());
             assert!(composed.same_partition(&reference_components(&g)));
         }
     }

@@ -2,11 +2,27 @@
 //! collections: correctness, ledger balance, parent-forest acyclicity, and
 //! pointer integrity after every iteration.
 
+use ampc::rng::SplitMix64;
 use ampc::{AmpcConfig, Key};
 use ampc_cc::cycles::{unpack, CycleState, BWD, FWD, PARENT};
 use ampc_cc::forest::shrink_large::shrink_large_cycles;
 use ampc_cc::forest::shrink_small::shrink_small_cycles;
-use proptest::prelude::*;
+
+/// Cases per property — mirrors the original `ProptestConfig::with_cases(16)`.
+/// (No registry access for `proptest`, so properties run over a deterministic
+/// hand-rolled case loop seeded per `(property tag, case index)`.)
+const CASES: u64 = 16;
+
+/// Deterministic per-case RNG.
+fn case_rng(tag: u64, case: u64) -> SplitMix64 {
+    ampc::rng::stream(0x5481_11CC, tag, case, 0)
+}
+
+/// Random cycle-size vector: `len` in `1..max_len`, sizes in `2..max_size`.
+fn arb_sizes(rng: &mut SplitMix64, max_len: u64, max_size: u64) -> Vec<usize> {
+    let len = 1 + rng.next_below(max_len - 1);
+    (0..len).map(|_| (2 + rng.next_below(max_size - 2)) as usize).collect()
+}
 
 /// Builds a successor permutation of disjoint cycles with the given sizes,
 /// interleaving vertex ids across cycles so machine chunks mix cycles.
@@ -50,16 +66,12 @@ fn assert_pointer_integrity(state: &CycleState, orig_cycle: &[usize]) {
         let fwd = state.sys.snapshot().get(Key::new(FWD, v)).expect("alive FWD");
         let (succ, _, _) = unpack(*fwd);
         assert!(alive.contains(&succ), "v={v} points to dead successor {succ}");
-        assert_eq!(
-            orig_cycle[succ as usize], orig_cycle[v as usize],
-            "pointer crossed cycles"
-        );
+        assert_eq!(orig_cycle[succ as usize], orig_cycle[v as usize], "pointer crossed cycles");
         let bwd = state.sys.snapshot().get(Key::new(BWD, v)).expect("alive BWD");
         let (pred, _, _) = unpack(*bwd);
         assert!(alive.contains(&pred), "v={v} points to dead predecessor {pred}");
         // succ/pred must be mutually consistent.
-        let (ps, _, _) =
-            unpack(*state.sys.snapshot().get(Key::new(FWD, pred)).expect("pred FWD"));
+        let (ps, _, _) = unpack(*state.sys.snapshot().get(Key::new(FWD, pred)).expect("pred FWD"));
         assert_eq!(ps, v, "pred({v}) = {pred} but succ({pred}) = {ps}");
     }
 }
@@ -81,15 +93,13 @@ fn assert_parent_forest(state: &CycleState, orig_cycle: &[usize], n: usize) {
     }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(16))]
-
-    #[test]
-    fn iteration_preserves_invariants(
-        sizes in prop::collection::vec(2usize..60, 1..20),
-        b in 1u16..8,
-        seed in 0u64..10_000,
-    ) {
+#[test]
+fn iteration_preserves_invariants() {
+    for case in 0..CASES {
+        let mut rng = case_rng(1, case);
+        let sizes = arb_sizes(&mut rng, 20, 60);
+        let b = 1 + rng.next_below(7) as u16;
+        let seed = rng.next_below(10_000);
         let succ = cycles_from_sizes(&sizes);
         let orig = cycle_ids(&succ);
         let n = succ.len();
@@ -101,35 +111,40 @@ proptest! {
         while !st.alive.is_empty() {
             let out = shrink_small_cycles(&mut st, b, 1 << 16, true).unwrap();
             // Ledger balance.
-            prop_assert_eq!(
+            assert_eq!(
                 out.alive_before - out.alive_after,
-                out.loop_contracted + out.segment_contracted + out.step2_contracted
-                    + out.finished_cycles
+                out.loop_contracted
+                    + out.segment_contracted
+                    + out.step2_contracted
+                    + out.finished_cycles,
+                "case {case}"
             );
             assert_pointer_integrity(&st, &orig);
             assert_parent_forest(&st, &orig, n);
             iters += 1;
-            prop_assert!(iters < 200, "did not converge");
+            assert!(iters < 200, "case {case}: did not converge");
         }
         // Final labels: exactly the original cycle partition.
         let labels = st.compose_labels(3 * iters + 8).unwrap();
         for i in 0..n {
             for j in (i + 1)..n {
-                prop_assert_eq!(labels[i] == labels[j], orig[i] == orig[j]);
+                assert_eq!(labels[i] == labels[j], orig[i] == orig[j], "case {case}");
             }
         }
         // Each cycle contributes exactly one root.
         let mut roots = st.roots.clone();
         roots.sort_unstable();
         roots.dedup();
-        prop_assert_eq!(roots.len(), sizes.len());
+        assert_eq!(roots.len(), sizes.len(), "case {case}");
     }
+}
 
-    #[test]
-    fn shrink_large_preserves_invariants(
-        sizes in prop::collection::vec(2usize..400, 1..8),
-        seed in 0u64..10_000,
-    ) {
+#[test]
+fn shrink_large_preserves_invariants() {
+    for case in 0..CASES {
+        let mut rng = case_rng(2, case);
+        let sizes = arb_sizes(&mut rng, 8, 400);
+        let seed = rng.next_below(10_000);
         let succ = cycles_from_sizes(&sizes);
         let orig = cycle_ids(&succ);
         let n = succ.len();
@@ -145,17 +160,22 @@ proptest! {
         let roots: std::collections::HashSet<u64> = st.roots.iter().copied().collect();
         let labels = st.compose_labels(out.repetitions * 2 + 8).unwrap();
         for (v, &l) in labels.iter().enumerate() {
-            prop_assert!(alive.contains(&l) || roots.contains(&l), "vertex {v} maps to dead {l}");
-            prop_assert_eq!(orig[l as usize], orig[v], "vertex {} mapped across cycles", v);
+            assert!(
+                alive.contains(&l) || roots.contains(&l),
+                "case {case}: vertex {v} maps to dead {l}"
+            );
+            assert_eq!(orig[l as usize], orig[v], "case {case}: vertex {v} mapped across cycles");
         }
     }
+}
 
-    #[test]
-    fn walk_cap_never_breaks_correctness(
-        sizes in prop::collection::vec(2usize..40, 1..10),
-        cap in 2usize..12,
-        seed in 0u64..1000,
-    ) {
+#[test]
+fn walk_cap_never_breaks_correctness() {
+    for case in 0..CASES {
+        let mut rng = case_rng(3, case);
+        let sizes = arb_sizes(&mut rng, 10, 40);
+        let cap = 2 + rng.next_below(10) as usize;
+        let seed = rng.next_below(1000);
         // Starved caps: abstention must preserve exact correctness.
         let succ = cycles_from_sizes(&sizes);
         let orig = cycle_ids(&succ);
@@ -167,12 +187,12 @@ proptest! {
         while !st.alive.is_empty() {
             shrink_small_cycles(&mut st, 2, cap, true).unwrap();
             iters += 1;
-            prop_assert!(iters < 500, "starved run did not converge");
+            assert!(iters < 500, "case {case}: starved run did not converge");
         }
         let labels = st.compose_labels(3 * iters + 8).unwrap();
         for i in 0..succ.len() {
             for j in (i + 1)..succ.len() {
-                prop_assert_eq!(labels[i] == labels[j], orig[i] == orig[j]);
+                assert_eq!(labels[i] == labels[j], orig[i] == orig[j], "case {case}");
             }
         }
     }
@@ -197,12 +217,10 @@ fn lemma_3_10_expectation_over_seeds() {
         total_after += out.alive_after;
     }
     let mean = total_after as f64 / trials as f64;
-    let bound = 2.0 * k as f64 / 64.0 + 1.0 / 64.0; // 2k/2^B + 1/2^B = 128.02
-    // Allow 1.8× sampling slack over the expectation bound at 12 trials.
-    assert!(
-        mean <= 1.8 * bound,
-        "mean survivors {mean:.1} exceed Lemma 3.10 bound {bound:.1}"
-    );
+    // 2k/2^B + 1/2^B = 128.02; allow 1.8× sampling slack over the
+    // expectation bound at 12 trials.
+    let bound = 2.0 * k as f64 / 64.0 + 1.0 / 64.0;
+    assert!(mean <= 1.8 * bound, "mean survivors {mean:.1} exceed Lemma 3.10 bound {bound:.1}");
     // Sanity floor: Step 1 cannot do better than the max-rank census.
     assert!(mean >= 1.0);
 }

@@ -54,11 +54,7 @@ pub fn contract(g: &Graph, mapping: &[u64]) -> Contraction {
 /// Projects a CC-labeling of the contracted graph back to the original
 /// vertex set: the `Compose` direction of Definition 2.1.
 pub fn compose_labels(contraction: &Contraction, contracted_labels: &[u64]) -> Vec<u64> {
-    contraction
-        .class_of
-        .iter()
-        .map(|&c| contracted_labels[c as usize])
-        .collect()
+    contraction.class_of.iter().map(|&c| contracted_labels[c as usize]).collect()
 }
 
 #[cfg(test)]
@@ -89,10 +85,7 @@ mod tests {
     #[test]
     fn contraction_is_cc_shrinking() {
         // Definition 2.1: CC-labeling of H + mapping → CC-labeling of G.
-        let g = Graph::from_edges(
-            8,
-            &[(0, 1), (1, 2), (3, 4), (5, 6), (6, 7)],
-        );
+        let g = Graph::from_edges(8, &[(0, 1), (1, 2), (3, 4), (5, 6), (6, 7)]);
         // Contract arbitrary within-component groups.
         let c = contract(&g, &[0, 0, 1, 2, 2, 3, 3, 4]);
         let h_labels = reference_components(&c.graph);

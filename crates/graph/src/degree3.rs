@@ -104,8 +104,14 @@ mod tests {
         let g = Graph::from_edges(
             12,
             &[
-                (0, 1), (0, 2), (0, 3), (0, 4), (0, 5), // star (deg 5 center)
-                (6, 7), (7, 8), (8, 6), // triangle
+                (0, 1),
+                (0, 2),
+                (0, 3),
+                (0, 4),
+                (0, 5), // star (deg 5 center)
+                (6, 7),
+                (7, 8),
+                (8, 6),  // triangle
                 (9, 10), // edge; 11 isolated
             ],
         );

@@ -118,9 +118,7 @@ pub fn forest_to_cycles(g: &Graph) -> CycleDecomposition {
             // Successor: the arc leaving v toward neighbor (j+1) mod d,
             // i.e. the arc entering w := nbrs[(j+1)%d] from v.
             let w = nbrs[(j + 1) % d];
-            let pos = g
-                .neighbor_position(w, v)
-                .expect("undirected CSR stores both endpoints");
+            let pos = g.neighbor_position(w, v).expect("undirected CSR stores both endpoints");
             succ[a as usize] = base[w as usize] + pos as u32;
         }
     }

@@ -1,8 +1,6 @@
 //! Forest generators for Theorem 1.1 workloads.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
-
+use super::rng::SplitMix64;
 use crate::csr::{Graph, VertexId};
 
 /// A path on `n` vertices: the adversarial shape for naive uniform sampling
@@ -47,7 +45,7 @@ pub fn caterpillar(spine: usize, legs: usize) -> Graph {
 /// a uniformly random earlier vertex. Produces depth `Θ(log n)` trees with
 /// realistic degree variation.
 pub fn random_attachment_tree(n: usize, seed: u64) -> Graph {
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = SplitMix64::seed_from_u64(seed);
     let mut edges = Vec::with_capacity(n.saturating_sub(1));
     for i in 1..n as VertexId {
         let parent = rng.gen_range(0..i);
@@ -60,7 +58,7 @@ pub fn random_attachment_tree(n: usize, seed: u64) -> Graph {
 /// sizes split near-evenly.
 pub fn random_forest(n: usize, trees: usize, seed: u64) -> Graph {
     assert!(trees >= 1 && trees <= n.max(1));
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = SplitMix64::seed_from_u64(seed);
     let mut edges = Vec::with_capacity(n.saturating_sub(trees));
     let per = n / trees;
     let mut start = 0usize;

@@ -2,17 +2,15 @@
 
 use std::collections::HashSet;
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
-
+use super::rng::SplitMix64;
 use crate::csr::{Graph, VertexId};
 
 /// Erdős–Rényi `G(n, m)`: `m` distinct uniformly random edges.
 pub fn erdos_renyi_gnm(n: usize, m: usize, seed: u64) -> Graph {
     assert!(n >= 2 || m == 0);
-    let max_m = n * (n - 1) / 2;
+    let max_m = n * n.saturating_sub(1) / 2;
     assert!(m <= max_m, "G(n,m) requested more edges than possible");
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = SplitMix64::seed_from_u64(seed);
     let mut seen: HashSet<(VertexId, VertexId)> = HashSet::with_capacity(m);
     let mut edges = Vec::with_capacity(m);
     while edges.len() < m {
@@ -85,7 +83,7 @@ pub fn barbell(k: usize, bridge: usize) -> Graph {
 /// Produces the heavy-tailed degree distributions of web/social graphs.
 pub fn preferential_attachment(n: usize, edges_per: usize, seed: u64) -> Graph {
     assert!(n >= 2 && edges_per >= 1);
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = SplitMix64::seed_from_u64(seed);
     // `targets` holds one entry per edge endpoint; sampling uniformly from
     // it is degree-proportional sampling.
     let mut targets: Vec<VertexId> = vec![0, 1];
@@ -140,7 +138,7 @@ pub fn disjoint_union(parts: &[Graph]) -> Graph {
 /// the classical sampling model used in Theorem 4.3-style analyses.
 pub fn erdos_renyi_gnp(n: usize, p: f64, seed: u64) -> Graph {
     assert!((0.0..=1.0).contains(&p));
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = SplitMix64::seed_from_u64(seed);
     let mut edges = Vec::new();
     for u in 0..n as VertexId {
         for v in (u + 1)..n as VertexId {
@@ -173,7 +171,7 @@ pub fn lollipop(k: usize, tail: usize) -> Graph {
 /// A random bipartite graph with sides `a`, `b` and `m` distinct edges.
 pub fn random_bipartite(a: usize, b: usize, m: usize, seed: u64) -> Graph {
     assert!(m <= a * b, "requested more edges than the biclique has");
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = SplitMix64::seed_from_u64(seed);
     let mut seen: HashSet<(VertexId, VertexId)> = HashSet::with_capacity(m);
     let mut edges = Vec::with_capacity(m);
     while edges.len() < m {

@@ -9,12 +9,13 @@
 
 mod forest;
 mod general;
+mod rng;
 
 pub use forest::{
     balanced_binary_tree, broom, caterpillar, kary_tree, path, random_attachment_tree,
     random_forest, spider, star, ForestFamily,
 };
 pub use general::{
-    barbell, complete, disjoint_cliques, disjoint_union, erdos_renyi_gnm, erdos_renyi_gnp,
-    grid2d, lollipop, preferential_attachment, random_bipartite, GraphFamily,
+    barbell, complete, disjoint_cliques, disjoint_union, erdos_renyi_gnm, erdos_renyi_gnp, grid2d,
+    lollipop, preferential_attachment, random_bipartite, GraphFamily,
 };

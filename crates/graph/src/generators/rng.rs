@@ -1,0 +1,94 @@
+//! Private seeded RNG for the generators.
+//!
+//! The build environment has no registry access, so instead of `rand` the
+//! generators draw from the workspace's own [`ampc::rng::SplitMix64`]
+//! stream. This adapter wraps it in the small slice of the `rand::Rng` API
+//! the generators use (`gen_range`, `gen_bool`), so call sites read
+//! identically to their original `rand` form.
+
+use std::ops::Range;
+
+pub(crate) struct SplitMix64 {
+    inner: ampc::rng::SplitMix64,
+}
+
+impl SplitMix64 {
+    /// Named after `rand::SeedableRng::seed_from_u64` to keep call sites
+    /// unchanged.
+    pub(crate) fn seed_from_u64(seed: u64) -> Self {
+        SplitMix64 { inner: ampc::rng::SplitMix64::new(seed) }
+    }
+
+    /// Uniform draw from a half-open integer range, like `rand::Rng::gen_range`.
+    #[inline]
+    pub(crate) fn gen_range<T: UniformInt>(&mut self, range: Range<T>) -> T {
+        let (lo, hi) = (range.start.to_u64(), range.end.to_u64());
+        assert!(lo < hi, "gen_range called with an empty range");
+        T::from_u64(lo + self.inner.next_below(hi - lo))
+    }
+
+    /// Bernoulli trial with success probability `p`, like `rand::Rng::gen_bool`.
+    #[inline]
+    pub(crate) fn gen_bool(&mut self, p: f64) -> bool {
+        self.inner.bernoulli(p)
+    }
+}
+
+/// Integer types `gen_range` can sample.
+pub(crate) trait UniformInt: Copy {
+    fn to_u64(self) -> u64;
+    fn from_u64(x: u64) -> Self;
+}
+
+macro_rules! impl_uniform_int {
+    ($($t:ty),*) => {$(
+        impl UniformInt for $t {
+            #[inline]
+            fn to_u64(self) -> u64 {
+                self as u64
+            }
+            #[inline]
+            fn from_u64(x: u64) -> Self {
+                x as $t
+            }
+        }
+    )*};
+}
+
+impl_uniform_int!(u32, u64, usize);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gen_range_stays_in_bounds_and_covers() {
+        let mut rng = SplitMix64::seed_from_u64(1);
+        let mut seen = [false; 5];
+        for _ in 0..500 {
+            let x = rng.gen_range(0usize..5);
+            seen[x] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+        for _ in 0..100 {
+            let x = rng.gen_range(10u32..12);
+            assert!((10..12).contains(&x));
+        }
+    }
+
+    #[test]
+    fn same_seed_same_stream() {
+        let mut a = SplitMix64::seed_from_u64(9);
+        let mut b = SplitMix64::seed_from_u64(9);
+        for _ in 0..32 {
+            assert_eq!(a.gen_range(0u64..u64::MAX), b.gen_range(0u64..u64::MAX));
+        }
+    }
+
+    #[test]
+    fn gen_bool_extremes() {
+        let mut rng = SplitMix64::seed_from_u64(3);
+        assert!(!rng.gen_bool(0.0));
+        assert!(rng.gen_bool(1.0));
+    }
+}

@@ -17,13 +17,13 @@
 #![warn(missing_docs)]
 
 pub mod contract;
+mod csr;
 pub mod degree3;
 pub mod euler;
 pub mod generators;
 pub mod io;
-pub mod metrics;
-mod csr;
 mod labeling;
+pub mod metrics;
 mod unionfind;
 
 pub use csr::{Graph, VertexId};

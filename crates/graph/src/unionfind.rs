@@ -33,7 +33,8 @@ impl UnionFind {
         if ru == rv {
             return false;
         }
-        let (hi, lo) = if self.rank[ru as usize] >= self.rank[rv as usize] { (ru, rv) } else { (rv, ru) };
+        let (hi, lo) =
+            if self.rank[ru as usize] >= self.rank[rv as usize] { (ru, rv) } else { (rv, ru) };
         self.parent[lo as usize] = hi;
         if self.rank[hi as usize] == self.rank[lo as usize] {
             self.rank[hi as usize] += 1;

@@ -1,0 +1,220 @@
+//! Offline stand-in for the `criterion` benchmark harness.
+//!
+//! The build environment cannot reach crates.io, so `ampc-bench` links this
+//! minimal shim instead of the real `criterion`. It implements just the API
+//! surface the workspace benches use — `criterion_group!`/`criterion_main!`,
+//! [`Criterion::benchmark_group`], [`BenchmarkGroup::bench_function`] /
+//! [`BenchmarkGroup::bench_with_input`], [`Bencher::iter`], [`BenchmarkId`]
+//! and [`Throughput`] — with wall-clock timing and plain-text reporting
+//! rather than criterion's statistical machinery. Each benchmark runs a
+//! small fixed number of timed iterations and prints mean time per
+//! iteration, so `cargo bench` stays useful for coarse regression checks.
+//!
+//! Replacing the `criterion = { path = ... }` entry in `crates/bench` with
+//! the real registry crate requires no source changes in the benches.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Number of timed iterations per benchmark. The real criterion calibrates
+/// this statistically; the shim keeps `cargo bench` fast and deterministic.
+const SHIM_ITERS: u32 = 3;
+
+/// Top-level handle passed to every `criterion_group!` target.
+#[derive(Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    /// Mirrors `Criterion::configure_from_args`; the shim ignores CLI args.
+    #[must_use]
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { name: name.into(), throughput: None, _parent: self }
+    }
+}
+
+/// Identifies one benchmark within a group: a function name plus a
+/// parameter rendered with `Display` (e.g. an input size).
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// `BenchmarkId::new("family", n)` — function name + parameter.
+    pub fn new(function_name: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId { id: format!("{}/{}", function_name.into(), parameter) }
+    }
+
+    /// Identifier carrying only a parameter.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId { id: parameter.to_string() }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId { id: s.to_string() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        BenchmarkId { id: s }
+    }
+}
+
+/// Throughput annotation for a benchmark's input.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Input size in abstract elements (vertices, edges, items).
+    Elements(u64),
+    /// Input size in bytes.
+    Bytes(u64),
+}
+
+/// A named collection of benchmarks sharing configuration.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    throughput: Option<Throughput>,
+    _parent: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Mirrors criterion's sample-size control; the shim ignores it.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Mirrors criterion's measurement-time control; the shim ignores it.
+    pub fn measurement_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    /// Annotates subsequent benchmarks with an input throughput.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Runs a benchmark with no explicit input.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let mut b = Bencher { elapsed: Duration::ZERO, iters: 0 };
+        f(&mut b);
+        self.report(&id.id, &b);
+        self
+    }
+
+    /// Runs a benchmark parameterized by `input`.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let mut b = Bencher { elapsed: Duration::ZERO, iters: 0 };
+        f(&mut b, input);
+        self.report(&id.id, &b);
+        self
+    }
+
+    /// Ends the group. (The real criterion finalizes reports here.)
+    pub fn finish(self) {}
+
+    fn report(&self, id: &str, b: &Bencher) {
+        let per_iter = if b.iters == 0 { Duration::ZERO } else { b.elapsed / b.iters };
+        match self.throughput {
+            Some(Throughput::Elements(n)) if !per_iter.is_zero() => {
+                let rate = n as f64 / per_iter.as_secs_f64();
+                println!(
+                    "bench {}/{id}: {per_iter:?}/iter ({rate:.0} elem/s, {} iters)",
+                    self.name, b.iters
+                );
+            }
+            _ => {
+                println!("bench {}/{id}: {per_iter:?}/iter ({} iters)", self.name, b.iters);
+            }
+        }
+    }
+}
+
+/// Timing loop handle passed to each benchmark closure.
+pub struct Bencher {
+    elapsed: Duration,
+    iters: u32,
+}
+
+impl Bencher {
+    /// Times `routine`, accumulating wall-clock over a fixed iteration count.
+    pub fn iter<O, R>(&mut self, mut routine: R)
+    where
+        R: FnMut() -> O,
+    {
+        for _ in 0..SHIM_ITERS {
+            let start = Instant::now();
+            black_box(routine());
+            self.elapsed += start.elapsed();
+            self.iters += 1;
+        }
+    }
+}
+
+/// Declares a benchmark group function, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default().configure_from_args();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares the bench binary's `main`, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn group_runs_benches_and_counts_iters() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("shim");
+        let mut calls = 0u32;
+        group.sample_size(10).throughput(Throughput::Elements(4));
+        group.bench_function("f", |b| b.iter(|| calls += 1));
+        group
+            .bench_with_input(BenchmarkId::new("g", 7), &3u32, |b, &x| b.iter(|| black_box(x * 2)));
+        group.finish();
+        assert_eq!(calls, SHIM_ITERS);
+    }
+
+    #[test]
+    fn benchmark_id_formats_like_criterion() {
+        assert_eq!(BenchmarkId::new("fam", 42).id, "fam/42");
+        assert_eq!(BenchmarkId::from_parameter(9).id, "9");
+        assert_eq!(BenchmarkId::from("raw").id, "raw");
+    }
+}

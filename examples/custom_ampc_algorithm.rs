@@ -83,8 +83,7 @@ fn main() {
         seg.iter().map(|&(s, t, l)| (s, (t, l))).collect();
     let mut dist: HashMap<u64, u64> = HashMap::from([(tail, 0)]);
     // Resolve by repeated relaxation (≤ #splitters passes; ~2 in practice).
-    let mut remaining: Vec<u64> =
-        splitters.iter().copied().filter(|&s| s != tail).collect();
+    let mut remaining: Vec<u64> = splitters.iter().copied().filter(|&s| s != tail).collect();
     while !remaining.is_empty() {
         let before = remaining.len();
         remaining.retain(|&s| {
@@ -132,7 +131,7 @@ fn main() {
     // Verify against the generation order.
     let mut expected = vec![0u64; n as usize];
     for (i, &v) in order.iter().enumerate() {
-        expected[v as usize] = (n - 1 - i as u64) as u64;
+        expected[v as usize] = n - 1 - i as u64;
     }
     for &(v, d) in &ranks {
         assert_eq!(d, expected[v as usize], "element {v} misranked");

@@ -47,8 +47,8 @@ fn main() {
     // Baseline: BDE+21 Theorem 4.1 with 8× linear space.
     let t_total = 8 * (g.n() + g.m());
     let s_local = ((g.n() + g.m()) as f64).powf(0.6) as usize;
-    let base = theorem41(&g, t_total, s_local, &AmpcConfig::default().with_seed(99))
-        .expect("theorem 4.1");
+    let base =
+        theorem41(&g, t_total, s_local, &AmpcConfig::default().with_seed(99)).expect("theorem 4.1");
     assert!(base.labeling.same_partition(&truth));
     println!("\nBDE+21 Theorem 4.1 baseline (T = 8N):");
     println!("  ShrinkGeneral levels = {} (budgets {:?})", base.levels, base.budgets);

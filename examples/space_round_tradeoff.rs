@@ -19,12 +19,7 @@ fn main() {
     let n = 1 << 18;
     let g = random_forest(n, n / 512, 77);
     let truth = reference_components(&g);
-    println!(
-        "forest: n = {} ({} trees), log* n = {}\n",
-        n,
-        n / 512,
-        log_star(n as f64)
-    );
+    println!("forest: n = {} ({} trees), log* n = {}\n", n, n / 512, log_star(n as f64));
     println!(
         "{:>3} {:>5} {:>12} {:>8} {:>16} {:>18}",
         "k", "B0", "iterations", "rounds", "peak words/n", "paper log^(k) n"

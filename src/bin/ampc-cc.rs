@@ -68,21 +68,25 @@ fn parse_args() -> Result<Args, String> {
             "--trace" => args.trace = true,
             "--metrics" => args.metrics = true,
             "--k" => {
-                args.k = it.next().ok_or("--k needs a value")?.parse().map_err(|e| {
-                    format!("bad --k: {e}")
-                })?;
+                args.k = it
+                    .next()
+                    .ok_or("--k needs a value")?
+                    .parse()
+                    .map_err(|e| format!("bad --k: {e}"))?;
             }
             "--seed" => {
-                args.seed =
-                    it.next().ok_or("--seed needs a value")?.parse().map_err(|e| {
-                        format!("bad --seed: {e}")
-                    })?;
+                args.seed = it
+                    .next()
+                    .ok_or("--seed needs a value")?
+                    .parse()
+                    .map_err(|e| format!("bad --seed: {e}"))?;
             }
             "--machines" => {
-                args.machines =
-                    it.next().ok_or("--machines needs a value")?.parse().map_err(|e| {
-                        format!("bad --machines: {e}")
-                    })?;
+                args.machines = it
+                    .next()
+                    .ok_or("--machines needs a value")?
+                    .parse()
+                    .map_err(|e| format!("bad --machines: {e}"))?;
             }
             "--help" | "-h" => return Err("usage".into()),
             other if args.file.is_empty() => args.file = other.to_string(),

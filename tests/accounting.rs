@@ -46,10 +46,7 @@ fn forest_total_space_is_linear_in_n() {
         let g = random_forest(n, 16, 2);
         let res = connected_components_forest(&g, &ForestCcConfig::default()).unwrap();
         let per_vertex = res.peak_space() as f64 / n as f64;
-        assert!(
-            per_vertex < 160.0,
-            "n={n}: peak {per_vertex:.1} words/vertex — superlinear space"
-        );
+        assert!(per_vertex < 160.0, "n={n}: peak {per_vertex:.1} words/vertex — superlinear space");
     }
 }
 
@@ -93,16 +90,12 @@ fn general_space_tracks_budget_shape() {
 #[test]
 fn per_iteration_outcomes_sum_to_total_removals() {
     let g = random_forest(6000, 6000 / 40, 6);
-    let mut cfg = ForestCcConfig::default();
-    cfg.skip_shrink_large = true;
+    let cfg = ForestCcConfig { skip_shrink_large: true, ..ForestCcConfig::default() };
     let res = connected_components_forest(&g, &cfg).unwrap();
     for it in &res.iterations {
         assert_eq!(
             it.alive_before - it.alive_after,
-            it.loop_contracted
-                + it.segment_contracted
-                + it.step2_contracted
-                + it.finished_cycles, // finished leaders also leave `alive`
+            it.loop_contracted + it.segment_contracted + it.step2_contracted + it.finished_cycles, // finished leaders also leave `alive`
             "iteration removal ledger out of balance: {it:?}"
         );
         assert!(it.alive_after <= it.alive_before);
@@ -119,10 +112,12 @@ fn audit_budget_scales_with_delta() {
     let n = 1 << 14;
     let g = random_forest(n, 8, 7);
     let violations = |delta: f64| {
-        let mut cfg = ForestCcConfig::default();
-        cfg.delta = delta;
-        cfg.audit_limits = true;
-        cfg.machines = n / 4;
+        let cfg = ForestCcConfig {
+            delta,
+            audit_limits: true,
+            machines: n / 4,
+            ..ForestCcConfig::default()
+        };
         let res = connected_components_forest(&g, &cfg).unwrap();
         res.stats.violations().count()
     };

@@ -1,0 +1,91 @@
+//! Smoke test of the `ampc-cc` binary: run it on a tiny bundled edge list
+//! in every mode and assert a clean exit plus the correct component count.
+
+use std::path::Path;
+use std::process::Command;
+
+fn run(args: &[&str]) -> std::process::Output {
+    let exe = env!("CARGO_BIN_EXE_ampc-cc");
+    let data = Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/data/smoke.txt");
+    Command::new(exe).arg(data).args(args).output().expect("failed to spawn ampc-cc")
+}
+
+/// The bundled graph: path 0-1-2-3, triangle 4-5-6, isolated 7.
+const EXPECTED_COMPONENTS: usize = 3;
+
+#[test]
+fn cli_modes_exit_cleanly_with_correct_count() {
+    // The triangle makes the graph non-forest, so --forest is exercised on
+    // the forest subset via --auto dispatch; run it only on the two modes
+    // that accept a cyclic input, plus --auto.
+    for mode in ["--general", "--auto"] {
+        let out = run(&[mode, "--seed", "7"]);
+        let stderr = String::from_utf8_lossy(&out.stderr);
+        assert!(out.status.success(), "{mode}: exit {:?}\n{stderr}", out.status.code());
+        assert!(
+            stderr.contains(&format!("components = {EXPECTED_COMPONENTS}")),
+            "{mode}: wrong component count\n{stderr}"
+        );
+    }
+}
+
+#[test]
+fn cli_forest_mode_on_forest_input() {
+    // --forest requires acyclic input, so this uses the bundled
+    // forest-only fixture rather than the triangle-bearing smoke graph.
+    let exe = env!("CARGO_BIN_EXE_ampc-cc");
+    let data = Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/data/smoke_forest.txt");
+    let out = Command::new(exe)
+        .arg(&data)
+        .args(["--forest", "--seed", "7"])
+        .output()
+        .expect("failed to spawn ampc-cc");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(out.status.success(), "--forest: exit {:?}\n{stderr}", out.status.code());
+    assert!(stderr.contains("components = 3"), "--forest: wrong count\n{stderr}");
+    assert!(stderr.contains("algorithm: 1"), "--forest must use Algorithm 1\n{stderr}");
+}
+
+#[test]
+fn cli_auto_dispatches_by_input_shape() {
+    let out = run(&["--auto"]);
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    // The smoke graph has a triangle → not a forest → Algorithm 2.
+    assert!(stderr.contains("algorithm: 2"), "auto on cyclic input\n{stderr}");
+
+    let exe = env!("CARGO_BIN_EXE_ampc-cc");
+    let data = Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/data/smoke_forest.txt");
+    let out = Command::new(exe).arg(&data).arg("--auto").output().expect("spawn");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("algorithm: 1"), "auto on forest input\n{stderr}");
+}
+
+#[test]
+fn cli_labels_output_is_a_valid_labeling() {
+    let out = run(&["--general", "--labels"]);
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    let labels: Vec<(usize, u64)> = stdout
+        .lines()
+        .map(|l| {
+            let mut it = l.split_whitespace();
+            (it.next().unwrap().parse().unwrap(), it.next().unwrap().parse().unwrap())
+        })
+        .collect();
+    assert_eq!(labels.len(), 8);
+    // Path component together, triangle together, isolated vertex alone.
+    assert_eq!(labels[0].1, labels[3].1);
+    assert_eq!(labels[4].1, labels[6].1);
+    assert_ne!(labels[0].1, labels[4].1);
+    assert_ne!(labels[7].1, labels[0].1);
+    assert_ne!(labels[7].1, labels[4].1);
+}
+
+#[test]
+fn cli_rejects_bad_usage() {
+    let exe = env!("CARGO_BIN_EXE_ampc-cc");
+    let out = Command::new(exe).output().expect("spawn");
+    assert_eq!(out.status.code(), Some(2), "missing file must exit 2");
+    let out = Command::new(exe).args(["x.txt", "--bogus"]).output().expect("spawn");
+    assert_eq!(out.status.code(), Some(2), "unknown flag must exit 2");
+}

@@ -1,0 +1,228 @@
+//! Cross-validation harness: the scenario matrix.
+//!
+//! Runs Algorithm 1 (forests) and Algorithm 2 (general graphs) over every
+//! generator family × machine count × seed, and checks each run three ways:
+//!
+//! 1. **Ground truth** — the labeling must induce exactly the partition a
+//!    sequential union-find computes.
+//! 2. **Determinism** — replaying with the same seed must reproduce the
+//!    labeling *and* the per-round `RunStats` byte-for-byte; changing the
+//!    seed must still be correct (and machine count must never change the
+//!    result, per the AMPC model's machine-obliviousness).
+//! 3. **Counting claims** — measured rounds stay within the paper's
+//!    `O(log* n)` shape (Theorem 1.1) and the `k` trade-off moves space and
+//!    rounds in opposite directions (Theorem 1.1, general `k`).
+
+use adaptive_mpc_connectivity::cc::forest::pipeline::{
+    connected_components_forest, ForestCcConfig,
+};
+use adaptive_mpc_connectivity::cc::general::algorithm2::{
+    connected_components_general, GeneralCcConfig,
+};
+use adaptive_mpc_connectivity::cc::log_star;
+use adaptive_mpc_connectivity::graph::generators::{
+    disjoint_union, erdos_renyi_gnm, random_forest, ForestFamily, GraphFamily,
+};
+use adaptive_mpc_connectivity::graph::{reference_components, Graph, Labeling};
+
+use adaptive_mpc_connectivity::ampc::RunStats;
+
+/// Machine counts every scenario runs under.
+const MACHINE_COUNTS: [usize; 2] = [3, 16];
+
+/// Seeds every scenario runs under.
+const SEEDS: [u64; 2] = [11, 0xFEED];
+
+/// Canonical fingerprint of a run: the labeling plus every per-round
+/// counter, rendered to a string so replays can be compared byte-for-byte.
+fn fingerprint(labeling: &Labeling, stats: &RunStats) -> String {
+    use std::fmt::Write as _;
+    let mut s = String::new();
+    writeln!(s, "labels={:?}", labeling.canonical()).unwrap();
+    for r in stats.per_round() {
+        writeln!(
+            s,
+            "round {} {}: reads={} read_words={} writes={} write_words={} snap={} total={}",
+            r.index,
+            r.name,
+            r.reads,
+            r.read_words,
+            r.writes,
+            r.write_words,
+            r.snapshot_words,
+            r.total_space_words
+        )
+        .unwrap();
+    }
+    s
+}
+
+fn run_forest(g: &Graph, machines: usize, seed: u64) -> (Labeling, String, usize) {
+    let cfg = ForestCcConfig::default().with_seed(seed).with_machines(machines);
+    let res = connected_components_forest(g, &cfg).expect("forest run");
+    let fp = fingerprint(&res.labeling, &res.stats);
+    let rounds = res.rounds();
+    (res.labeling, fp, rounds)
+}
+
+fn run_general(g: &Graph, machines: usize, seed: u64) -> (Labeling, String) {
+    let mut cfg = GeneralCcConfig::default().with_seed(seed);
+    cfg.machines = machines;
+    let res = connected_components_general(g, &cfg).expect("general run");
+    let fp = fingerprint(&res.labeling, &res.stats);
+    (res.labeling, fp)
+}
+
+/// Algorithm 1 over the full forest matrix: every family × machine count ×
+/// seed, each run validated against union-find and replayed for
+/// byte-identical determinism.
+#[test]
+fn forest_matrix_ground_truth_and_determinism() {
+    let n = 600;
+    for fam in ForestFamily::ALL {
+        for machines in MACHINE_COUNTS {
+            for seed in SEEDS {
+                let g = fam.generate(n, seed ^ 0xF0F0);
+                let truth = reference_components(&g);
+                let (labeling, fp, _) = run_forest(&g, machines, seed);
+                assert!(
+                    labeling.same_partition(&truth),
+                    "family {} machines {machines} seed {seed}: wrong partition",
+                    fam.name()
+                );
+                // Seed replay: identical labeling and identical RunStats.
+                let (_, fp2, _) = run_forest(&g, machines, seed);
+                assert_eq!(
+                    fp,
+                    fp2,
+                    "family {} machines {machines} seed {seed}: replay diverged",
+                    fam.name()
+                );
+            }
+        }
+    }
+}
+
+/// Machine count is an execution detail of the simulator: it must never
+/// change the computed labeling or the metered round structure.
+#[test]
+fn forest_machine_count_oblivious() {
+    for fam in [ForestFamily::RandomTree, ForestFamily::TinyTrees, ForestFamily::Path] {
+        let g = fam.generate(900, 5);
+        let (_, fp_a, _) = run_forest(&g, MACHINE_COUNTS[0], 77);
+        let (_, fp_b, _) = run_forest(&g, MACHINE_COUNTS[1], 77);
+        assert_eq!(fp_a, fp_b, "family {}: machine count changed the run", fam.name());
+    }
+}
+
+/// Algorithm 2 over the full general-graph matrix, including a
+/// multi-component disjoint union, with ground truth + replay checks.
+#[test]
+fn general_matrix_ground_truth_and_determinism() {
+    let n = 400;
+    for fam in GraphFamily::ALL {
+        for machines in MACHINE_COUNTS {
+            for seed in SEEDS {
+                let g = fam.generate(n, seed ^ 0x0D0D);
+                let truth = reference_components(&g);
+                let (labeling, fp) = run_general(&g, machines, seed);
+                assert!(
+                    labeling.same_partition(&truth),
+                    "family {} machines {machines} seed {seed}: wrong partition",
+                    fam.name()
+                );
+                let (_, fp2) = run_general(&g, machines, seed);
+                assert_eq!(
+                    fp,
+                    fp2,
+                    "family {} machines {machines} seed {seed}: replay diverged",
+                    fam.name()
+                );
+            }
+        }
+    }
+}
+
+/// Multi-component general graphs: a disjoint union of one sparse and one
+/// dense ER graph plus a forest must keep its components separate.
+#[test]
+fn general_multi_component_union() {
+    for seed in SEEDS {
+        let a = erdos_renyi_gnm(150, 300, seed);
+        let b = erdos_renyi_gnm(120, 600, seed + 1);
+        let c = random_forest(200, 6, seed + 2);
+        let g = disjoint_union(&[a, b, c]);
+        let truth = reference_components(&g);
+        for machines in MACHINE_COUNTS {
+            let (labeling, _) = run_general(&g, machines, seed);
+            assert!(
+                labeling.same_partition(&truth),
+                "machines {machines} seed {seed}: union components merged or split"
+            );
+            assert_eq!(labeling.num_components(), truth.num_components());
+        }
+    }
+}
+
+/// Theorem 1.1 counting claim: measured AMPC rounds grow like `log* n`,
+/// i.e. stay under `c·log* n + d` for fixed small constants across three
+/// decades of input size. (Probe constants; see the printed table when run
+/// with `--nocapture`.)
+#[test]
+fn forest_rounds_bounded_by_log_star() {
+    for (fam, seed) in
+        [(ForestFamily::RandomTree, 3u64), (ForestFamily::ManyTrees, 4), (ForestFamily::Path, 5)]
+    {
+        for exp in [8u32, 12, 16] {
+            let n = 1usize << exp;
+            let g = fam.generate(n, seed);
+            let (labeling, _, rounds) = run_forest(&g, 8, seed);
+            assert!(labeling.same_partition(&reference_components(&g)));
+            let bound = 12 * log_star(n as f64) as usize + 40;
+            println!(
+                "forest rounds: family={} n={n} log*={} rounds={rounds} bound={bound}",
+                fam.name(),
+                log_star(n as f64)
+            );
+            assert!(
+                rounds <= bound,
+                "family {} n {n}: {rounds} rounds exceeds c·log* n + O(1) bound {bound}",
+                fam.name()
+            );
+        }
+    }
+}
+
+/// Theorem 1.1 trade-off claim: the space/round dial `k` selects the
+/// starting rank width `B0 = 2↑↑(log* n − k)`, so a smaller `k` buys its
+/// fewer shrink iterations with a wider rank census. Measured on a single
+/// long path (the workload that isolates the B-schedule), the trade-off
+/// must be monotone: as `k` grows, `B0`, peak total space, and total
+/// queries are all non-increasing, while every run stays correct. Once
+/// `B0` saturates at its floor the remaining runs must be identical.
+#[test]
+fn tradeoff_space_monotone_in_k() {
+    let n = 1 << 12;
+    let g = ForestFamily::Path.generate(n, 0);
+    let truth = reference_components(&g);
+    let mut prev: Option<(u16, usize, usize)> = None;
+    for k in 1..=4u32 {
+        let mut cfg = ForestCcConfig::default().with_seed(0x7A).with_tradeoff_k(n, k);
+        cfg.skip_shrink_large = true;
+        let res = connected_components_forest(&g, &cfg).expect("tradeoff run");
+        assert!(res.labeling.same_partition(&truth), "k={k}");
+        let cur = (cfg.b0, res.peak_space(), res.queries());
+        println!("tradeoff: k={k} b0={} peak={} queries={}", cur.0, cur.1, cur.2);
+        if let Some(prev) = prev {
+            assert!(cur.0 <= prev.0, "k={k}: B0 grew ({} > {})", cur.0, prev.0);
+            if cur.0 == prev.0 {
+                // Saturated schedule: identical budget must replay identically.
+                assert_eq!((cur.1, cur.2), (prev.1, prev.2), "k={k}: same B0, different run");
+            } else {
+                assert!(cur.1 <= prev.1, "k={k}: peak space grew ({} > {})", cur.1, prev.1);
+                assert!(cur.2 <= prev.2, "k={k}: queries grew ({} > {})", cur.2, prev.2);
+            }
+        }
+        prev = Some(cur);
+    }
+}

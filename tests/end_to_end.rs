@@ -20,11 +20,9 @@ fn forest_pipeline_on_every_family_and_size() {
     for fam in ForestFamily::ALL {
         for n in [64usize, 500, 4000] {
             let g = fam.generate(n, fam as u64 * 31 + n as u64);
-            let res = connected_components_forest(
-                &g,
-                &ForestCcConfig::default().with_seed(n as u64),
-            )
-            .unwrap();
+            let res =
+                connected_components_forest(&g, &ForestCcConfig::default().with_seed(n as u64))
+                    .unwrap();
             assert!(
                 res.labeling.same_partition(&reference_components(&g)),
                 "family {} n {n}",
@@ -39,11 +37,9 @@ fn general_pipeline_on_every_family_and_size() {
     for fam in GraphFamily::ALL {
         for n in [64usize, 500, 2500] {
             let g = fam.generate(n, fam as u64 * 17 + n as u64);
-            let res = connected_components_general(
-                &g,
-                &GeneralCcConfig::default().with_seed(n as u64),
-            )
-            .unwrap();
+            let res =
+                connected_components_general(&g, &GeneralCcConfig::default().with_seed(n as u64))
+                    .unwrap();
             assert!(
                 res.labeling.same_partition(&reference_components(&g)),
                 "family {} n {n}",
@@ -67,8 +63,7 @@ fn all_five_algorithms_agree_on_forests() {
     let a2 = connected_components_general(&g, &GeneralCcConfig::default()).unwrap();
     assert!(a2.labeling.same_partition(&truth), "Algorithm 2");
 
-    let b41 =
-        theorem41(&g, 16 * (g.n() + g.m()), 1 << 10, &AmpcConfig::default()).unwrap();
+    let b41 = theorem41(&g, 16 * (g.n() + g.m()), 1 << 10, &AmpcConfig::default()).unwrap();
     assert!(b41.labeling.same_partition(&truth), "Theorem 4.1");
 
     assert!(min_label_propagation(&g).labeling.same_partition(&truth), "MPC min-label");

@@ -59,8 +59,7 @@ fn cap_stalls_are_bounded_not_fatal() {
 #[test]
 fn single_machine_deployment() {
     let g = random_forest(3000, 20, 5);
-    let mut cfg = ForestCcConfig::default();
-    cfg.machines = 1;
+    let cfg = ForestCcConfig { machines: 1, ..ForestCcConfig::default() };
     let res = connected_components_forest(&g, &cfg).unwrap();
     assert!(res.labeling.same_partition(&reference_components(&g)));
 }
@@ -68,8 +67,7 @@ fn single_machine_deployment() {
 #[test]
 fn more_machines_than_items() {
     let g = random_forest(100, 5, 5);
-    let mut cfg = ForestCcConfig::default();
-    cfg.machines = 4096;
+    let cfg = ForestCcConfig { machines: 4096, ..ForestCcConfig::default() };
     let res = connected_components_forest(&g, &cfg).unwrap();
     assert!(res.labeling.same_partition(&reference_components(&g)));
 }
@@ -110,9 +108,7 @@ fn minimal_rank_width_b1() {
     // B = 1: all ranks identical — Step 1 contracts nothing except via
     // adjacent-leader ownership; Step 2 carries the whole load (Lemma 3.8).
     let g = random_forest(1500, 10, 17);
-    let mut cfg = ForestCcConfig::default();
-    cfg.b0 = 1;
-    cfg.double_b = false;
+    let cfg = ForestCcConfig { b0: 1, double_b: false, ..ForestCcConfig::default() };
     let res = connected_components_forest(&g, &cfg).unwrap();
     assert!(res.labeling.same_partition(&reference_components(&g)));
 }
@@ -120,9 +116,7 @@ fn minimal_rank_width_b1() {
 #[test]
 fn both_ablations_disabled_simultaneously() {
     let g = random_forest(1200, 30, 19);
-    let mut cfg = ForestCcConfig::default();
-    cfg.enable_step2 = false;
-    cfg.double_b = false;
+    let cfg = ForestCcConfig { enable_step2: false, double_b: false, ..ForestCcConfig::default() };
     let res = connected_components_forest(&g, &cfg).unwrap();
     assert!(res.labeling.same_partition(&reference_components(&g)));
 }
@@ -132,8 +126,7 @@ fn zero_collect_threshold_finishes_distributed() {
     // Never collect locally: the rank machinery must drive every cycle to a
     // singleton on its own.
     let g = random_forest(2000, 8, 23);
-    let mut cfg = ForestCcConfig::default();
-    cfg.collect_threshold = 0;
+    let cfg = ForestCcConfig { collect_threshold: 0, ..ForestCcConfig::default() };
     let res = connected_components_forest(&g, &cfg).unwrap();
     assert!(res.labeling.same_partition(&reference_components(&g)));
     assert!(!res.finisher.collected_locally);
@@ -142,9 +135,12 @@ fn zero_collect_threshold_finishes_distributed() {
 #[test]
 fn huge_collect_threshold_solves_locally() {
     let g = random_forest(2000, 8, 29);
-    let mut cfg = ForestCcConfig::default();
-    cfg.collect_threshold = usize::MAX;
-    cfg.max_iterations = 0; // skip the main loop entirely
+    // Skip the main loop entirely (`max_iterations: 0`).
+    let cfg = ForestCcConfig {
+        collect_threshold: usize::MAX,
+        max_iterations: 0,
+        ..ForestCcConfig::default()
+    };
     let res = connected_components_forest(&g, &cfg).unwrap();
     assert!(res.labeling.same_partition(&reference_components(&g)));
     assert!(res.finisher.collected_locally);
@@ -153,10 +149,8 @@ fn huge_collect_threshold_solves_locally() {
 #[test]
 fn dense_graph_under_tight_space_parameters() {
     let g = erdos_renyi_gnm(400, 12_000, 31);
-    let mut cfg = GeneralCcConfig::default();
-    cfg.delta = 0.4; // tiny machines
-    cfg.k = 5; // tight total space
-    cfg.space_const = 1.0;
+    // Tiny machines (`delta`), tight total space (`k`).
+    let cfg = GeneralCcConfig { delta: 0.4, k: 5, space_const: 1.0, ..GeneralCcConfig::default() };
     let res = connected_components_general(&g, &cfg).unwrap();
     assert!(res.labeling.same_partition(&reference_components(&g)));
 }
@@ -179,10 +173,7 @@ fn adversarial_vertex_id_orderings() {
             .collect();
         let g = adaptive_mpc_connectivity::graph::Graph::from_edges(n as usize, &edges);
         let res = connected_components_forest(&g, &ForestCcConfig::default()).unwrap();
-        assert!(
-            res.labeling.same_partition(&reference_components(&g)),
-            "id permutation {perm}"
-        );
+        assert!(res.labeling.same_partition(&reference_components(&g)), "id permutation {perm}");
     }
 }
 
