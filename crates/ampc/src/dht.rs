@@ -1,6 +1,6 @@
-//! The distributed hash table.
+//! DHT storage backends.
 //!
-//! One [`Dht`] instance plays the role of a round's *read-only* snapshot.
+//! A storage backend plays the role of a round's *read-only* snapshot.
 //! Machine write buffers are merged into a copy of it at the end of each
 //! round (see [`crate::AmpcSystem`]), which models the common AMPC idiom of
 //! carrying unchanged data forward: conceptually machines rewrite data they
@@ -8,11 +8,27 @@
 //! Space accounting is unaffected because peak space per round is computed
 //! as `snapshot words + communication words`, which upper-bounds the
 //! literal "fresh output DHT" model.
+//!
+//! Two backends implement the [`DhtStorage`] trait:
+//!
+//! * [`FlatDht`] — one hash map, the reference implementation (alias
+//!   [`Dht`] for backwards compatibility);
+//! * [`ShardedDht`] — `N` power-of-two shards selected by packed-key hash,
+//!   with per-shard word accounting and a shard-parallel merge.
+//!
+//! The executor partitions every round's write buffers by
+//! [`DhtStorage::shard_of`] (preserving machine-index order within each
+//! shard) and hands the partition to [`DhtStorage::apply_ops`]. Because a
+//! key maps to exactly one shard, ops on different shards touch disjoint
+//! key sets and commute; within a shard the machine-order sequence is
+//! preserved. The merged result is therefore byte-identical to the fully
+//! sequential global machine-order merge, no matter how many shards exist
+//! or how the OS schedules the shard workers.
 
 use std::collections::HashMap;
 use std::hash::{BuildHasherDefault, Hasher};
 
-use crate::key::Key;
+use crate::key::{Key, Space};
 use crate::value::DhtValue;
 
 /// A fast multiply-xor hasher (FxHash-style) for the packed 64-bit keys.
@@ -27,9 +43,19 @@ impl Hasher for PackedKeyHasher {
     }
 
     fn write(&mut self, bytes: &[u8]) {
-        // Only fixed-width integer keys are ever hashed; route through write_u64.
-        for &b in bytes {
-            self.write_u64(b as u64);
+        // Fold the slice one 8-byte chunk — one multiply round — at a time
+        // rather than one round per byte. The tail chunk is length-tagged in
+        // its (necessarily zero) top byte so slices that differ only in
+        // trailing zero bytes still hash apart.
+        let mut chunks = bytes.chunks_exact(8);
+        for chunk in &mut chunks {
+            self.write_u64(u64::from_le_bytes(chunk.try_into().expect("8-byte chunk")));
+        }
+        let rem = chunks.remainder();
+        if !rem.is_empty() {
+            let mut tail = [0u8; 8];
+            tail[..rem.len()].copy_from_slice(rem);
+            self.write_u64(u64::from_le_bytes(tail) | ((rem.len() as u64) << 56));
         }
     }
 
@@ -45,31 +71,176 @@ impl Hasher for PackedKeyHasher {
 
 type Build = BuildHasherDefault<PackedKeyHasher>;
 
-/// An immutable-per-round key-value store measured in words.
+/// A buffered mutation, applied to the snapshot when the round completes.
+#[derive(Debug, Clone)]
+pub enum WriteOp<V> {
+    /// Replace the value at the key (last machine in index order wins).
+    Put(V),
+    /// Combine with the existing value via [`DhtValue::merge`].
+    Merge(V),
+    /// Remove the key (models shrinking algorithms retiring dead entries).
+    Delete,
+}
+
+/// Which storage backend a deployment's DHT uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum DhtBackend {
+    /// One hash map ([`FlatDht`]) with a fully sequential merge.
+    #[default]
+    Flat,
+    /// Power-of-two hash-partitioned shards ([`ShardedDht`]) with a
+    /// shard-parallel merge.
+    Sharded {
+        /// Requested shard count, rounded up to a power of two.
+        /// `0` selects an automatic count from the hardware parallelism.
+        shards: usize,
+    },
+}
+
+impl DhtBackend {
+    /// The sharded backend with an automatically chosen shard count.
+    pub fn sharded() -> Self {
+        DhtBackend::Sharded { shards: 0 }
+    }
+
+    /// Short display name (`"flat"` / `"sharded"`).
+    pub fn name(self) -> &'static str {
+        match self {
+            DhtBackend::Flat => "flat",
+            DhtBackend::Sharded { .. } => "sharded",
+        }
+    }
+
+    /// The shard count this backend resolves to on this host. Shard count
+    /// never affects results (see the module docs), only merge parallelism.
+    /// Explicit counts are clamped to `1..=65536` (the same bound as
+    /// [`ShardedDht::with_shard_count`]) **before** rounding so absurd
+    /// values can neither overflow `next_power_of_two` nor silently wrap to
+    /// one shard.
+    pub fn resolved_shards(self) -> usize {
+        match self {
+            DhtBackend::Flat => 1,
+            DhtBackend::Sharded { shards: 0 } => auto_shard_count(),
+            DhtBackend::Sharded { shards } => shards.clamp(1, 1 << 16).next_power_of_two(),
+        }
+    }
+}
+
+/// Default shard count: a few shards per hardware thread so the merge can
+/// load-balance, bounded so tiny deployments don't drown in empty maps.
+fn auto_shard_count() -> usize {
+    let workers = std::thread::available_parallelism().map_or(1, usize::from);
+    (workers * 4).next_power_of_two().clamp(4, 256)
+}
+
+/// Storage interface every DHT backend implements.
 ///
-/// `Dht` tracks the total word footprint of its contents incrementally so
-/// the executor can account snapshot space in `O(1)` per round.
+/// [`crate::MachineCtx`] reads borrow the snapshot through this trait with
+/// the backend as a *generic* parameter, so the hot read path monomorphizes
+/// per backend — no dynamic dispatch.
+pub trait DhtStorage<V: DhtValue>: Clone + Send + Sync {
+    /// Creates an empty store configured for `backend`. A backend that does
+    /// not match the implementing type (e.g. constructing a [`FlatDht`]
+    /// from [`DhtBackend::Sharded`]) is treated as that type's default
+    /// configuration — callers dispatch consistently via
+    /// [`crate::AmpcConfig::backend`].
+    fn for_backend(backend: DhtBackend) -> Self;
+
+    /// Looks up `key`.
+    fn get(&self, key: Key) -> Option<&V>;
+
+    /// Returns true if `key` is present.
+    fn contains(&self, key: Key) -> bool {
+        self.get(key).is_some()
+    }
+
+    /// Inserts `value` at `key`, replacing and returning any previous entry.
+    fn insert(&mut self, key: Key, value: V) -> Option<V>;
+
+    /// Merges `value` into the entry at `key` using [`DhtValue::merge`],
+    /// inserting it outright if absent.
+    fn merge(&mut self, key: Key, value: V);
+
+    /// Removes the entry at `key`, returning it if present.
+    fn remove(&mut self, key: Key) -> Option<V>;
+
+    /// Number of entries.
+    fn len(&self) -> usize;
+
+    /// True when the store holds no entries.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Total word footprint of all stored values.
+    fn words(&self) -> usize;
+
+    /// Word footprint broken down per keyspace, as sorted
+    /// `(space, entries, words)` triples. O(n); intended for reports and
+    /// tests, not hot paths.
+    fn words_by_space(&self) -> Vec<(Space, usize, usize)>;
+
+    /// Visits every entry in unspecified order.
+    fn for_each_entry(&self, f: &mut dyn FnMut(Key, &V));
+
+    /// Number of shards write buffers should be partitioned into.
+    fn shard_count(&self) -> usize;
+
+    /// The shard a key's ops belong to (always `< shard_count()`).
+    fn shard_of(&self, key: Key) -> usize;
+
+    /// Applies buffered op lists. When `shard_count() > 1` the executor
+    /// passes exactly one list per shard — `ops_by_shard[s]` holds shard
+    /// `s`'s ops in machine-index order (then buffer order) — and the
+    /// implementation must apply each shard's list in that order but may
+    /// process distinct shards concurrently when `parallel` is set. When
+    /// `shard_count() == 1` the executor instead passes one list per
+    /// machine (skipping the partition copy); the lists must be applied
+    /// sequentially in the given order.
+    fn apply_ops(&mut self, ops_by_shard: Vec<Vec<(Key, WriteOp<V>)>>, parallel: bool);
+
+    /// Short display name of the backend.
+    fn backend_name(&self) -> &'static str;
+
+    /// All entries sorted by key — the canonical form used to compare final
+    /// snapshots across backends.
+    fn sorted_entries(&self) -> Vec<(Key, V)> {
+        let mut out = Vec::with_capacity(self.len());
+        self.for_each_entry(&mut |k, v| out.push((k, v.clone())));
+        out.sort_unstable_by_key(|&(k, _)| k);
+        out
+    }
+}
+
+/// An immutable-per-round key-value store measured in words: the single-map
+/// reference backend.
+///
+/// `FlatDht` tracks the total word footprint of its contents incrementally
+/// so the executor can account snapshot space in `O(1)` per round.
 #[derive(Clone)]
-pub struct Dht<V> {
+pub struct FlatDht<V> {
     map: HashMap<u64, V, Build>,
     words: usize,
 }
 
-impl<V: DhtValue> Default for Dht<V> {
+/// Backwards-compatible name for the reference backend.
+pub type Dht<V> = FlatDht<V>;
+
+impl<V: DhtValue> Default for FlatDht<V> {
     fn default() -> Self {
         Self::new()
     }
 }
 
-impl<V: DhtValue> Dht<V> {
+impl<V: DhtValue> FlatDht<V> {
     /// Creates an empty table.
     pub fn new() -> Self {
-        Dht { map: HashMap::default(), words: 0 }
+        FlatDht { map: HashMap::default(), words: 0 }
     }
 
     /// Creates an empty table with capacity for `n` entries.
     pub fn with_capacity(n: usize) -> Self {
-        Dht { map: HashMap::with_capacity_and_hasher(n, Build::default()), words: 0 }
+        FlatDht { map: HashMap::with_capacity_and_hasher(n, Build::default()), words: 0 }
     }
 
     /// Looks up `key`.
@@ -138,19 +309,268 @@ impl<V: DhtValue> Dht<V> {
     /// Word footprint broken down per keyspace, as sorted
     /// `(space, entries, words)` triples. O(n); intended for reports and
     /// tests, not hot paths.
-    pub fn words_by_space(&self) -> Vec<(crate::Space, usize, usize)>
-    where
-        V: DhtValue,
-    {
-        let mut acc: std::collections::BTreeMap<crate::Space, (usize, usize)> =
-            std::collections::BTreeMap::new();
+    pub fn words_by_space(&self) -> Vec<(Space, usize, usize)> {
+        let mut acc: std::collections::BTreeMap<Space, (usize, usize)> = Default::default();
+        self.accumulate_words_by_space(&mut acc);
+        acc.into_iter().map(|(s, (e, w))| (s, e, w)).collect()
+    }
+
+    /// Folds this table's per-space `(entries, words)` totals into `acc`
+    /// (shared by the flat breakdown and the cross-shard aggregation).
+    fn accumulate_words_by_space(
+        &self,
+        acc: &mut std::collections::BTreeMap<Space, (usize, usize)>,
+    ) {
         for (&packed, v) in &self.map {
-            let space = (packed >> 48) as crate::Space;
-            let e = acc.entry(space).or_insert((0, 0));
+            let e = acc.entry(Key::space_of_packed(packed)).or_insert((0, 0));
             e.0 += 1;
             e.1 += v.words();
         }
+    }
+
+    /// Applies a batch of buffered ops in list order.
+    fn apply_batch(&mut self, ops: Vec<(Key, WriteOp<V>)>) {
+        for (key, op) in ops {
+            match op {
+                WriteOp::Put(v) => {
+                    self.insert(key, v);
+                }
+                WriteOp::Merge(v) => self.merge(key, v),
+                WriteOp::Delete => {
+                    self.remove(key);
+                }
+            }
+        }
+    }
+}
+
+impl<V: DhtValue> DhtStorage<V> for FlatDht<V> {
+    fn for_backend(backend: DhtBackend) -> Self {
+        // A sharded config reaching the flat type means a caller fixed
+        // `S = FlatDht` but set `with_backend(sharded())` — the setting
+        // would be a silent no-op, so surface the dispatch mismatch early.
+        debug_assert!(
+            matches!(backend, DhtBackend::Flat),
+            "FlatDht constructed for a {} backend config — dispatch on AmpcConfig::backend \
+             (or use ShardedDht as the system's storage parameter)",
+            backend.name()
+        );
+        FlatDht::new()
+    }
+
+    #[inline]
+    fn get(&self, key: Key) -> Option<&V> {
+        FlatDht::get(self, key)
+    }
+
+    #[inline]
+    fn contains(&self, key: Key) -> bool {
+        FlatDht::contains(self, key)
+    }
+
+    fn insert(&mut self, key: Key, value: V) -> Option<V> {
+        FlatDht::insert(self, key, value)
+    }
+
+    fn merge(&mut self, key: Key, value: V) {
+        FlatDht::merge(self, key, value)
+    }
+
+    fn remove(&mut self, key: Key) -> Option<V> {
+        FlatDht::remove(self, key)
+    }
+
+    fn len(&self) -> usize {
+        FlatDht::len(self)
+    }
+
+    fn is_empty(&self) -> bool {
+        FlatDht::is_empty(self)
+    }
+
+    fn words(&self) -> usize {
+        FlatDht::words(self)
+    }
+
+    fn words_by_space(&self) -> Vec<(Space, usize, usize)> {
+        FlatDht::words_by_space(self)
+    }
+
+    fn for_each_entry(&self, f: &mut dyn FnMut(Key, &V)) {
+        for (&packed, v) in &self.map {
+            f(Key::from_packed(packed), v);
+        }
+    }
+
+    fn shard_count(&self) -> usize {
+        1
+    }
+
+    #[inline]
+    fn shard_of(&self, _key: Key) -> usize {
+        0
+    }
+
+    fn apply_ops(&mut self, ops_by_shard: Vec<Vec<(Key, WriteOp<V>)>>, _parallel: bool) {
+        for ops in ops_by_shard {
+            self.apply_batch(ops);
+        }
+    }
+
+    fn backend_name(&self) -> &'static str {
+        "flat"
+    }
+}
+
+/// One multiply-xorshift round used to spread packed keys over shards.
+/// This is the same mix the per-shard maps' [`PackedKeyHasher`] applies, so
+/// the **shard index must not reuse its low bits**: hashbrown derives
+/// bucket indices from the low hash bits, and routing on them would leave
+/// every shard's map using only every `N`-th bucket. [`ShardedDht`]
+/// therefore takes the shard index from bit 32 upward — disjoint from the
+/// bucket bits of any realistically sized shard (< 2^32 entries) and from
+/// the top-7 control bits.
+#[inline]
+fn spread(packed: u64) -> u64 {
+    let mut x = packed.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    x ^= x >> 29;
+    x
+}
+
+/// Hash-partitioned storage: `N` power-of-two [`FlatDht`] shards.
+///
+/// Each shard tracks its own word footprint, so total accounting stays
+/// `O(shards)` and the executor's shard-parallel merge can apply every
+/// shard's op list on an independent worker without synchronization.
+#[derive(Clone)]
+pub struct ShardedDht<V> {
+    shards: Vec<FlatDht<V>>,
+    mask: u64,
+}
+
+impl<V: DhtValue> ShardedDht<V> {
+    /// Creates an empty store with `shards` shards (rounded up to a power
+    /// of two, clamped to `1..=65536`).
+    pub fn with_shard_count(shards: usize) -> Self {
+        let shards = shards.clamp(1, 1 << 16).next_power_of_two();
+        ShardedDht {
+            shards: (0..shards).map(|_| FlatDht::new()).collect(),
+            mask: shards as u64 - 1,
+        }
+    }
+
+    #[inline]
+    fn shard_index(&self, key: Key) -> usize {
+        // Bits 32.. of the spread hash: see `spread` for why the low bits
+        // (hashbrown's bucket bits) must not select the shard.
+        ((spread(key.packed()) >> 32) & self.mask) as usize
+    }
+
+    /// Per-shard word footprints (the per-shard accounting behind
+    /// [`DhtStorage::words`]).
+    pub fn shard_words(&self) -> Vec<usize> {
+        self.shards.iter().map(FlatDht::words).collect()
+    }
+}
+
+impl<V: DhtValue> DhtStorage<V> for ShardedDht<V> {
+    fn for_backend(backend: DhtBackend) -> Self {
+        Self::with_shard_count(backend.resolved_shards())
+    }
+
+    #[inline]
+    fn get(&self, key: Key) -> Option<&V> {
+        self.shards[self.shard_index(key)].get(key)
+    }
+
+    #[inline]
+    fn contains(&self, key: Key) -> bool {
+        self.shards[self.shard_index(key)].contains(key)
+    }
+
+    fn insert(&mut self, key: Key, value: V) -> Option<V> {
+        let s = self.shard_index(key);
+        self.shards[s].insert(key, value)
+    }
+
+    fn merge(&mut self, key: Key, value: V) {
+        let s = self.shard_index(key);
+        self.shards[s].merge(key, value)
+    }
+
+    fn remove(&mut self, key: Key) -> Option<V> {
+        let s = self.shard_index(key);
+        self.shards[s].remove(key)
+    }
+
+    fn len(&self) -> usize {
+        self.shards.iter().map(FlatDht::len).sum()
+    }
+
+    fn words(&self) -> usize {
+        self.shards.iter().map(FlatDht::words).sum()
+    }
+
+    fn words_by_space(&self) -> Vec<(Space, usize, usize)> {
+        let mut acc: std::collections::BTreeMap<Space, (usize, usize)> = Default::default();
+        for shard in &self.shards {
+            shard.accumulate_words_by_space(&mut acc);
+        }
         acc.into_iter().map(|(s, (e, w))| (s, e, w)).collect()
+    }
+
+    fn for_each_entry(&self, f: &mut dyn FnMut(Key, &V)) {
+        for shard in &self.shards {
+            shard.for_each_entry(f);
+        }
+    }
+
+    fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    #[inline]
+    fn shard_of(&self, key: Key) -> usize {
+        self.shard_index(key)
+    }
+
+    fn apply_ops(&mut self, mut ops_by_shard: Vec<Vec<(Key, WriteOp<V>)>>, parallel: bool) {
+        if self.shards.len() == 1 {
+            // Single-shard store: the executor passes one list per machine
+            // (see the trait contract) — apply them all in order.
+            for ops in ops_by_shard {
+                self.shards[0].apply_batch(ops);
+            }
+            return;
+        }
+        debug_assert_eq!(ops_by_shard.len(), self.shards.len());
+        let workers =
+            std::thread::available_parallelism().map_or(1, usize::from).min(self.shards.len());
+        if parallel && workers > 1 {
+            // Shard-parallel merge on scoped worker threads: each worker owns
+            // a contiguous block of shards, so no shard is touched twice and
+            // each shard's op list is applied in its recorded order.
+            let block = self.shards.len().div_ceil(workers);
+            std::thread::scope(|scope| {
+                for (shard_block, ops_block) in
+                    self.shards.chunks_mut(block).zip(ops_by_shard.chunks_mut(block))
+                {
+                    scope.spawn(move || {
+                        for (shard, ops) in shard_block.iter_mut().zip(ops_block.iter_mut()) {
+                            shard.apply_batch(std::mem::take(ops));
+                        }
+                    });
+                }
+            });
+        } else {
+            for (shard, ops) in self.shards.iter_mut().zip(ops_by_shard) {
+                shard.apply_batch(ops);
+            }
+        }
+    }
+
+    fn backend_name(&self) -> &'static str {
+        "sharded"
     }
 }
 
@@ -217,9 +637,47 @@ mod tests {
 }
 
 #[cfg(test)]
+mod hasher_tests {
+    use super::*;
+
+    fn hash_bytes(bytes: &[u8]) -> u64 {
+        let mut h = PackedKeyHasher::default();
+        h.write(bytes);
+        h.finish()
+    }
+
+    #[test]
+    fn byte_slices_hash_in_word_chunks() {
+        // A 16-byte slice must equal exactly two write_u64 rounds — the
+        // whole point of the chunked write path.
+        let bytes: [u8; 16] = [1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15, 16];
+        let mut direct = PackedKeyHasher::default();
+        direct.write_u64(u64::from_le_bytes(bytes[..8].try_into().unwrap()));
+        direct.write_u64(u64::from_le_bytes(bytes[8..].try_into().unwrap()));
+        assert_eq!(hash_bytes(&bytes), direct.finish());
+    }
+
+    #[test]
+    fn trailing_zero_bytes_change_the_hash() {
+        // The length tag keeps "ab" and "ab\0" apart even though the padded
+        // tail words are identical.
+        assert_ne!(hash_bytes(b"ab"), hash_bytes(b"ab\0"));
+        assert_ne!(hash_bytes(b""), hash_bytes(b"\0"));
+    }
+
+    #[test]
+    fn distinct_slices_hash_distinctly() {
+        use std::collections::HashSet;
+        let mut seen = HashSet::new();
+        for i in 0..1000u64 {
+            assert!(seen.insert(hash_bytes(&i.to_le_bytes())), "collision at {i}");
+        }
+    }
+}
+
+#[cfg(test)]
 mod space_breakdown_tests {
     use super::*;
-    use crate::Key;
 
     #[test]
     fn words_by_space_partitions_total() {
@@ -230,5 +688,155 @@ mod space_breakdown_tests {
         let by = d.words_by_space();
         assert_eq!(by, vec![(1, 2, 5), (2, 1, 4)]);
         assert_eq!(by.iter().map(|&(_, _, w)| w).sum::<usize>(), d.words());
+    }
+
+    #[test]
+    fn sharded_words_by_space_matches_flat() {
+        let mut flat: FlatDht<Vec<u64>> = FlatDht::new();
+        let mut sharded: ShardedDht<Vec<u64>> = ShardedDht::with_shard_count(8);
+        for i in 0..500u64 {
+            let v = vec![i; (i % 4) as usize + 1];
+            flat.insert(Key::new((i % 3) as Space, i), v.clone());
+            DhtStorage::insert(&mut sharded, Key::new((i % 3) as Space, i), v);
+        }
+        assert_eq!(flat.words_by_space(), DhtStorage::words_by_space(&sharded));
+        assert_eq!(flat.words(), DhtStorage::words(&sharded));
+    }
+}
+
+#[cfg(test)]
+mod sharded_tests {
+    use super::*;
+
+    fn ops(items: &[(u16, u64, WriteOp<u64>)]) -> Vec<(Key, WriteOp<u64>)> {
+        items.iter().map(|(s, id, op)| (Key::new(*s, *id), op.clone())).collect()
+    }
+
+    #[test]
+    fn sharded_basic_ops_match_flat() {
+        let mut flat: FlatDht<u64> = FlatDht::new();
+        let mut sharded: ShardedDht<u64> = ShardedDht::with_shard_count(4);
+        for i in 0..2000u64 {
+            flat.insert(Key::new((i % 5) as Space, i), i * 3);
+            DhtStorage::insert(&mut sharded, Key::new((i % 5) as Space, i), i * 3);
+        }
+        for i in (0..2000u64).step_by(7) {
+            flat.remove(Key::new((i % 5) as Space, i));
+            DhtStorage::remove(&mut sharded, Key::new((i % 5) as Space, i));
+        }
+        for i in 0..2000u64 {
+            flat.merge(Key::new(6, i % 17), i);
+            DhtStorage::merge(&mut sharded, Key::new(6, i % 17), i);
+        }
+        assert_eq!(flat.sorted_entries(), sharded.sorted_entries());
+        assert_eq!(FlatDht::len(&flat), DhtStorage::len(&sharded));
+        assert_eq!(FlatDht::words(&flat), DhtStorage::words(&sharded));
+    }
+
+    #[test]
+    fn shard_words_sum_to_total() {
+        let mut sharded: ShardedDht<u64> = ShardedDht::with_shard_count(8);
+        for i in 0..1000u64 {
+            DhtStorage::insert(&mut sharded, Key::new(0, i), i);
+        }
+        let per_shard = sharded.shard_words();
+        assert_eq!(per_shard.len(), 8);
+        assert_eq!(per_shard.iter().sum::<usize>(), DhtStorage::words(&sharded));
+        // The spreader must actually spread: no shard holds everything.
+        assert!(per_shard.iter().all(|&w| w < 1000), "degenerate shard distribution");
+    }
+
+    #[test]
+    fn shard_count_rounds_up_to_power_of_two() {
+        let d: ShardedDht<u64> = ShardedDht::with_shard_count(5);
+        assert_eq!(d.shard_count(), 8);
+        let d: ShardedDht<u64> = ShardedDht::with_shard_count(0);
+        assert_eq!(d.shard_count(), 1);
+    }
+
+    #[test]
+    fn apply_ops_preserves_machine_order_within_shard() {
+        // Two "machines" write the same key: the later list must win in both
+        // backends, and parallel application must not change that.
+        for parallel in [false, true] {
+            let mut flat: FlatDht<u64> = FlatDht::new();
+            let mut sharded: ShardedDht<u64> = ShardedDht::with_shard_count(4);
+            let machine0 = ops(&[(0, 1, WriteOp::Put(10)), (0, 2, WriteOp::Put(20))]);
+            let machine1 = ops(&[(0, 1, WriteOp::Put(11)), (0, 3, WriteOp::Delete)]);
+            // Flat: single shard, machines concatenated in index order.
+            let mut all = machine0.clone();
+            all.extend(machine1.clone());
+            DhtStorage::apply_ops(&mut flat, vec![all], parallel);
+            // Sharded: partition the same sequence by shard, preserving order.
+            let mut by_shard: Vec<Vec<(Key, WriteOp<u64>)>> =
+                (0..sharded.shard_count()).map(|_| Vec::new()).collect();
+            for (key, op) in machine0.into_iter().chain(machine1) {
+                by_shard[sharded.shard_of(key)].push((key, op));
+            }
+            DhtStorage::apply_ops(&mut sharded, by_shard, parallel);
+            assert_eq!(flat.sorted_entries(), sharded.sorted_entries());
+            assert_eq!(DhtStorage::get(&sharded, Key::new(0, 1)), Some(&11));
+        }
+    }
+
+    #[test]
+    fn backend_resolution() {
+        assert_eq!(DhtBackend::Flat.resolved_shards(), 1);
+        assert_eq!(DhtBackend::Sharded { shards: 6 }.resolved_shards(), 8);
+        assert!(DhtBackend::sharded().resolved_shards() >= 4);
+        assert_eq!(DhtBackend::Flat.name(), "flat");
+        assert_eq!(DhtBackend::sharded().name(), "sharded");
+        let d: ShardedDht<u64> = DhtStorage::<u64>::for_backend(DhtBackend::Sharded { shards: 16 });
+        assert_eq!(d.shard_count(), 16);
+        let f: FlatDht<u64> = DhtStorage::<u64>::for_backend(DhtBackend::Flat);
+        assert_eq!(DhtStorage::<u64>::shard_count(&f), 1);
+    }
+
+    #[test]
+    fn absurd_shard_counts_clamp_instead_of_overflowing() {
+        // next_power_of_two on huge values would panic (debug) or wrap to
+        // zero (release); the clamp must run first, and both entry points
+        // must agree on the cap.
+        assert_eq!(DhtBackend::Sharded { shards: usize::MAX }.resolved_shards(), 1 << 16);
+        assert_eq!(DhtBackend::Sharded { shards: 512 }.resolved_shards(), 512);
+        let d: ShardedDht<u64> = ShardedDht::with_shard_count(usize::MAX);
+        assert_eq!(d.shard_count(), 1 << 16);
+    }
+
+    #[test]
+    fn single_shard_store_applies_one_list_per_machine() {
+        // The executor's single-shard fast path hands over one list per
+        // machine; a 1-shard ShardedDht must apply them all, in order.
+        let mut d: ShardedDht<u64> = ShardedDht::with_shard_count(1);
+        let machine0 = ops(&[(0, 1, WriteOp::Put(10))]);
+        let machine1 = ops(&[(0, 1, WriteOp::Put(11)), (0, 2, WriteOp::Put(20))]);
+        DhtStorage::apply_ops(&mut d, vec![machine0, machine1], true);
+        assert_eq!(DhtStorage::get(&d, Key::new(0, 1)), Some(&11));
+        assert_eq!(DhtStorage::len(&d), 2);
+    }
+
+    #[test]
+    fn shard_routing_does_not_reuse_bucket_bits() {
+        // Keys landing in one shard must still spread over that shard's
+        // hash buckets: their full spread-hash low bits (hashbrown's bucket
+        // bits) must take many values, not just the shard residue.
+        let d: ShardedDht<u64> = ShardedDht::with_shard_count(64);
+        let mut low_bits: std::collections::HashSet<u64> = Default::default();
+        let mut in_shard0 = 0usize;
+        for i in 0..100_000u64 {
+            let key = Key::new(0, i);
+            if d.shard_of(key) == 0 {
+                in_shard0 += 1;
+                low_bits.insert(spread(key.packed()) & 0xFFF);
+            }
+        }
+        assert!(in_shard0 > 1000, "shard 0 unexpectedly empty");
+        // If shard selection consumed the low bits, at most 4096/64 = 64
+        // distinct low-bit patterns could appear here.
+        assert!(
+            low_bits.len() > 512,
+            "only {} distinct bucket-bit patterns in shard 0 — shard index aliases bucket index",
+            low_bits.len()
+        );
     }
 }

@@ -6,12 +6,22 @@
 //! [`MachineCtx`]; finally all write buffers are merged into the next
 //! snapshot **in machine-index order**, which makes runs deterministic no
 //! matter how the OS schedules the machine threads.
+//!
+//! The system is generic over its [`DhtStorage`] backend. With the
+//! [`ShardedDht`](crate::ShardedDht) backend the merge phase partitions
+//! every machine's buffer by shard (preserving machine order within each
+//! shard) and applies the shards concurrently on scoped worker threads —
+//! provably equivalent to the sequential global merge because cross-shard
+//! keys never interact (see `crates/ampc/src/dht.rs` module docs).
 
-use crate::dht::Dht;
+use std::borrow::Cow;
+use std::marker::PhantomData;
+
+use crate::dht::{DhtBackend, DhtStorage, FlatDht, WriteOp};
 use crate::error::{AmpcError, AmpcResult};
 use crate::key::Key;
 use crate::limits::SpaceLimits;
-use crate::machine::{MachineCtx, WriteOp};
+use crate::machine::MachineCtx;
 use crate::stats::{RoundStats, RunStats};
 use crate::value::DhtValue;
 
@@ -27,13 +37,23 @@ pub struct AmpcConfig {
     /// Execute machines on scoped OS threads (capped at the hardware
     /// parallelism; each worker runs a block of machines). Disable for
     /// tiny inputs where fork-join overhead dominates, or to simplify
-    /// debugging.
+    /// debugging. Also gates the shard-parallel merge.
     pub parallel: bool,
+    /// Which DHT storage backend the deployment uses. Pipelines dispatch on
+    /// this value when choosing the concrete `S` for [`AmpcSystem<V, S>`];
+    /// the backend never affects results, only merge parallelism.
+    pub backend: DhtBackend,
 }
 
 impl Default for AmpcConfig {
     fn default() -> Self {
-        AmpcConfig { num_machines: 8, seed: 0xA5A5_1234_5678_9ABC, limits: None, parallel: true }
+        AmpcConfig {
+            num_machines: 8,
+            seed: 0xA5A5_1234_5678_9ABC,
+            limits: None,
+            parallel: true,
+            backend: DhtBackend::Flat,
+        }
     }
 }
 
@@ -62,6 +82,12 @@ impl AmpcConfig {
         self.parallel = parallel;
         self
     }
+
+    /// Selects the DHT storage backend.
+    pub fn with_backend(mut self, backend: DhtBackend) -> Self {
+        self.backend = backend;
+        self
+    }
 }
 
 /// Summary of one executed round, returned alongside the per-item results.
@@ -76,27 +102,32 @@ pub struct RoundOutcome<R> {
 }
 
 /// A simulated AMPC deployment: snapshot DHT + machines + meters.
-pub struct AmpcSystem<V> {
-    snapshot: Dht<V>,
+///
+/// Generic over the storage backend `S` (default: the flat reference
+/// backend), monomorphized so adaptive reads cost a direct hash probe.
+/// Pipelines pick `S` by matching on [`AmpcConfig::backend`].
+pub struct AmpcSystem<V, S = FlatDht<V>> {
+    snapshot: S,
     config: AmpcConfig,
     stats: RunStats,
+    _value: PhantomData<fn() -> V>,
 }
 
-impl<V: DhtValue> AmpcSystem<V> {
+impl<V: DhtValue, S: DhtStorage<V>> AmpcSystem<V, S> {
     /// Creates a system whose first snapshot holds `initial` (the round-0
     /// input: typically the graph's adjacency or successor tables). Loading
     /// the input is not charged — the model assumes the input already
     /// resides in the DHT.
     pub fn new(config: AmpcConfig, initial: impl IntoIterator<Item = (Key, V)>) -> Self {
-        let mut snapshot = Dht::new();
+        let mut snapshot = S::for_backend(config.backend);
         for (k, v) in initial {
             snapshot.insert(k, v);
         }
-        AmpcSystem { snapshot, config, stats: RunStats::new() }
+        AmpcSystem { snapshot, config, stats: RunStats::new(), _value: PhantomData }
     }
 
     /// The current read-only snapshot.
-    pub fn snapshot(&self) -> &Dht<V> {
+    pub fn snapshot(&self) -> &S {
         &self.snapshot
     }
 
@@ -116,7 +147,7 @@ impl<V: DhtValue> AmpcSystem<V> {
     }
 
     /// Consumes the system, returning the final snapshot and statistics.
-    pub fn finish(self) -> (Dht<V>, RunStats) {
+    pub fn finish(self) -> (S, RunStats) {
         (self.snapshot, self.stats)
     }
 
@@ -124,7 +155,7 @@ impl<V: DhtValue> AmpcSystem<V> {
     /// interface. Reserved for cited O(1)-round primitives executed
     /// natively; callers must pair this with [`RunStats::charge_external`]
     /// so the primitive pays its published cost (see DESIGN.md).
-    pub fn host_update(&mut self, f: impl FnOnce(&mut Dht<V>)) {
+    pub fn host_update(&mut self, f: impl FnOnce(&mut S)) {
         f(&mut self.snapshot);
     }
 
@@ -133,14 +164,20 @@ impl<V: DhtValue> AmpcSystem<V> {
     /// Items are split into `M` near-equal contiguous chunks; machine `j`
     /// runs `f(ctx, item)` for each item of chunk `j` against a context that
     /// reads the current snapshot and buffers writes. After all machines
-    /// finish, buffers are merged in machine order into the next snapshot.
+    /// finish, buffers are merged in machine order into the next snapshot
+    /// (shard-parallel when the backend shards — see the module docs).
     ///
     /// Returns the non-`None` closure results in item order.
-    pub fn round<I, R, F>(&mut self, name: &str, items: &[I], f: F) -> AmpcResult<RoundOutcome<R>>
+    pub fn round<I, R, F>(
+        &mut self,
+        name: &'static str,
+        items: &[I],
+        f: F,
+    ) -> AmpcResult<RoundOutcome<R>>
     where
         I: Sync,
         R: Send,
-        F: Fn(&mut MachineCtx<'_, V>, &I) -> Option<R> + Sync,
+        F: Fn(&mut MachineCtx<'_, V, S>, &I) -> Option<R> + Sync,
     {
         let m = self.config.num_machines;
         let round_index = self.stats.executed_rounds();
@@ -172,7 +209,7 @@ impl<V: DhtValue> AmpcSystem<V> {
             violation: Option<crate::limits::LimitViolation>,
             results: Vec<R>,
         }
-        let finish = |(mut ctx, results): (MachineCtx<'_, V>, Vec<R>)| MachineOutput {
+        let finish = |(mut ctx, results): (MachineCtx<'_, V, S>, Vec<R>)| MachineOutput {
             buf: std::mem::take(&mut ctx.write_buf),
             reads: ctx.reads,
             read_words: ctx.read_words,
@@ -213,7 +250,7 @@ impl<V: DhtValue> AmpcSystem<V> {
 
         // Gather stats and the first violation before consuming the buffers.
         let mut stats = RoundStats {
-            name: name.to_string(),
+            name: Cow::Borrowed(name),
             index: round_index,
             reads: 0,
             read_words: 0,
@@ -234,7 +271,7 @@ impl<V: DhtValue> AmpcSystem<V> {
             stats.max_machine_read_words = stats.max_machine_read_words.max(mo.read_words);
             stats.max_machine_write_words = stats.max_machine_write_words.max(mo.write_words);
             if let Some(mut v) = mo.violation.clone() {
-                v.round_name = name.to_string();
+                v.round_name = Cow::Borrowed(name);
                 stats.violations.push(v);
             }
         }
@@ -248,24 +285,39 @@ impl<V: DhtValue> AmpcSystem<V> {
             }
         }
 
-        // Deterministic merge: machine order, then buffer order.
+        // Deterministic merge. The round-finish phase partitions each
+        // machine's buffer by shard, visiting machines in index order so
+        // every shard's op list is the machine-order subsequence of ops
+        // landing on it; `apply_ops` then applies the shards (concurrently
+        // for a sharded backend). Keys never span shards, so this is
+        // byte-identical to the sequential global machine-order merge.
+        let nshards = self.snapshot.shard_count();
         let mut results = Vec::new();
-        for mut mo in machines {
-            for (key, op) in mo.buf.drain(..) {
-                match op {
-                    WriteOp::Put(v) => {
-                        self.snapshot.insert(key, v);
-                    }
-                    WriteOp::Merge(v) => {
-                        self.snapshot.merge(key, v);
-                    }
-                    WriteOp::Delete => {
-                        self.snapshot.remove(key);
-                    }
-                }
+        let op_lists: Vec<Vec<(Key, WriteOp<V>)>> = if nshards == 1 {
+            // Single-shard backend: hand each machine's buffer over as-is
+            // (one list per machine, applied sequentially in index order) —
+            // no concatenation copy on the default flat path.
+            let mut lists = Vec::with_capacity(machines.len());
+            for mut mo in machines {
+                lists.push(std::mem::take(&mut mo.buf));
+                results.append(&mut mo.results);
             }
-            results.append(&mut mo.results);
-        }
+            lists
+        } else {
+            let total_ops: usize = machines.iter().map(|mo| mo.buf.len()).sum();
+            let mut by_shard: Vec<Vec<(Key, WriteOp<V>)>> = Vec::with_capacity(nshards);
+            // Hashing spreads ops near-uniformly; pre-size each shard list
+            // so the partition pass never reallocates mid-round.
+            by_shard.resize_with(nshards, || Vec::with_capacity(total_ops / nshards + 16));
+            for mut mo in machines {
+                for (key, op) in mo.buf.drain(..) {
+                    by_shard[self.snapshot.shard_of(key)].push((key, op));
+                }
+                results.append(&mut mo.results);
+            }
+            by_shard
+        };
+        self.snapshot.apply_ops(op_lists, self.config.parallel);
 
         let outcome = RoundOutcome { results, reads: stats.reads, write_words: stats.write_words };
         self.stats.push_round(stats);
@@ -365,7 +417,7 @@ mod tests {
 
     #[test]
     fn enforcement_errors_the_round() {
-        let mut sys = AmpcSystem::new(
+        let mut sys: AmpcSystem<u64> = AmpcSystem::new(
             AmpcConfig::default().with_machines(1).with_limits(SpaceLimits::enforce(3)),
             (0..10u64).map(|i| (Key::new(S, i), i)),
         );
@@ -382,7 +434,7 @@ mod tests {
 
     #[test]
     fn audit_mode_records_without_failing() {
-        let mut sys = AmpcSystem::new(
+        let mut sys: AmpcSystem<u64> = AmpcSystem::new(
             AmpcConfig::default().with_machines(1).with_limits(SpaceLimits::audit(3)),
             (0..10u64).map(|i| (Key::new(S, i), i)),
         );
@@ -433,5 +485,86 @@ mod tests {
         let out = sys.round("idle", &ids, |_, _: &u64| Some(1u64)).unwrap();
         assert!(out.results.is_empty());
         assert_eq!(sys.stats().rounds(), 1);
+    }
+}
+
+#[cfg(test)]
+mod backend_equivalence_tests {
+    use super::*;
+    use crate::dht::ShardedDht;
+
+    const S: u16 = 0;
+    const AUX: u16 = 1;
+
+    /// A three-round workload exercising every op kind (put, merge, delete)
+    /// plus rng, returning the run's canonical observable state.
+    fn run_workload<St: DhtStorage<u64>>(
+        machines: usize,
+        backend: DhtBackend,
+    ) -> (Vec<(Key, u64)>, String) {
+        let n = 500u64;
+        let cfg =
+            AmpcConfig::default().with_machines(machines).with_seed(0xBEEF).with_backend(backend);
+        let mut sys: AmpcSystem<u64, St> =
+            AmpcSystem::new(cfg, (0..n).map(|i| (Key::new(S, i), i)));
+        let ids: Vec<u64> = (0..n).collect();
+        sys.round("mix", &ids, |ctx, &i| {
+            let v = *ctx.read(Key::new(S, i)).unwrap();
+            ctx.write(Key::new(S, i), v.wrapping_mul(3));
+            ctx.write_merge(Key::new(AUX, i % 13), ctx.rng(1, i).next_u64() % 1000);
+            if i % 7 == 0 {
+                ctx.delete(Key::new(S, (i + 1) % n));
+            }
+            None::<()>
+        })
+        .unwrap();
+        sys.round("again", &ids, |ctx, &i| {
+            if let Some(&v) = ctx.read(Key::new(S, i)) {
+                ctx.write_merge(Key::new(AUX, i % 13), v % 997);
+            }
+            None::<()>
+        })
+        .unwrap();
+        let (snapshot, stats) = sys.finish();
+        let mut fp = String::new();
+        for r in stats.per_round() {
+            use std::fmt::Write as _;
+            let _ = writeln!(
+                fp,
+                "{} {} {} {} {} {} {}",
+                r.name,
+                r.reads,
+                r.read_words,
+                r.writes,
+                r.write_words,
+                r.snapshot_words,
+                r.total_space_words
+            );
+        }
+        (snapshot.sorted_entries(), fp)
+    }
+
+    #[test]
+    fn sharded_snapshot_is_byte_identical_to_flat() {
+        for machines in [1, 3, 16] {
+            let flat = run_workload::<FlatDht<u64>>(machines, DhtBackend::Flat);
+            for shards in [2usize, 8, 64] {
+                let sharded =
+                    run_workload::<ShardedDht<u64>>(machines, DhtBackend::Sharded { shards });
+                assert_eq!(flat.0, sharded.0, "snapshot diverged (m={machines}, s={shards})");
+                assert_eq!(flat.1, sharded.1, "stats diverged (m={machines}, s={shards})");
+            }
+        }
+    }
+
+    #[test]
+    fn sharded_backend_words_match_flat() {
+        // The stats fingerprint includes every round's snapshot_words, so a
+        // drift in ShardedDht's per-shard word accounting fails here even
+        // if the entries themselves agree.
+        let flat = run_workload::<FlatDht<u64>>(4, DhtBackend::Flat);
+        let sharded = run_workload::<ShardedDht<u64>>(4, DhtBackend::sharded());
+        assert_eq!(flat.0, sharded.0);
+        assert_eq!(flat.1, sharded.1);
     }
 }

@@ -39,6 +39,21 @@ impl Key {
         debug_assert!(self.id < (1 << 48), "key id exceeds 48 bits: {}", self.id);
         ((self.space as u64) << 48) | self.id
     }
+
+    /// Extracts the keyspace tag from a packed key word. The packed layout
+    /// is defined here and nowhere else — storage code must go through this
+    /// helper rather than shifting by hand.
+    #[inline]
+    pub(crate) const fn space_of_packed(packed: u64) -> Space {
+        (packed >> 48) as Space
+    }
+
+    /// Reconstructs a [`Key`] from its packed form (inverse of
+    /// [`Key::packed`]).
+    #[inline]
+    pub(crate) const fn from_packed(packed: u64) -> Key {
+        Key { space: Key::space_of_packed(packed), id: packed & ((1 << 48) - 1) }
+    }
 }
 
 impl fmt::Debug for Key {
@@ -75,14 +90,14 @@ mod tests {
 
     #[test]
     fn packed_round_trips_for_random_keys() {
-        // packed() is (space << 48) | id with id < 2^48; unpacking those
-        // fields must recover the key exactly.
+        // from_packed must invert packed exactly, and space_of_packed must
+        // agree with the full unpacking.
         let mut r = crate::rng::SplitMix64::new(0xC0FFEE);
         for _ in 0..1000 {
             let key = Key::new(r.next_below(1 << 16) as Space, r.next_below(1 << 48));
             let p = key.packed();
-            let unpacked = Key::new((p >> 48) as Space, p & ((1 << 48) - 1));
-            assert_eq!(unpacked, key);
+            assert_eq!(Key::from_packed(p), key);
+            assert_eq!(Key::space_of_packed(p), key.space);
         }
     }
 

@@ -28,7 +28,7 @@
 //! }
 //!
 //! const SPACE: u16 = 0;
-//! let mut sys = AmpcSystem::new(
+//! let mut sys: AmpcSystem<Val> = AmpcSystem::new(
 //!     AmpcConfig::default().with_machines(4),
 //!     (0..16u64).map(|i| (Key::new(SPACE, i), Val(i))),
 //! );
@@ -48,6 +48,14 @@
 //! them over scoped OS threads (capped at the hardware parallelism); write
 //! buffers are merged in machine-index order, keeping every run bit-for-bit
 //! deterministic regardless of thread scheduling.
+//!
+//! Snapshot storage is pluggable through the [`DhtStorage`] trait:
+//! [`FlatDht`] is the single-map reference backend and [`ShardedDht`]
+//! hash-partitions keys over power-of-two shards so the round-finish merge
+//! runs shard-parallel. Select a backend with
+//! [`AmpcConfig::with_backend`]; both produce byte-identical snapshots and
+//! [`RunStats`] for the same seed (cross-shard keys never interact, and
+//! machine order is preserved within every shard).
 
 #![warn(missing_docs)]
 
@@ -61,7 +69,7 @@ pub mod rng;
 mod stats;
 mod value;
 
-pub use dht::Dht;
+pub use dht::{Dht, DhtBackend, DhtStorage, FlatDht, ShardedDht, WriteOp};
 pub use error::{AmpcError, AmpcResult};
 pub use executor::{AmpcConfig, AmpcSystem, RoundOutcome};
 pub use key::{Key, Space};

@@ -9,6 +9,7 @@
 //! used by the test suite to certify that the paper's algorithms really fit
 //! in `n^δ` local space).
 
+use std::borrow::Cow;
 use std::fmt;
 
 /// Per-machine, per-round word budgets.
@@ -67,8 +68,10 @@ impl fmt::Display for LimitKind {
 pub struct LimitViolation {
     /// Zero-based round index.
     pub round: usize,
-    /// Human-readable round label.
-    pub round_name: String,
+    /// Human-readable round label. Round names are static literals at every
+    /// call site, so this is a borrow in practice — no per-violation
+    /// allocation.
+    pub round_name: Cow<'static, str>,
     /// Machine index that breached the budget.
     pub machine: usize,
     /// Words actually used.

@@ -13,26 +13,19 @@
 //! Every access is metered in words; optional [`SpaceLimits`] breaches are
 //! recorded and reported through the round's statistics.
 
-use crate::dht::Dht;
+use crate::dht::{DhtStorage, FlatDht, WriteOp};
 use crate::key::Key;
 use crate::limits::{LimitKind, LimitViolation, SpaceLimits};
 use crate::rng::{self, SplitMix64};
 use crate::value::DhtValue;
 
-/// A buffered mutation, applied to the snapshot when the round completes.
-#[derive(Debug, Clone)]
-pub(crate) enum WriteOp<V> {
-    /// Replace the value at the key (last machine in index order wins).
-    Put(V),
-    /// Combine with the existing value via [`DhtValue::merge`].
-    Merge(V),
-    /// Remove the key (models shrinking algorithms retiring dead entries).
-    Delete,
-}
-
 /// Execution context for one simulated machine within one round.
-pub struct MachineCtx<'a, V> {
-    snapshot: &'a Dht<V>,
+///
+/// Generic over the storage backend `S` so the hot read path borrows the
+/// snapshot *through the [`DhtStorage`] trait monomorphized per backend* —
+/// no dynamic dispatch between an adaptive read and the hash probe.
+pub struct MachineCtx<'a, V, S = FlatDht<V>> {
+    snapshot: &'a S,
     pub(crate) write_buf: Vec<(Key, WriteOp<V>)>,
     pub(crate) reads: usize,
     pub(crate) read_words: usize,
@@ -45,9 +38,9 @@ pub struct MachineCtx<'a, V> {
     seed: u64,
 }
 
-impl<'a, V: DhtValue> MachineCtx<'a, V> {
+impl<'a, V: DhtValue, S: DhtStorage<V>> MachineCtx<'a, V, S> {
     pub(crate) fn new(
-        snapshot: &'a Dht<V>,
+        snapshot: &'a S,
         limits: Option<SpaceLimits>,
         machine: usize,
         round: usize,
@@ -163,7 +156,7 @@ impl<'a, V: DhtValue> MachineCtx<'a, V> {
         if used > budget {
             self.violation = Some(LimitViolation {
                 round: self.round,
-                round_name: String::new(), // filled in by the executor
+                round_name: std::borrow::Cow::Borrowed(""), // filled in by the executor
                 machine: self.machine,
                 used,
                 budget,
@@ -179,8 +172,8 @@ mod tests {
 
     const S: u16 = 0;
 
-    fn table() -> Dht<u64> {
-        let mut d = Dht::new();
+    fn table() -> FlatDht<u64> {
+        let mut d = FlatDht::new();
         for i in 0..10u64 {
             d.insert(Key::new(S, i), i * i);
         }
@@ -200,7 +193,7 @@ mod tests {
     #[test]
     fn adaptive_read_chain() {
         // The defining AMPC capability: value of one read chooses the next key.
-        let mut d = Dht::new();
+        let mut d = FlatDht::new();
         d.insert(Key::new(S, 0), 4u64);
         d.insert(Key::new(S, 4), 7u64);
         d.insert(Key::new(S, 7), 0u64);

@@ -7,13 +7,17 @@
 //! *charged* for cited O(1)-round host-side primitives (`Contract`,
 //! `Compose`) that run natively but must still pay their published price.
 
+use std::borrow::Cow;
+
 use crate::limits::LimitViolation;
 
 /// Metered costs of a single executed AMPC round.
 #[derive(Debug, Clone)]
 pub struct RoundStats {
-    /// Human-readable label supplied by the algorithm.
-    pub name: String,
+    /// Human-readable label supplied by the algorithm. Round names are
+    /// static literals at every call site, so this is a borrow in practice
+    /// — no per-round allocation.
+    pub name: Cow<'static, str>,
     /// Zero-based round index within the run.
     pub index: usize,
     /// Number of DHT read operations ("queries" in the paper's terminology).

@@ -20,7 +20,7 @@ fn bench_query_complexity(c: &mut Criterion) {
         group.throughput(Throughput::Elements(n as u64));
         group.bench_with_input(BenchmarkId::new("B", b), &b, |bench, &b| {
             bench.iter(|| {
-                let mut st = CycleState::from_successors(
+                let mut st: CycleState = CycleState::from_successors(
                     &succ,
                     AmpcConfig::default().with_machines(8).with_seed(0xE3),
                 );

@@ -14,7 +14,7 @@ fn bench_vertex_drop(c: &mut Criterion) {
     for b in [3u16, 6] {
         group.bench_with_input(BenchmarkId::new("B", b), &b, |bench, &b| {
             bench.iter(|| {
-                let mut st = CycleState::from_successors(
+                let mut st: CycleState = CycleState::from_successors(
                     &succ,
                     AmpcConfig::default().with_machines(8).with_seed(0xE4),
                 );

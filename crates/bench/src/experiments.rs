@@ -5,7 +5,7 @@
 //! [`Table`] pairing paper bounds with measured values. `quick` shrinks the
 //! input sizes (used by integration tests and Criterion).
 
-use ampc::AmpcConfig;
+use ampc::{AmpcConfig, DhtBackend};
 use ampc_cc::baselines::mpc_label_prop::{exponentiated_propagation, min_label_propagation};
 use ampc_cc::cycles::CycleState;
 use ampc_cc::forest::pipeline::{connected_components_forest, ForestCcConfig};
@@ -38,12 +38,14 @@ fn ring_state(n: usize, seed: u64) -> CycleState {
 }
 
 /// E1 — Theorem 1.1: forest connectivity in `O(log* n)` rounds, `O(n)`
-/// total space.
+/// total space. Run under both storage backends — every counted quantity
+/// must be backend-independent (the backend only changes merge
+/// parallelism), so paired rows differ in the `backend` column alone.
 pub fn e1_forest_rounds(quick: bool) -> Table {
     let mut t = Table::new(
         "E1 — forest rounds and space vs n (Theorem 1.1)",
-        "O(log* n) AMPC rounds w.h.p. and optimal (linear) total space",
-        &["family", "n", "log*n", "iters", "rounds", "queries/n", "peak words/n"],
+        "O(log* n) AMPC rounds w.h.p. and optimal (linear) total space; identical under flat and sharded DHT backends",
+        &["family", "n", "backend", "log*n", "iters", "rounds", "queries/n", "peak words/n"],
     );
     let sizes: &[usize] =
         if quick { &[1 << 12, 1 << 14] } else { &[1 << 12, 1 << 14, 1 << 16, 1 << 18] };
@@ -56,18 +58,24 @@ pub fn e1_forest_rounds(quick: bool) -> Table {
     for fam in families {
         for &n in sizes {
             let g = fam.generate(n, 0xE1);
-            let cfg = ForestCcConfig::default().with_seed(0xE1);
-            let res = connected_components_forest(&g, &cfg).expect("forest cc");
-            assert_correct(&g, &res.labeling, "E1");
-            t.push(vec![
-                fam.name().into(),
-                big(n),
-                log_star(n as f64).to_string(),
-                res.iterations.len().to_string(),
-                res.rounds().to_string(),
-                f2(res.queries() as f64 / n as f64),
-                f2(res.peak_space() as f64 / n as f64),
-            ]);
+            let mut rows = Vec::new();
+            for backend in [DhtBackend::Flat, DhtBackend::sharded()] {
+                let cfg = ForestCcConfig::default().with_seed(0xE1).with_backend(backend);
+                let res = connected_components_forest(&g, &cfg).expect("forest cc");
+                assert_correct(&g, &res.labeling, "E1");
+                rows.push((res.iterations.len(), res.rounds(), res.queries(), res.peak_space()));
+                t.push(vec![
+                    fam.name().into(),
+                    big(n),
+                    backend.name().into(),
+                    log_star(n as f64).to_string(),
+                    res.iterations.len().to_string(),
+                    res.rounds().to_string(),
+                    f2(res.queries() as f64 / n as f64),
+                    f2(res.peak_space() as f64 / n as f64),
+                ]);
+            }
+            assert_eq!(rows[0], rows[1], "E1: backends disagreed on counted quantities");
         }
     }
     t
@@ -480,12 +488,72 @@ pub fn e11_rooted_forest(quick: bool) -> Table {
     t
 }
 
-/// Runs every experiment, returning all tables in index order.
-pub fn run_all(quick: bool) -> Vec<Table> {
-    (1..=11).map(|i| run_one(&format!("e{i}"), quick).expect("known id")).collect()
+/// E12 — storage backends: the sharded snapshot store must be observably
+/// identical to the flat reference while parallelizing the round-finish
+/// merge (see `crates/ampc/src/dht.rs` for the equivalence argument).
+pub fn e12_storage_backends(quick: bool) -> Table {
+    use std::time::Instant;
+    let mut t = Table::new(
+        "E12 — DHT storage backends (flat vs sharded merge)",
+        "Backends are observably identical (labels, rounds, queries, peak space); sharding only changes merge parallelism",
+        &["workload", "backend", "shards", "rounds", "queries", "peak words", "wall ms"],
+    );
+    let n = if quick { 1 << 12 } else { 1 << 15 };
+    let forest = random_forest(n, (n / 64).max(2), 0xE12);
+    let general = erdos_renyi_gnm(n / 2, n, 0xE12);
+
+    let mut forest_rows: Vec<(usize, usize, usize)> = Vec::new();
+    let mut general_rows: Vec<(usize, usize, usize)> = Vec::new();
+    for backend in [DhtBackend::Flat, DhtBackend::sharded()] {
+        let shards = backend.resolved_shards();
+
+        let start = Instant::now();
+        let cfg = ForestCcConfig::default().with_seed(0xE12).with_backend(backend);
+        let res = connected_components_forest(&forest, &cfg).expect("forest cc");
+        let ms = start.elapsed().as_secs_f64() * 1e3;
+        assert_correct(&forest, &res.labeling, "E12 forest");
+        forest_rows.push((res.rounds(), res.queries(), res.peak_space()));
+        t.push(vec![
+            format!("forest n={}", big(n)),
+            backend.name().into(),
+            shards.to_string(),
+            res.rounds().to_string(),
+            big(res.queries()),
+            big(res.peak_space()),
+            f2(ms),
+        ]);
+
+        let start = Instant::now();
+        let cfg = GeneralCcConfig::default().with_seed(0xE12).with_backend(backend);
+        let res = connected_components_general(&general, &cfg).expect("general cc");
+        let ms = start.elapsed().as_secs_f64() * 1e3;
+        assert_correct(&general, &res.labeling, "E12 general");
+        general_rows.push((
+            res.stats.rounds(),
+            res.stats.total_queries(),
+            res.stats.peak_total_space(),
+        ));
+        t.push(vec![
+            format!("general n={}", big(n / 2)),
+            backend.name().into(),
+            shards.to_string(),
+            res.stats.rounds().to_string(),
+            big(res.stats.total_queries()),
+            big(res.stats.peak_total_space()),
+            f2(ms),
+        ]);
+    }
+    assert_eq!(forest_rows[0], forest_rows[1], "E12: forest backends diverged");
+    assert_eq!(general_rows[0], general_rows[1], "E12: general backends diverged");
+    t
 }
 
-/// Runs one experiment by id (`"e1"`–`"e11"`).
+/// Runs every experiment, returning all tables in index order.
+pub fn run_all(quick: bool) -> Vec<Table> {
+    (1..=12).map(|i| run_one(&format!("e{i}"), quick).expect("known id")).collect()
+}
+
+/// Runs one experiment by id (`"e1"`–`"e12"`).
 pub fn run_one(id: &str, quick: bool) -> Option<Table> {
     Some(match id {
         "e1" => e1_forest_rounds(quick),
@@ -499,6 +567,7 @@ pub fn run_one(id: &str, quick: bool) -> Option<Table> {
         "e9" => e9_ablations(quick),
         "e10" => e10_rank_distribution(quick),
         "e11" => e11_rooted_forest(quick),
+        "e12" => e12_storage_backends(quick),
         _ => return None,
     })
 }

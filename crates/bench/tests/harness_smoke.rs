@@ -26,7 +26,7 @@ fn quick_experiments_produce_tables() {
 #[test]
 fn unknown_experiment_is_none() {
     assert!(ampc_bench::run_one("e99", true).is_none());
-    assert!(ampc_bench::run_one("e12", true).is_none());
+    assert!(ampc_bench::run_one("e13", true).is_none());
     assert!(ampc_bench::run_one("nonsense", true).is_none());
 }
 
@@ -44,4 +44,15 @@ fn quick_general_experiments_run() {
         let table = ampc_bench::run_one(id, true).expect("known id");
         assert!(!table.rows.is_empty(), "{id} produced no rows");
     }
+}
+
+#[test]
+fn quick_backend_experiment_runs() {
+    // e12 asserts flat/sharded equivalence internally; here we check the
+    // table shape: one flat row and one sharded row per workload.
+    let table = ampc_bench::run_one("e12", true).expect("known id");
+    assert_eq!(table.rows.len(), 4, "two workloads × two backends");
+    let backends: Vec<&str> = table.rows.iter().map(|r| r[1].as_str()).collect();
+    assert_eq!(backends.iter().filter(|b| **b == "flat").count(), 2);
+    assert_eq!(backends.iter().filter(|b| **b == "sharded").count(), 2);
 }

@@ -20,7 +20,7 @@
 //! orchestration data; every data access that the paper counts goes through
 //! the DHT.
 
-use ampc::{AmpcConfig, AmpcSystem, Key, RunStats, Space};
+use ampc::{AmpcConfig, AmpcSystem, DhtStorage, FlatDht, Key, RunStats, Space};
 use ampc_graph::euler::CycleDecomposition;
 
 /// Keyspace: forward pointer + rank + mark.
@@ -47,9 +47,13 @@ pub fn unpack(word: u64) -> (u64, u16, bool) {
 
 /// A cycle collection living in an [`AmpcSystem`], plus the host-side alive
 /// list.
-pub struct CycleState {
+///
+/// Generic over the DHT storage backend `S` (default: the flat reference
+/// backend); the forest algorithms are generic over the same parameter and
+/// the pipeline dispatches once on [`ampc::DhtBackend`].
+pub struct CycleState<S = FlatDht<u64>> {
     /// The AMPC deployment holding the cycle pointers.
-    pub sys: AmpcSystem<u64>,
+    pub sys: AmpcSystem<u64, S>,
     /// Cycle vertices not yet contracted away (orchestration data).
     pub alive: Vec<u64>,
     /// Number of cycle vertices initially.
@@ -58,7 +62,7 @@ pub struct CycleState {
     pub roots: Vec<u64>,
 }
 
-impl CycleState {
+impl<S: DhtStorage<u64>> CycleState<S> {
     /// Loads a [`CycleDecomposition`] into a fresh AMPC system. Loading the
     /// input is free (the model assumes the input resides in the DHT).
     pub fn from_decomposition(decomp: &CycleDecomposition, config: AmpcConfig) -> Self {
@@ -152,7 +156,7 @@ mod tests {
     #[test]
     fn from_successors_initializes_pointers() {
         // One 3-cycle (0→1→2→0) and one singleton (3).
-        let mut st =
+        let mut st: CycleState =
             CycleState::from_successors(&[1, 2, 0, 3], AmpcConfig::default().with_machines(2));
         assert_eq!(st.alive, vec![0, 1, 2]);
         assert_eq!(st.roots, vec![3]);
@@ -167,7 +171,7 @@ mod tests {
 
     #[test]
     fn compose_follows_parent_chains() {
-        let mut st = CycleState::from_successors(&[1, 2, 0, 3], AmpcConfig::default());
+        let mut st: CycleState = CycleState::from_successors(&[1, 2, 0, 3], AmpcConfig::default());
         st.sys.host_update(|dht| {
             dht.insert(Key::new(PARENT, 1), 0);
             dht.insert(Key::new(PARENT, 2), 1); // chain 2 → 1 → 0
@@ -178,7 +182,7 @@ mod tests {
 
     #[test]
     fn retire_updates_alive_and_roots() {
-        let mut st = CycleState::from_successors(&[1, 0, 3, 2], AmpcConfig::default());
+        let mut st: CycleState = CycleState::from_successors(&[1, 0, 3, 2], AmpcConfig::default());
         let dead: std::collections::HashSet<u64> = [1u64, 2, 3].into_iter().collect();
         st.retire(&dead, &[0]);
         assert_eq!(st.alive, vec![0]);

@@ -28,7 +28,9 @@
 //! with constants scaled so the dynamics are observable. Experiments E1–E4
 //! verify the resulting shapes against the lemmas.
 
-use ampc::{AmpcConfig, AmpcResult, RunStats, SpaceLimits};
+use ampc::{
+    AmpcConfig, AmpcResult, DhtBackend, DhtStorage, FlatDht, RunStats, ShardedDht, SpaceLimits,
+};
 use ampc_graph::euler::forest_to_cycles;
 use ampc_graph::{Graph, Labeling};
 
@@ -71,6 +73,8 @@ pub struct ForestCcConfig {
     pub collect_threshold: usize,
     /// Safety bound on main-loop iterations.
     pub max_iterations: usize,
+    /// DHT storage backend for every system the pipeline constructs.
+    pub backend: DhtBackend,
 }
 
 impl Default for ForestCcConfig {
@@ -88,6 +92,7 @@ impl Default for ForestCcConfig {
             skip_shrink_large: false,
             collect_threshold: 256,
             max_iterations: 64,
+            backend: DhtBackend::Flat,
         }
     }
 }
@@ -102,6 +107,12 @@ impl ForestCcConfig {
     /// Sets the machine count.
     pub fn with_machines(mut self, machines: usize) -> Self {
         self.machines = machines;
+        self
+    }
+
+    /// Selects the DHT storage backend.
+    pub fn with_backend(mut self, backend: DhtBackend) -> Self {
+        self.backend = backend;
         self
     }
 
@@ -182,6 +193,18 @@ impl ForestCcResult {
 /// # Panics
 /// Panics if `g` is not a forest.
 pub fn connected_components_forest(g: &Graph, cfg: &ForestCcConfig) -> AmpcResult<ForestCcResult> {
+    // Single dispatch point: everything below monomorphizes per backend so
+    // adaptive reads stay direct hash probes (no dynamic dispatch).
+    match cfg.backend {
+        DhtBackend::Flat => forest_cc_impl::<FlatDht<u64>>(g, cfg),
+        DhtBackend::Sharded { .. } => forest_cc_impl::<ShardedDht<u64>>(g, cfg),
+    }
+}
+
+fn forest_cc_impl<S: DhtStorage<u64>>(
+    g: &Graph,
+    cfg: &ForestCcConfig,
+) -> AmpcResult<ForestCcResult> {
     let n = g.n();
     let local_space = cfg.local_space(n.max(2));
 
@@ -191,12 +214,15 @@ pub fn connected_components_forest(g: &Graph, cfg: &ForestCcConfig) -> AmpcResul
     let decomp = forest_to_cycles(g);
     let n0 = decomp.len();
 
-    let mut ampc_cfg = AmpcConfig::default().with_machines(cfg.machines).with_seed(cfg.seed);
+    let mut ampc_cfg = AmpcConfig::default()
+        .with_machines(cfg.machines)
+        .with_seed(cfg.seed)
+        .with_backend(cfg.backend);
     if cfg.audit_limits {
         let budget = (cfg.audit_budget_factor * local_space as f64) as usize;
         ampc_cfg = ampc_cfg.with_limits(SpaceLimits::audit(budget));
     }
-    let mut state = CycleState::from_decomposition(&decomp, ampc_cfg);
+    let mut state: CycleState<S> = CycleState::from_decomposition(&decomp, ampc_cfg);
     state.sys.stats_mut().charge_external(1, 2 * g.m(), 2 * n0.max(1));
 
     // Line 3: cap cycle lengths well below the per-machine budget so no

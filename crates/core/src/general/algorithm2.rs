@@ -20,7 +20,7 @@
 //! expected number of `ConnectedComponents` calls by `2^O(k)` when
 //! `T = Ω(m + n log^(k) n)`; experiment E5 measures exactly this count.
 
-use ampc::{AmpcConfig, AmpcResult, RunStats};
+use ampc::{AmpcConfig, AmpcResult, DhtBackend, RunStats};
 use ampc_graph::contract::contract;
 use ampc_graph::{reference_components, Graph, Labeling};
 
@@ -50,6 +50,8 @@ pub struct GeneralCcConfig {
     pub small_threshold: usize,
     /// Recursion depth safety bound.
     pub max_depth: usize,
+    /// DHT storage backend for every system the recursion constructs.
+    pub backend: DhtBackend,
 }
 
 impl Default for GeneralCcConfig {
@@ -67,6 +69,7 @@ impl Default for GeneralCcConfig {
             gamma: 0.50,
             small_threshold: 128,
             max_depth: 40,
+            backend: DhtBackend::Flat,
         }
     }
 }
@@ -81,6 +84,12 @@ impl GeneralCcConfig {
     /// Sets the seed.
     pub fn with_seed(mut self, seed: u64) -> Self {
         self.seed = seed;
+        self
+    }
+
+    /// Selects the DHT storage backend.
+    pub fn with_backend(mut self, backend: DhtBackend) -> Self {
+        self.backend = backend;
         self
     }
 
@@ -150,7 +159,10 @@ impl Driver<'_> {
     }
 
     fn ampc_cfg(&mut self) -> AmpcConfig {
-        AmpcConfig::default().with_machines(self.cfg.machines).with_seed(self.next_seed())
+        AmpcConfig::default()
+            .with_machines(self.cfg.machines)
+            .with_seed(self.next_seed())
+            .with_backend(self.cfg.backend)
     }
 
     /// Algorithm 2, lines 1–7.

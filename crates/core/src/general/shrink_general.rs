@@ -26,7 +26,10 @@
 //! machine budget; the loop below charges exactly the rounds it uses. See
 //! DESIGN.md (substitutions) for why this preserves the cited interface.
 
-use ampc::{AmpcConfig, AmpcResult, AmpcSystem, DhtValue, Key, RunStats, Space};
+use ampc::{
+    AmpcConfig, AmpcResult, AmpcSystem, DhtBackend, DhtStorage, DhtValue, FlatDht, Key, RunStats,
+    ShardedDht, Space,
+};
 use ampc_graph::contract::contract;
 use ampc_graph::degree3::to_degree3;
 use ampc_graph::{Graph, VertexId};
@@ -114,7 +117,27 @@ pub fn shrink_general(
 }
 
 /// Runs `ShrinkGeneral(G, t)` with an explicit root-resolution strategy.
+///
+/// Dispatches on [`AmpcConfig::backend`] once; the whole invocation then
+/// runs monomorphized against the chosen storage backend.
 pub fn shrink_general_with(
+    g: &Graph,
+    t: usize,
+    chase_cap: usize,
+    ampc_cfg: AmpcConfig,
+    resolution: RootResolution,
+) -> AmpcResult<ShrinkGeneralOutcome> {
+    match ampc_cfg.backend {
+        DhtBackend::Flat => {
+            shrink_general_impl::<FlatDht<GVal>>(g, t, chase_cap, ampc_cfg, resolution)
+        }
+        DhtBackend::Sharded { .. } => {
+            shrink_general_impl::<ShardedDht<GVal>>(g, t, chase_cap, ampc_cfg, resolution)
+        }
+    }
+}
+
+fn shrink_general_impl<S: DhtStorage<GVal>>(
     g: &Graph,
     t: usize,
     chase_cap: usize,
@@ -127,7 +150,7 @@ pub fn shrink_general_with(
     let n3 = d3.graph.n();
     let m3 = d3.graph.m();
 
-    let mut sys: AmpcSystem<GVal> = AmpcSystem::new(
+    let mut sys: AmpcSystem<GVal, S> = AmpcSystem::new(
         ampc_cfg,
         (0..n3).map(|v| {
             let adj: Vec<u64> =

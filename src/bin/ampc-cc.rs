@@ -2,15 +2,18 @@
 //!
 //! ```text
 //! ampc-cc <file> [--forest|--general|--auto] [--k K] [--seed S]
-//!                [--machines M] [--labels] [--trace] [--metrics]
+//!                [--machines M] [--backend B] [--labels] [--trace] [--metrics]
 //!
-//!   <file>      edge list ("u v" per line, optional "# nodes: N" header);
-//!               use "-" for stdin
-//!   --auto      pick Algorithm 1 for forests, Algorithm 2 otherwise (default)
-//!   --k K       space parameter (Theorems 1.1/1.2), default 2
-//!   --labels    print "vertex component" lines to stdout
-//!   --trace     print the per-round cost ledger
-//!   --metrics   print structural metrics of the input first
+//!   <file>       edge list ("u v" per line, optional "# nodes: N" header);
+//!                use "-" for stdin
+//!   --auto       pick Algorithm 1 for forests, Algorithm 2 otherwise (default)
+//!   --k K        space parameter (Theorems 1.1/1.2), default 2
+//!   --backend B  DHT storage backend: "flat" (default), "sharded", or
+//!                "sharded:N" for N shards (results are identical; sharded
+//!                merges round output shard-parallel)
+//!   --labels     print "vertex component" lines to stdout
+//!   --trace      print the per-round cost ledger
+//!   --metrics    print structural metrics of the input first
 //! ```
 //!
 //! Example:
@@ -21,6 +24,7 @@
 use std::io::Read;
 use std::process::ExitCode;
 
+use adaptive_mpc_connectivity::ampc::DhtBackend;
 use adaptive_mpc_connectivity::cc::forest::pipeline::{
     connected_components_forest, ForestCcConfig,
 };
@@ -35,9 +39,25 @@ struct Args {
     k: u32,
     seed: u64,
     machines: usize,
+    backend: DhtBackend,
     labels: bool,
     trace: bool,
     metrics: bool,
+}
+
+fn parse_backend(s: &str) -> Result<DhtBackend, String> {
+    match s {
+        "flat" => Ok(DhtBackend::Flat),
+        "sharded" => Ok(DhtBackend::sharded()),
+        other => match other.strip_prefix("sharded:") {
+            Some(n) => {
+                let shards: usize =
+                    n.parse().map_err(|e| format!("bad shard count in --backend: {e}"))?;
+                Ok(DhtBackend::Sharded { shards })
+            }
+            None => Err(format!("unknown backend {other:?} (expected flat|sharded|sharded:N)")),
+        },
+    }
 }
 
 #[derive(PartialEq)]
@@ -54,6 +74,7 @@ fn parse_args() -> Result<Args, String> {
         k: 2,
         seed: 0xCC,
         machines: 8,
+        backend: DhtBackend::Flat,
         labels: false,
         trace: false,
         metrics: false,
@@ -88,6 +109,9 @@ fn parse_args() -> Result<Args, String> {
                     .parse()
                     .map_err(|e| format!("bad --machines: {e}"))?;
             }
+            "--backend" => {
+                args.backend = parse_backend(&it.next().ok_or("--backend needs a value")?)?;
+            }
             "--help" | "-h" => return Err("usage".into()),
             other if args.file.is_empty() => args.file = other.to_string(),
             other => return Err(format!("unexpected argument: {other}")),
@@ -118,7 +142,8 @@ fn main() -> ExitCode {
             }
             eprintln!(
                 "usage: ampc-cc <file> [--forest|--general|--auto] [--k K] [--seed S]\n\
-                 \x20                 [--machines M] [--labels] [--trace] [--metrics]"
+                 \x20                 [--machines M] [--backend flat|sharded|sharded:N]\n\
+                 \x20                 [--labels] [--trace] [--metrics]"
             );
             return ExitCode::from(2);
         }
@@ -153,9 +178,10 @@ fn main() -> ExitCode {
         Mode::Auto => g.is_forest(),
     };
 
+    eprintln!("dht backend: {}", args.backend.name());
     let (labeling, stats) = if use_forest {
         eprintln!("algorithm: 1 (forest, Theorem 1.1)");
-        let mut cfg = ForestCcConfig::default().with_seed(args.seed);
+        let mut cfg = ForestCcConfig::default().with_seed(args.seed).with_backend(args.backend);
         cfg.machines = args.machines;
         match connected_components_forest(&g, &cfg) {
             Ok(r) => (r.labeling, r.stats),
@@ -166,7 +192,10 @@ fn main() -> ExitCode {
         }
     } else {
         eprintln!("algorithm: 2 (general, Theorem 1.2, k = {})", args.k);
-        let mut cfg = GeneralCcConfig::default().with_seed(args.seed).with_k(args.k);
+        let mut cfg = GeneralCcConfig::default()
+            .with_seed(args.seed)
+            .with_k(args.k)
+            .with_backend(args.backend);
         cfg.machines = args.machines;
         match connected_components_general(&g, &cfg) {
             Ok(r) => (r.labeling, r.stats),

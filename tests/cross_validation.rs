@@ -25,7 +25,7 @@ use adaptive_mpc_connectivity::graph::generators::{
 };
 use adaptive_mpc_connectivity::graph::{reference_components, Graph, Labeling};
 
-use adaptive_mpc_connectivity::ampc::RunStats;
+use adaptive_mpc_connectivity::ampc::{DhtBackend, RunStats};
 
 /// Machine counts every scenario runs under.
 const MACHINE_COUNTS: [usize; 2] = [3, 16];
@@ -65,12 +65,26 @@ fn run_forest(g: &Graph, machines: usize, seed: u64) -> (Labeling, String, usize
     (res.labeling, fp, rounds)
 }
 
+fn run_forest_backend(g: &Graph, machines: usize, seed: u64, backend: DhtBackend) -> String {
+    let cfg =
+        ForestCcConfig::default().with_seed(seed).with_machines(machines).with_backend(backend);
+    let res = connected_components_forest(g, &cfg).expect("forest run");
+    fingerprint(&res.labeling, &res.stats)
+}
+
 fn run_general(g: &Graph, machines: usize, seed: u64) -> (Labeling, String) {
     let mut cfg = GeneralCcConfig::default().with_seed(seed);
     cfg.machines = machines;
     let res = connected_components_general(g, &cfg).expect("general run");
     let fp = fingerprint(&res.labeling, &res.stats);
     (res.labeling, fp)
+}
+
+fn run_general_backend(g: &Graph, machines: usize, seed: u64, backend: DhtBackend) -> String {
+    let mut cfg = GeneralCcConfig::default().with_seed(seed).with_backend(backend);
+    cfg.machines = machines;
+    let res = connected_components_general(g, &cfg).expect("general run");
+    fingerprint(&res.labeling, &res.stats)
 }
 
 /// Algorithm 1 over the full forest matrix: every family × machine count ×
@@ -136,6 +150,65 @@ fn general_matrix_ground_truth_and_determinism() {
                     fp,
                     fp2,
                     "family {} machines {machines} seed {seed}: replay diverged",
+                    fam.name()
+                );
+            }
+        }
+    }
+}
+
+/// Storage backends are an execution detail of the simulator: `FlatDht`
+/// and `ShardedDht` must produce byte-identical labelings and per-round
+/// `RunStats` over the full family × machine count × seed matrix of
+/// Algorithm 1. (The labeling is a projection of the final snapshot and the
+/// fingerprint covers every per-round counter, so divergence anywhere in
+/// snapshot contents or metering fails the comparison; `ampc`'s own
+/// backend-equivalence tests additionally compare raw sorted snapshots.)
+#[test]
+fn forest_backend_equivalence_matrix() {
+    let n = 500;
+    for fam in ForestFamily::ALL {
+        for machines in MACHINE_COUNTS {
+            for seed in SEEDS {
+                let g = fam.generate(n, seed ^ 0xBAC0);
+                let flat = run_forest_backend(&g, machines, seed, DhtBackend::Flat);
+                let sharded = run_forest_backend(&g, machines, seed, DhtBackend::sharded());
+                assert_eq!(
+                    flat,
+                    sharded,
+                    "family {} machines {machines} seed {seed}: backends diverged",
+                    fam.name()
+                );
+                // A fixed non-auto shard count must agree as well.
+                let sharded4 =
+                    run_forest_backend(&g, machines, seed, DhtBackend::Sharded { shards: 4 });
+                assert_eq!(
+                    flat,
+                    sharded4,
+                    "family {} machines {machines} seed {seed}: shard count changed the run",
+                    fam.name()
+                );
+            }
+        }
+    }
+}
+
+/// The same backend-obliviousness requirement for Algorithm 2's recursion
+/// (which constructs many systems internally, one per `ShrinkGeneral` and
+/// base-case invocation — all must dispatch consistently).
+#[test]
+fn general_backend_equivalence_matrix() {
+    let n = 300;
+    for fam in GraphFamily::ALL {
+        for machines in MACHINE_COUNTS {
+            for seed in SEEDS {
+                let g = fam.generate(n, seed ^ 0xBAC1);
+                let flat = run_general_backend(&g, machines, seed, DhtBackend::Flat);
+                let sharded = run_general_backend(&g, machines, seed, DhtBackend::sharded());
+                assert_eq!(
+                    flat,
+                    sharded,
+                    "family {} machines {machines} seed {seed}: backends diverged",
                     fam.name()
                 );
             }
