@@ -9,21 +9,28 @@
 //! as `snapshot words + communication words`, which upper-bounds the
 //! literal "fresh output DHT" model.
 //!
-//! Two backends implement the [`DhtStorage`] trait:
+//! Three backends implement the [`DhtStorage`] trait:
 //!
 //! * [`FlatDht`] — one hash map, the reference implementation (alias
 //!   [`Dht`] for backwards compatibility);
 //! * [`ShardedDht`] — `N` power-of-two shards selected by packed-key hash,
-//!   with per-shard word accounting and a shard-parallel merge.
+//!   with per-shard word accounting and a shard-parallel merge;
+//! * [`DenseDht`] — per-keyspace direct-indexed slabs (`Vec<Option<V>>`
+//!   sized to a capacity hint) with a hash-map overflow for ids beyond the
+//!   slab, so an adaptive read costs a bounds check plus an array index —
+//!   no hashing at all on the dense hot path — and the merge is partitioned
+//!   by contiguous id *ranges* instead of hash shards.
 //!
 //! The executor partitions every round's write buffers by
 //! [`DhtStorage::shard_of`] (preserving machine-index order within each
 //! shard) and hands the partition to [`DhtStorage::apply_ops`]. Because a
-//! key maps to exactly one shard, ops on different shards touch disjoint
-//! key sets and commute; within a shard the machine-order sequence is
-//! preserved. The merged result is therefore byte-identical to the fully
-//! sequential global machine-order merge, no matter how many shards exist
-//! or how the OS schedules the shard workers.
+//! key maps to exactly one shard — `shard_of` is a pure function of the
+//! packed key, whether it hashes ([`ShardedDht`]) or range-partitions
+//! ([`DenseDht`]) — ops on different shards touch disjoint key sets and
+//! commute; within a shard the machine-order sequence is preserved. The
+//! merged result is therefore byte-identical to the fully sequential
+//! global machine-order merge, no matter how many shards exist or how the
+//! OS schedules the shard workers.
 
 use std::collections::HashMap;
 use std::hash::{BuildHasherDefault, Hasher};
@@ -95,6 +102,16 @@ pub enum DhtBackend {
         /// `0` selects an automatic count from the hardware parallelism.
         shards: usize,
     },
+    /// Direct-indexed per-keyspace slabs ([`DenseDht`]) with a hash-map
+    /// overflow and a range-partitioned parallel merge.
+    Dense {
+        /// Slab capacity per keyspace: ids `0..cap` are stored in the slab,
+        /// everything above spills to the overflow map. `0` means
+        /// "unhinted" — pipelines that know their id domain fill it in via
+        /// [`DhtBackend::with_capacity_hint`], otherwise a modest default
+        /// applies.
+        cap: usize,
+    },
 }
 
 impl DhtBackend {
@@ -103,12 +120,43 @@ impl DhtBackend {
         DhtBackend::Sharded { shards: 0 }
     }
 
-    /// Short display name (`"flat"` / `"sharded"`).
+    /// The dense backend with an unhinted slab capacity (pipelines hint it
+    /// from their input size via [`DhtBackend::with_capacity_hint`]).
+    pub fn dense() -> Self {
+        DhtBackend::Dense { cap: 0 }
+    }
+
+    /// Short display name (`"flat"` / `"sharded"` / `"dense"`).
     pub fn name(self) -> &'static str {
         match self {
             DhtBackend::Flat => "flat",
             DhtBackend::Sharded { .. } => "sharded",
+            DhtBackend::Dense { .. } => "dense",
         }
+    }
+
+    /// Fills in an unhinted dense slab capacity from a caller who knows the
+    /// id domain (typically the pipeline's vertex count). An explicit
+    /// `dense:N` capacity and the non-dense backends pass through
+    /// unchanged, so pipelines can apply their hint unconditionally.
+    #[must_use]
+    pub fn with_capacity_hint(self, cap: usize) -> Self {
+        match self {
+            DhtBackend::Dense { cap: 0 } => DhtBackend::Dense { cap },
+            other => other,
+        }
+    }
+
+    /// The dense slab capacity this backend resolves to: the hint (or the
+    /// default when unhinted), clamped so an absurd request cannot attempt
+    /// an address-space-sized allocation.
+    pub fn resolved_dense_cap(self) -> usize {
+        let cap = match self {
+            DhtBackend::Dense { cap: 0 } => DEFAULT_DENSE_CAP,
+            DhtBackend::Dense { cap } => cap,
+            _ => DEFAULT_DENSE_CAP,
+        };
+        cap.clamp(1, Key::MAX_DENSE_CAP)
     }
 
     /// The shard count this backend resolves to on this host. Shard count
@@ -116,21 +164,42 @@ impl DhtBackend {
     /// Explicit counts are clamped to `1..=65536` (the same bound as
     /// [`ShardedDht::with_shard_count`]) **before** rounding so absurd
     /// values can neither overflow `next_power_of_two` nor silently wrap to
-    /// one shard.
+    /// one shard. For the dense backend this is its range-partition count
+    /// plus the overflow partition.
     pub fn resolved_shards(self) -> usize {
         match self {
             DhtBackend::Flat => 1,
             DhtBackend::Sharded { shards: 0 } => auto_shard_count(),
             DhtBackend::Sharded { shards } => shards.clamp(1, 1 << 16).next_power_of_two(),
+            DhtBackend::Dense { .. } => dense_layout(self.resolved_dense_cap()).2 + 1,
         }
     }
 }
+
+/// Slab capacity used when a dense deployment never received a hint. Small
+/// enough that a handful of keyspaces stay cheap on tiny inputs; anything
+/// bigger should — and in this repository does — come from a pipeline that
+/// knows its id domain.
+const DEFAULT_DENSE_CAP: usize = 1 << 16;
 
 /// Default shard count: a few shards per hardware thread so the merge can
 /// load-balance, bounded so tiny deployments don't drown in empty maps.
 fn auto_shard_count() -> usize {
     let workers = std::thread::available_parallelism().map_or(1, usize::from);
     (workers * 4).next_power_of_two().clamp(4, 256)
+}
+
+/// Range-partition layout for a dense slab of `cap` slots: returns
+/// `(range_len, range_shift, num_ranges)` with `range_len = 1 << range_shift`
+/// and `num_ranges = ceil(cap / range_len)`. A couple of ranges per hardware
+/// thread keeps the parallel merge load-balanced; the power-of-two range
+/// length makes partition routing a shift, not a division.
+fn dense_layout(cap: usize) -> (usize, u32, usize) {
+    let workers = std::thread::available_parallelism().map_or(1, usize::from);
+    let target = (workers * 2).next_power_of_two().clamp(2, 256);
+    let range_len = cap.div_ceil(target).next_power_of_two().max(1);
+    let shift = range_len.trailing_zeros();
+    (range_len, shift, cap.div_ceil(range_len).max(1))
 }
 
 /// Storage interface every DHT backend implements.
@@ -197,7 +266,16 @@ pub trait DhtStorage<V: DhtValue>: Clone + Send + Sync {
     /// `shard_count() == 1` the executor instead passes one list per
     /// machine (skipping the partition copy); the lists must be applied
     /// sequentially in the given order.
-    fn apply_ops(&mut self, ops_by_shard: Vec<Vec<(Key, WriteOp<V>)>>, parallel: bool);
+    ///
+    /// Returns the same lists, **drained but with their capacity intact**,
+    /// so the executor can recycle them as next round's machine write
+    /// buffers / partition lists instead of reallocating (list order on
+    /// return is unspecified — only the capacity matters).
+    fn apply_ops(
+        &mut self,
+        ops_by_shard: Vec<Vec<(Key, WriteOp<V>)>>,
+        parallel: bool,
+    ) -> Vec<Vec<(Key, WriteOp<V>)>>;
 
     /// Short display name of the backend.
     fn backend_name(&self) -> &'static str;
@@ -328,9 +406,10 @@ impl<V: DhtValue> FlatDht<V> {
         }
     }
 
-    /// Applies a batch of buffered ops in list order.
-    fn apply_batch(&mut self, ops: Vec<(Key, WriteOp<V>)>) {
-        for (key, op) in ops {
+    /// Applies a batch of buffered ops in list order, draining the list in
+    /// place so its allocation can be recycled by the caller.
+    fn apply_batch(&mut self, ops: &mut Vec<(Key, WriteOp<V>)>) {
+        for (key, op) in ops.drain(..) {
             match op {
                 WriteOp::Put(v) => {
                     self.insert(key, v);
@@ -411,10 +490,15 @@ impl<V: DhtValue> DhtStorage<V> for FlatDht<V> {
         0
     }
 
-    fn apply_ops(&mut self, ops_by_shard: Vec<Vec<(Key, WriteOp<V>)>>, _parallel: bool) {
-        for ops in ops_by_shard {
+    fn apply_ops(
+        &mut self,
+        mut ops_by_shard: Vec<Vec<(Key, WriteOp<V>)>>,
+        _parallel: bool,
+    ) -> Vec<Vec<(Key, WriteOp<V>)>> {
+        for ops in &mut ops_by_shard {
             self.apply_batch(ops);
         }
+        ops_by_shard
     }
 
     fn backend_name(&self) -> &'static str {
@@ -534,14 +618,18 @@ impl<V: DhtValue> DhtStorage<V> for ShardedDht<V> {
         self.shard_index(key)
     }
 
-    fn apply_ops(&mut self, mut ops_by_shard: Vec<Vec<(Key, WriteOp<V>)>>, parallel: bool) {
+    fn apply_ops(
+        &mut self,
+        mut ops_by_shard: Vec<Vec<(Key, WriteOp<V>)>>,
+        parallel: bool,
+    ) -> Vec<Vec<(Key, WriteOp<V>)>> {
         if self.shards.len() == 1 {
             // Single-shard store: the executor passes one list per machine
             // (see the trait contract) — apply them all in order.
-            for ops in ops_by_shard {
+            for ops in &mut ops_by_shard {
                 self.shards[0].apply_batch(ops);
             }
-            return;
+            return ops_by_shard;
         }
         debug_assert_eq!(ops_by_shard.len(), self.shards.len());
         let workers =
@@ -557,20 +645,379 @@ impl<V: DhtValue> DhtStorage<V> for ShardedDht<V> {
                 {
                     scope.spawn(move || {
                         for (shard, ops) in shard_block.iter_mut().zip(ops_block.iter_mut()) {
-                            shard.apply_batch(std::mem::take(ops));
+                            shard.apply_batch(ops);
                         }
                     });
                 }
             });
         } else {
-            for (shard, ops) in self.shards.iter_mut().zip(ops_by_shard) {
+            for (shard, ops) in self.shards.iter_mut().zip(&mut ops_by_shard) {
                 shard.apply_batch(ops);
             }
         }
+        ops_by_shard
     }
 
     fn backend_name(&self) -> &'static str {
         "sharded"
+    }
+}
+
+/// One direct-indexed keyspace slab: `slots[id]` holds the value of
+/// `Key::new(space, id)`, with entry/word counters maintained alongside so
+/// total accounting never scans the slab.
+#[derive(Clone)]
+struct DenseSlab<V> {
+    /// Empty until the space is first written, then exactly `cap` slots.
+    slots: Vec<Option<V>>,
+    /// Occupied slots.
+    len: usize,
+    /// Word footprint of the occupied slots.
+    words: usize,
+}
+
+impl<V> DenseSlab<V> {
+    fn empty() -> Self {
+        DenseSlab { slots: Vec::new(), len: 0, words: 0 }
+    }
+}
+
+/// Applies one buffered op to a slab slot, accumulating the `(entries,
+/// words)` delta into `d` and returning the displaced value (for `Put` and
+/// `Delete`). The **single** definition of dense op semantics: the direct
+/// `insert`/`remove`/`merge` methods, the sequential merge path, and the
+/// range-parallel merge workers (which cannot touch the shared counters)
+/// all route through it.
+#[inline]
+fn apply_slot_op<V: DhtValue>(
+    slot: &mut Option<V>,
+    op: WriteOp<V>,
+    d: &mut (i64, i64),
+) -> Option<V> {
+    match op {
+        WriteOp::Put(v) => {
+            d.1 += v.words() as i64;
+            let old = slot.replace(v);
+            match &old {
+                Some(o) => d.1 -= o.words() as i64,
+                None => d.0 += 1,
+            }
+            return old;
+        }
+        WriteOp::Merge(v) => match slot {
+            Some(existing) => {
+                let before = existing.words();
+                existing.merge(v);
+                d.1 += existing.words() as i64 - before as i64;
+            }
+            None => {
+                d.0 += 1;
+                d.1 += v.words() as i64;
+                *slot = Some(v);
+            }
+        },
+        WriteOp::Delete => {
+            let old = slot.take();
+            if let Some(ref o) = old {
+                d.0 -= 1;
+                d.1 -= o.words() as i64;
+            }
+            return old;
+        }
+    }
+    None
+}
+
+/// Direct-indexed storage: one [`DenseSlab`] per keyspace for ids below the
+/// capacity hint, a [`FlatDht`] overflow for everything above it.
+///
+/// A dense `get` is a bounds check plus an array index — zero hashing on
+/// the single most-executed instruction sequence in the simulator (the
+/// adaptive read). The bounds check doubles as the slab/overflow
+/// discriminator: an unallocated slab has zero length, so every id falls
+/// through to the overflow probe, and arbitrary (sparse, huge) ids stay
+/// correct.
+///
+/// The merge is partitioned by contiguous id **ranges** — `shard_of` is
+/// `id >> range_shift` for in-slab ids plus one dedicated overflow
+/// partition — so distinct partitions touch disjoint slot ranges of every
+/// slab (and the overflow map is owned by exactly one partition). The
+/// parallel apply hands each worker its partitions' slot ranges via
+/// `chunks_mut` and collects per-partition `(entries, words)` deltas,
+/// folding them into the per-slab counters after the join; the result is
+/// byte-identical to the sequential machine-order merge by the same
+/// argument as the hash-sharded backend.
+#[derive(Clone)]
+pub struct DenseDht<V> {
+    /// Indexed by keyspace tag, grown on demand.
+    slabs: Vec<DenseSlab<V>>,
+    /// Entries whose id is `>= cap`.
+    overflow: FlatDht<V>,
+    /// Slab capacity per keyspace (ids `0..cap` are slab-resident).
+    cap: usize,
+    /// `1 << range_shift`; the id width of one merge partition.
+    range_len: usize,
+    range_shift: u32,
+    /// Number of id-range partitions (the overflow partition is one more).
+    num_ranges: usize,
+}
+
+impl<V: DhtValue> DenseDht<V> {
+    /// Creates an empty store whose slabs hold `cap` ids per keyspace
+    /// (clamped to `1..=2^28`; see [`DhtBackend::resolved_dense_cap`]).
+    pub fn with_slab_capacity(cap: usize) -> Self {
+        let cap = cap.clamp(1, Key::MAX_DENSE_CAP);
+        let (range_len, range_shift, num_ranges) = dense_layout(cap);
+        DenseDht {
+            slabs: Vec::new(),
+            overflow: FlatDht::new(),
+            cap,
+            range_len,
+            range_shift,
+            num_ranges,
+        }
+    }
+
+    /// Slab capacity per keyspace.
+    pub fn slab_capacity(&self) -> usize {
+        self.cap
+    }
+
+    /// Entries currently held in the overflow map (ids `>= cap`).
+    pub fn overflow_len(&self) -> usize {
+        self.overflow.len()
+    }
+
+    /// Allocates the slab for `space` if it has never been written.
+    fn ensure_slab(&mut self, space: Space) -> &mut DenseSlab<V> {
+        let idx = space as usize;
+        if idx >= self.slabs.len() {
+            self.slabs.resize_with(idx + 1, DenseSlab::empty);
+        }
+        let slab = &mut self.slabs[idx];
+        if slab.slots.is_empty() {
+            slab.slots.resize_with(self.cap, || None);
+        }
+        slab
+    }
+
+    /// Applies one op to the in-slab slot of `key` through [`apply_slot_op`]
+    /// and folds the accounting delta into the slab counters, returning the
+    /// displaced value. Caller guarantees `key.id < cap`.
+    fn slab_op(&mut self, key: Key, op: WriteOp<V>) -> Option<V> {
+        debug_assert!(key.id < self.cap as u64);
+        let slab = self.ensure_slab(key.space);
+        let mut d = (0i64, 0i64);
+        let old = apply_slot_op(&mut slab.slots[key.id as usize], op, &mut d);
+        slab.len = (slab.len as i64 + d.0) as usize;
+        slab.words = (slab.words as i64 + d.1) as usize;
+        old
+    }
+
+    /// Applies one op through the slab/overflow routing, keeping the
+    /// per-slab counters current (the sequential merge path).
+    fn apply_one(&mut self, key: Key, op: WriteOp<V>) {
+        // Compare ids in u64: `key.id as usize` would truncate 48-bit ids
+        // on a 32-bit target and misroute them between slab and overflow.
+        if key.id < self.cap as u64 {
+            self.slab_op(key, op);
+        } else {
+            match op {
+                WriteOp::Put(v) => {
+                    self.overflow.insert(key, v);
+                }
+                WriteOp::Merge(v) => self.overflow.merge(key, v),
+                WriteOp::Delete => {
+                    self.overflow.remove(key);
+                }
+            }
+        }
+    }
+}
+
+impl<V: DhtValue> DhtStorage<V> for DenseDht<V> {
+    fn for_backend(backend: DhtBackend) -> Self {
+        debug_assert!(
+            matches!(backend, DhtBackend::Dense { .. }),
+            "DenseDht constructed for a {} backend config — dispatch on AmpcConfig::backend",
+            backend.name()
+        );
+        Self::with_slab_capacity(backend.resolved_dense_cap())
+    }
+
+    #[inline]
+    fn get(&self, key: Key) -> Option<&V> {
+        // The hot path: one slab-header load, one bounds check, one indexed
+        // load. An unallocated slab has `slots.len() == 0`, so the bounds
+        // check also routes never-written spaces and out-of-slab ids to the
+        // overflow probe.
+        match self.slabs.get(key.space as usize) {
+            Some(slab) if key.id < slab.slots.len() as u64 => slab.slots[key.id as usize].as_ref(),
+            _ if key.id >= self.cap as u64 => self.overflow.get(key),
+            _ => None,
+        }
+    }
+
+    fn insert(&mut self, key: Key, value: V) -> Option<V> {
+        if key.id < self.cap as u64 {
+            self.slab_op(key, WriteOp::Put(value))
+        } else {
+            self.overflow.insert(key, value)
+        }
+    }
+
+    fn merge(&mut self, key: Key, value: V) {
+        self.apply_one(key, WriteOp::Merge(value));
+    }
+
+    fn remove(&mut self, key: Key) -> Option<V> {
+        if key.id < self.cap as u64 {
+            // Don't allocate a slab just to observe the slot was empty.
+            match self.slabs.get(key.space as usize) {
+                Some(slab) if !slab.slots.is_empty() => self.slab_op(key, WriteOp::Delete),
+                _ => None,
+            }
+        } else {
+            self.overflow.remove(key)
+        }
+    }
+
+    fn len(&self) -> usize {
+        self.slabs.iter().map(|s| s.len).sum::<usize>() + self.overflow.len()
+    }
+
+    fn words(&self) -> usize {
+        self.slabs.iter().map(|s| s.words).sum::<usize>() + self.overflow.words()
+    }
+
+    fn words_by_space(&self) -> Vec<(Space, usize, usize)> {
+        let mut acc: std::collections::BTreeMap<Space, (usize, usize)> = Default::default();
+        for (space, slab) in self.slabs.iter().enumerate() {
+            if slab.len > 0 {
+                let e = acc.entry(space as Space).or_insert((0, 0));
+                e.0 += slab.len;
+                e.1 += slab.words;
+            }
+        }
+        self.overflow.accumulate_words_by_space(&mut acc);
+        acc.into_iter().map(|(s, (e, w))| (s, e, w)).collect()
+    }
+
+    fn for_each_entry(&self, f: &mut dyn FnMut(Key, &V)) {
+        for (space, slab) in self.slabs.iter().enumerate() {
+            for (id, slot) in slab.slots.iter().enumerate() {
+                if let Some(v) = slot {
+                    f(Key::new(space as Space, id as u64), v);
+                }
+            }
+        }
+        self.overflow.for_each_entry(f);
+    }
+
+    fn shard_count(&self) -> usize {
+        self.num_ranges + 1
+    }
+
+    #[inline]
+    fn shard_of(&self, key: Key) -> usize {
+        // Pure function of the packed key given the (fixed) layout:
+        // contiguous id ranges, then the overflow partition.
+        if key.id < self.cap as u64 {
+            (key.id >> self.range_shift) as usize
+        } else {
+            self.num_ranges
+        }
+    }
+
+    fn apply_ops(
+        &mut self,
+        mut ops_by_shard: Vec<Vec<(Key, WriteOp<V>)>>,
+        parallel: bool,
+    ) -> Vec<Vec<(Key, WriteOp<V>)>> {
+        debug_assert_eq!(ops_by_shard.len(), self.num_ranges + 1);
+        let workers = std::thread::available_parallelism().map_or(1, usize::from);
+        if !parallel || workers <= 1 {
+            for ops in &mut ops_by_shard {
+                for (key, op) in ops.drain(..) {
+                    self.apply_one(key, op);
+                }
+            }
+            return ops_by_shard;
+        }
+
+        // Allocate every slab the range partitions will touch up front, so
+        // the parallel phase only ever indexes into existing slots.
+        for ops in &ops_by_shard[..self.num_ranges] {
+            for &(key, _) in ops {
+                self.ensure_slab(key.space);
+            }
+        }
+
+        // Split borrows: range workers own disjoint `chunks_mut` slices of
+        // the slabs while the main thread owns the overflow map.
+        let DenseDht { slabs, overflow, range_len, num_ranges, .. } = self;
+        let (range_len, num_ranges) = (*range_len, *num_ranges);
+        let nspaces = slabs.len();
+        let mut overflow_ops = ops_by_shard.pop().expect("overflow partition list");
+
+        // views[p][space] = the slot range partition p owns within
+        // `space`'s slab (None while the slab is unallocated).
+        let mut views: Vec<Vec<Option<&mut [Option<V>]>>> =
+            (0..num_ranges).map(|_| (0..nspaces).map(|_| None).collect()).collect();
+        // deltas[p][space] accumulates partition p's (entries, words)
+        // changes per keyspace; folded into the slab counters after the
+        // join, since workers cannot share the counters themselves.
+        let mut deltas: Vec<Vec<(i64, i64)>> =
+            (0..num_ranges).map(|_| vec![(0, 0); nspaces]).collect();
+        for (space, slab) in slabs.iter_mut().enumerate() {
+            for (p, chunk) in slab.slots.chunks_mut(range_len).enumerate() {
+                views[p][space] = Some(chunk);
+            }
+        }
+
+        let block = num_ranges.div_ceil(workers.min(num_ranges));
+        std::thread::scope(|scope| {
+            for ((view_block, ops_block), delta_block) in views
+                .chunks_mut(block)
+                .zip(ops_by_shard.chunks_mut(block))
+                .zip(deltas.chunks_mut(block))
+            {
+                scope.spawn(move || {
+                    for ((view, ops), delta) in
+                        view_block.iter_mut().zip(ops_block.iter_mut()).zip(delta_block.iter_mut())
+                    {
+                        let mask = range_len as u64 - 1;
+                        for (key, op) in ops.drain(..) {
+                            let chunk =
+                                view[key.space as usize].as_mut().expect("slab preallocated");
+                            apply_slot_op(
+                                &mut chunk[(key.id & mask) as usize],
+                                op,
+                                &mut delta[key.space as usize],
+                            );
+                        }
+                    }
+                });
+            }
+            // The overflow partition runs on this thread, concurrently with
+            // the range workers — it owns the overflow map exclusively.
+            overflow.apply_batch(&mut overflow_ops);
+        });
+
+        drop(views);
+        for per_space in deltas {
+            for (space, (dlen, dwords)) in per_space.into_iter().enumerate() {
+                let slab = &mut slabs[space];
+                slab.len = (slab.len as i64 + dlen) as usize;
+                slab.words = (slab.words as i64 + dwords) as usize;
+            }
+        }
+        ops_by_shard.push(overflow_ops);
+        ops_by_shard
+    }
+
+    fn backend_name(&self) -> &'static str {
+        "dense"
     }
 }
 
@@ -813,6 +1260,182 @@ mod sharded_tests {
         DhtStorage::apply_ops(&mut d, vec![machine0, machine1], true);
         assert_eq!(DhtStorage::get(&d, Key::new(0, 1)), Some(&11));
         assert_eq!(DhtStorage::len(&d), 2);
+    }
+
+    #[test]
+    fn dense_basic_ops_match_flat() {
+        // cap 256 with ids up to 2000: most keys overflow, many straddle.
+        let mut flat: FlatDht<u64> = FlatDht::new();
+        let mut dense: DenseDht<u64> = DenseDht::with_slab_capacity(256);
+        for i in 0..2000u64 {
+            flat.insert(Key::new((i % 5) as Space, i), i * 3);
+            DhtStorage::insert(&mut dense, Key::new((i % 5) as Space, i), i * 3);
+        }
+        for i in (0..2000u64).step_by(7) {
+            flat.remove(Key::new((i % 5) as Space, i));
+            DhtStorage::remove(&mut dense, Key::new((i % 5) as Space, i));
+        }
+        for i in 0..2000u64 {
+            flat.merge(Key::new(6, i % 300), i);
+            DhtStorage::merge(&mut dense, Key::new(6, i % 300), i);
+        }
+        assert_eq!(flat.sorted_entries(), dense.sorted_entries());
+        assert_eq!(FlatDht::len(&flat), DhtStorage::len(&dense));
+        assert_eq!(FlatDht::words(&flat), DhtStorage::words(&dense));
+        assert_eq!(flat.words_by_space(), DhtStorage::words_by_space(&dense));
+        assert!(dense.overflow_len() > 0, "test should exercise the overflow path");
+    }
+
+    #[test]
+    fn dense_overflow_boundary_accounting_matches_flat() {
+        // Property-style sweep over keys straddling the slab boundary: ids
+        // at cap−1, cap, cap+large, across several spaces, with deletes and
+        // merges whose accounting lands on either side of the boundary.
+        // After every step, words()/words_by_space/len must equal FlatDht's
+        // exactly.
+        let cap = 128usize;
+        let boundary_ids =
+            [0u64, 1, cap as u64 - 1, cap as u64, cap as u64 + 1, cap as u64 * 31, 1 << 40];
+        // Phase 1: variable-width values (Vec) — replacing puts shrink and
+        // grow footprints on both sides of the boundary; deletes retire
+        // slab slots and overflow entries alike.
+        let mut flat: FlatDht<Vec<u64>> = FlatDht::new();
+        let mut dense: DenseDht<Vec<u64>> = DenseDht::with_slab_capacity(cap);
+        let mut step = 0u64;
+        for round in 0..4u64 {
+            for space in 0..3u16 {
+                for &id in &boundary_ids {
+                    step += 1;
+                    let key = Key::new(space, id);
+                    match (step + round) % 3 {
+                        0 => {
+                            let v = vec![step; (step % 5) as usize + 1];
+                            flat.insert(key, v.clone());
+                            DhtStorage::insert(&mut dense, key, v);
+                        }
+                        1 => {
+                            assert_eq!(
+                                flat.remove(key),
+                                DhtStorage::remove(&mut dense, key),
+                                "remove diverged at space={space} id={id}"
+                            );
+                        }
+                        _ => {
+                            assert_eq!(
+                                flat.get(key),
+                                DhtStorage::get(&dense, key),
+                                "get diverged at space={space} id={id}"
+                            );
+                        }
+                    }
+                    assert_eq!(FlatDht::words(&flat), DhtStorage::words(&dense), "words drifted");
+                    assert_eq!(FlatDht::len(&flat), DhtStorage::len(&dense), "len drifted");
+                }
+            }
+            assert_eq!(flat.words_by_space(), DhtStorage::words_by_space(&dense));
+        }
+        assert_eq!(flat.sorted_entries(), dense.sorted_entries());
+        assert!(dense.overflow_len() > 0, "boundary sweep must populate the overflow");
+
+        // Phase 2: merge-writes (u64 max-combiner) landing on both sides of
+        // the boundary, interleaved with deletes so merges re-create
+        // entries whose accounting was just retired.
+        let mut flat: FlatDht<u64> = FlatDht::new();
+        let mut dense: DenseDht<u64> = DenseDht::with_slab_capacity(cap);
+        for round in 0..6u64 {
+            for &id in &boundary_ids {
+                let key = Key::new(1, id);
+                if round % 3 == 2 {
+                    assert_eq!(flat.remove(key), DhtStorage::remove(&mut dense, key));
+                } else {
+                    flat.merge(key, round * 1000 + id % 97);
+                    DhtStorage::merge(&mut dense, key, round * 1000 + id % 97);
+                }
+                assert_eq!(FlatDht::words(&flat), DhtStorage::words(&dense));
+                assert_eq!(flat.words_by_space(), DhtStorage::words_by_space(&dense));
+            }
+        }
+        assert_eq!(flat.sorted_entries(), dense.sorted_entries());
+    }
+
+    #[test]
+    fn dense_apply_ops_preserves_machine_order_within_partition() {
+        // Two "machines" write the same keys, one inside the slab and one in
+        // the overflow: the later list must win under both serial and
+        // parallel application, exactly as in the flat reference.
+        let cap = 16usize;
+        let far = cap as u64 * 1000;
+        for parallel in [false, true] {
+            let mut flat: FlatDht<u64> = FlatDht::new();
+            let mut dense: DenseDht<u64> = DenseDht::with_slab_capacity(cap);
+            let machine0 = ops(&[
+                (0, 1, WriteOp::Put(10)),
+                (0, far, WriteOp::Put(100)),
+                (1, 2, WriteOp::Put(20)),
+            ]);
+            let machine1 = ops(&[
+                (0, 1, WriteOp::Put(11)),
+                (0, far, WriteOp::Put(101)),
+                (1, 3, WriteOp::Delete),
+            ]);
+            let mut all = machine0.clone();
+            all.extend(machine1.clone());
+            DhtStorage::apply_ops(&mut flat, vec![all], parallel);
+            let mut by_shard: Vec<Vec<(Key, WriteOp<u64>)>> =
+                (0..DhtStorage::<u64>::shard_count(&dense)).map(|_| Vec::new()).collect();
+            for (key, op) in machine0.into_iter().chain(machine1) {
+                by_shard[dense.shard_of(key)].push((key, op));
+            }
+            DhtStorage::apply_ops(&mut dense, by_shard, parallel);
+            assert_eq!(flat.sorted_entries(), dense.sorted_entries());
+            assert_eq!(DhtStorage::get(&dense, Key::new(0, 1)), Some(&11));
+            assert_eq!(DhtStorage::get(&dense, Key::new(0, far)), Some(&101));
+            assert_eq!(FlatDht::words(&flat), DhtStorage::words(&dense));
+        }
+    }
+
+    #[test]
+    fn dense_range_partition_is_contiguous_and_pure() {
+        let d: DenseDht<u64> = DenseDht::with_slab_capacity(1 << 12);
+        let nranges = DhtStorage::<u64>::shard_count(&d) - 1;
+        let mut last = 0usize;
+        for id in 0..(1u64 << 12) {
+            let p = d.shard_of(Key::new(0, id));
+            assert!(p < nranges, "in-slab id routed to the overflow partition");
+            assert!(p >= last, "range partition not monotone in id");
+            // Partition choice ignores the keyspace tag: ranges are slot
+            // ranges of *every* slab.
+            assert_eq!(p, d.shard_of(Key::new(9, id)));
+            last = p;
+        }
+        assert_eq!(last, nranges - 1, "top id must land in the last range");
+        assert_eq!(d.shard_of(Key::new(0, 1 << 12)), nranges);
+        assert_eq!(d.shard_of(Key::new(3, u64::MAX >> 16)), nranges);
+    }
+
+    #[test]
+    fn dense_backend_resolution_and_hints() {
+        assert_eq!(DhtBackend::dense().name(), "dense");
+        // A hint fills only the unhinted capacity.
+        assert_eq!(DhtBackend::dense().with_capacity_hint(1234), DhtBackend::Dense { cap: 1234 });
+        assert_eq!(
+            DhtBackend::Dense { cap: 99 }.with_capacity_hint(1234),
+            DhtBackend::Dense { cap: 99 }
+        );
+        assert_eq!(DhtBackend::Flat.with_capacity_hint(1234), DhtBackend::Flat);
+        // Resolution clamps instead of allocating the address space.
+        assert_eq!(DhtBackend::Dense { cap: usize::MAX }.resolved_dense_cap(), Key::MAX_DENSE_CAP);
+        assert_eq!(DhtBackend::Dense { cap: 777 }.resolved_dense_cap(), 777);
+        let d: DenseDht<u64> = DhtStorage::<u64>::for_backend(DhtBackend::Dense { cap: 777 });
+        assert_eq!(d.slab_capacity(), 777);
+        assert_eq!(
+            DhtStorage::<u64>::shard_count(&d),
+            DhtBackend::Dense { cap: 777 }.resolved_shards()
+        );
+        // The dense store always has at least the overflow partition plus
+        // one range, so the executor always partitions (never the
+        // one-list-per-machine fast path).
+        assert!(DhtStorage::<u64>::shard_count(&d) >= 2);
     }
 
     #[test]

@@ -8,11 +8,18 @@
 //! matter how the OS schedules the machine threads.
 //!
 //! The system is generic over its [`DhtStorage`] backend. With the
-//! [`ShardedDht`](crate::ShardedDht) backend the merge phase partitions
-//! every machine's buffer by shard (preserving machine order within each
-//! shard) and applies the shards concurrently on scoped worker threads —
+//! [`ShardedDht`](crate::ShardedDht) and [`DenseDht`](crate::DenseDht)
+//! backends the merge phase partitions every machine's buffer by
+//! [`DhtStorage::shard_of`] — a hash shard for the former, a contiguous id
+//! range for the latter — preserving machine order within each partition,
+//! and applies the partitions concurrently on scoped worker threads:
 //! provably equivalent to the sequential global merge because cross-shard
 //! keys never interact (see `crates/ampc/src/dht.rs` module docs).
+//!
+//! Machine write buffers and partition lists are pooled across rounds:
+//! the drained (capacity-retaining) vectors come back from
+//! [`DhtStorage::apply_ops`] and are handed to the next round's machines,
+//! so steady-state rounds allocate nothing for buffering.
 
 use std::borrow::Cow;
 use std::marker::PhantomData;
@@ -110,6 +117,10 @@ pub struct AmpcSystem<V, S = FlatDht<V>> {
     snapshot: S,
     config: AmpcConfig,
     stats: RunStats,
+    /// Drained machine write buffers recycled into subsequent rounds.
+    spare_bufs: Vec<Vec<(Key, WriteOp<V>)>>,
+    /// Drained per-shard partition lists recycled into subsequent rounds.
+    spare_shard_lists: Vec<Vec<(Key, WriteOp<V>)>>,
     _value: PhantomData<fn() -> V>,
 }
 
@@ -123,7 +134,14 @@ impl<V: DhtValue, S: DhtStorage<V>> AmpcSystem<V, S> {
         for (k, v) in initial {
             snapshot.insert(k, v);
         }
-        AmpcSystem { snapshot, config, stats: RunStats::new(), _value: PhantomData }
+        AmpcSystem {
+            snapshot,
+            config,
+            stats: RunStats::new(),
+            spare_bufs: Vec::new(),
+            spare_shard_lists: Vec::new(),
+            _value: PhantomData,
+        }
     }
 
     /// The current read-only snapshot.
@@ -186,8 +204,15 @@ impl<V: DhtValue, S: DhtStorage<V>> AmpcSystem<V, S> {
         let limits = self.config.limits;
         let seed = self.config.seed;
 
-        let run_machine = |(j, slice): (usize, &[I])| {
-            let mut ctx = MachineCtx::new(snapshot, limits, j, round_index, seed);
+        // One recycled write buffer per machine slot: drained vectors from
+        // earlier rounds keep their capacity, so the steady state buffers
+        // writes without touching the allocator.
+        let num_jobs = items.len().div_ceil(chunk);
+        let mut bufs: Vec<Vec<(Key, WriteOp<V>)>> = Vec::with_capacity(num_jobs);
+        bufs.resize_with(num_jobs, || self.spare_bufs.pop().unwrap_or_default());
+
+        let run_machine = |(j, slice): (usize, &[I]), buf: Vec<(Key, WriteOp<V>)>| {
+            let mut ctx = MachineCtx::new(snapshot, limits, j, round_index, seed, buf);
             let mut out = Vec::new();
             for item in slice {
                 if let Some(r) = f(&mut ctx, item) {
@@ -215,7 +240,7 @@ impl<V: DhtValue, S: DhtStorage<V>> AmpcSystem<V, S> {
             read_words: ctx.read_words,
             writes: ctx.writes,
             write_words: ctx.write_words,
-            violation: ctx.violation.clone(),
+            violation: ctx.violation.take(),
             results,
         };
         // Deployments are often configured with far more simulated machines
@@ -225,7 +250,7 @@ impl<V: DhtValue, S: DhtStorage<V>> AmpcSystem<V, S> {
         // slot per machine, which keeps the merge below in machine-index
         // order no matter which worker ran which machine.
         let workers = std::thread::available_parallelism().map_or(1, usize::from).min(m);
-        let machines: Vec<MachineOutput<V, R>> =
+        let mut machines: Vec<MachineOutput<V, R>> =
             if self.config.parallel && workers > 1 && items.len() > chunk {
                 let jobs: Vec<(usize, &[I])> = items.chunks(chunk).enumerate().collect();
                 let mut slots: Vec<Option<MachineOutput<V, R>>> = Vec::new();
@@ -235,20 +260,34 @@ impl<V: DhtValue, S: DhtStorage<V>> AmpcSystem<V, S> {
                     let run_machine = &run_machine;
                     let finish = &finish;
                     let jobs = &jobs;
-                    for (w, block_of_slots) in slots.chunks_mut(block).enumerate() {
+                    for (w, (block_of_slots, block_of_bufs)) in
+                        slots.chunks_mut(block).zip(bufs.chunks_mut(block)).enumerate()
+                    {
                         scope.spawn(move || {
-                            for (off, slot) in block_of_slots.iter_mut().enumerate() {
-                                *slot = Some(finish(run_machine(jobs[w * block + off])));
+                            for (off, (slot, buf)) in
+                                block_of_slots.iter_mut().zip(block_of_bufs.iter_mut()).enumerate()
+                            {
+                                *slot = Some(finish(run_machine(
+                                    jobs[w * block + off],
+                                    std::mem::take(buf),
+                                )));
                             }
                         });
                     }
                 });
                 slots.into_iter().map(|s| s.expect("machine worker panicked")).collect()
             } else {
-                items.chunks(chunk).enumerate().map(run_machine).map(finish).collect()
+                items
+                    .chunks(chunk)
+                    .enumerate()
+                    .zip(bufs.drain(..))
+                    .map(|(job, buf)| finish(run_machine(job, buf)))
+                    .collect()
             };
 
-        // Gather stats and the first violation before consuming the buffers.
+        // Gather stats and move out the first violation before consuming
+        // the buffers (violations leave the machine output by value — they
+        // are not cloned again into the round stats).
         let mut stats = RoundStats {
             name: Cow::Borrowed(name),
             index: round_index,
@@ -263,14 +302,14 @@ impl<V: DhtValue, S: DhtStorage<V>> AmpcSystem<V, S> {
             total_space_words: 0,
             violations: Vec::new(),
         };
-        for mo in &machines {
+        for mo in &mut machines {
             stats.reads += mo.reads;
             stats.read_words += mo.read_words;
             stats.writes += mo.writes;
             stats.write_words += mo.write_words;
             stats.max_machine_read_words = stats.max_machine_read_words.max(mo.read_words);
             stats.max_machine_write_words = stats.max_machine_write_words.max(mo.write_words);
-            if let Some(mut v) = mo.violation.clone() {
+            if let Some(mut v) = mo.violation.take() {
                 v.round_name = Cow::Borrowed(name);
                 stats.violations.push(v);
             }
@@ -286,11 +325,14 @@ impl<V: DhtValue, S: DhtStorage<V>> AmpcSystem<V, S> {
         }
 
         // Deterministic merge. The round-finish phase partitions each
-        // machine's buffer by shard, visiting machines in index order so
-        // every shard's op list is the machine-order subsequence of ops
-        // landing on it; `apply_ops` then applies the shards (concurrently
-        // for a sharded backend). Keys never span shards, so this is
-        // byte-identical to the sequential global machine-order merge.
+        // machine's buffer by `shard_of` — a hash shard (sharded backend)
+        // or a contiguous id range (dense backend) — visiting machines in
+        // index order so every partition's op list is the machine-order
+        // subsequence of ops landing on it; `apply_ops` then applies the
+        // partitions (concurrently for a multi-shard backend). `shard_of`
+        // is a pure function of the packed key, so keys never span
+        // partitions and the result is byte-identical to the sequential
+        // global machine-order merge.
         let nshards = self.snapshot.shard_count();
         let mut results = Vec::new();
         let op_lists: Vec<Vec<(Key, WriteOp<V>)>> = if nshards == 1 {
@@ -305,19 +347,34 @@ impl<V: DhtValue, S: DhtStorage<V>> AmpcSystem<V, S> {
             lists
         } else {
             let total_ops: usize = machines.iter().map(|mo| mo.buf.len()).sum();
+            // Both partitioners spread ops near-uniformly (hashing by
+            // construction, id ranges because ids are dense in practice);
+            // recycled lists keep last round's capacity and fresh ones are
+            // pre-sized, so the partition pass never reallocates mid-round.
             let mut by_shard: Vec<Vec<(Key, WriteOp<V>)>> = Vec::with_capacity(nshards);
-            // Hashing spreads ops near-uniformly; pre-size each shard list
-            // so the partition pass never reallocates mid-round.
-            by_shard.resize_with(nshards, || Vec::with_capacity(total_ops / nshards + 16));
+            by_shard.resize_with(nshards, || {
+                self.spare_shard_lists
+                    .pop()
+                    .unwrap_or_else(|| Vec::with_capacity(total_ops / nshards + 16))
+            });
             for mut mo in machines {
                 for (key, op) in mo.buf.drain(..) {
                     by_shard[self.snapshot.shard_of(key)].push((key, op));
                 }
+                // The machine's buffer is drained — recycle it.
+                self.spare_bufs.push(std::mem::take(&mut mo.buf));
                 results.append(&mut mo.results);
             }
             by_shard
         };
-        self.snapshot.apply_ops(op_lists, self.config.parallel);
+        let drained = self.snapshot.apply_ops(op_lists, self.config.parallel);
+        // `apply_ops` hands the lists back drained with capacity intact;
+        // route them to the pool the next round will draw them from.
+        if nshards == 1 {
+            self.spare_bufs.extend(drained);
+        } else {
+            self.spare_shard_lists.extend(drained);
+        }
 
         let outcome = RoundOutcome { results, reads: stats.reads, write_words: stats.write_words };
         self.stats.push_round(stats);
@@ -491,7 +548,7 @@ mod tests {
 #[cfg(test)]
 mod backend_equivalence_tests {
     use super::*;
-    use crate::dht::ShardedDht;
+    use crate::dht::{DenseDht, ShardedDht};
 
     const S: u16 = 0;
     const AUX: u16 = 1;
@@ -566,5 +623,29 @@ mod backend_equivalence_tests {
         let sharded = run_workload::<ShardedDht<u64>>(4, DhtBackend::sharded());
         assert_eq!(flat.0, sharded.0);
         assert_eq!(flat.1, sharded.1);
+    }
+
+    #[test]
+    fn dense_snapshot_is_byte_identical_to_flat() {
+        // Slab capacities straddle the 0..500 id domain of the workload:
+        // cap 64 routes most keys through the overflow map, cap 4096 keeps
+        // everything slab-resident — both must match flat byte-for-byte,
+        // entries and per-round accounting alike.
+        for machines in [1, 3, 16] {
+            let flat = run_workload::<FlatDht<u64>>(machines, DhtBackend::Flat);
+            for cap in [64usize, 500, 4096] {
+                let dense = run_workload::<DenseDht<u64>>(machines, DhtBackend::Dense { cap });
+                assert_eq!(flat.0, dense.0, "snapshot diverged (m={machines}, cap={cap})");
+                assert_eq!(flat.1, dense.1, "stats diverged (m={machines}, cap={cap})");
+            }
+        }
+    }
+
+    #[test]
+    fn dense_backend_words_match_flat() {
+        let flat = run_workload::<FlatDht<u64>>(4, DhtBackend::Flat);
+        let dense = run_workload::<DenseDht<u64>>(4, DhtBackend::dense());
+        assert_eq!(flat.0, dense.0);
+        assert_eq!(flat.1, dense.1);
     }
 }

@@ -24,6 +24,23 @@ pub struct Key {
 }
 
 impl Key {
+    /// Bits of a packed key available to the identifier; the remaining high
+    /// bits carry the keyspace tag. The packed layout is defined in this
+    /// module and nowhere else — storage code must go through the helpers
+    /// below rather than shifting by hand.
+    pub(crate) const ID_BITS: u32 = 48;
+
+    /// Largest identifier a key can carry (`2^48 − 1`).
+    pub(crate) const MAX_ID: u64 = (1 << Key::ID_BITS) - 1;
+
+    /// Upper clamp for direct-indexed ("dense") slab capacity hints: a slab
+    /// can never usefully exceed the id domain, and a hint near `usize::MAX`
+    /// must not be allowed to attempt a matching allocation. `2^28` slots is
+    /// far above every workload in this repository while keeping the worst
+    /// accidental allocation bounded (a few GiB, not an address-space-sized
+    /// request).
+    pub(crate) const MAX_DENSE_CAP: usize = 1 << 28;
+
     /// Creates a key in keyspace `space` with identifier `id`.
     #[inline]
     pub const fn new(space: Space, id: u64) -> Self {
@@ -36,23 +53,28 @@ impl Key {
     /// space tag the high 16.
     #[inline]
     pub(crate) fn packed(self) -> u64 {
-        debug_assert!(self.id < (1 << 48), "key id exceeds 48 bits: {}", self.id);
-        ((self.space as u64) << 48) | self.id
+        debug_assert!(self.id <= Key::MAX_ID, "key id exceeds 48 bits: {}", self.id);
+        ((self.space as u64) << Key::ID_BITS) | self.id
     }
 
-    /// Extracts the keyspace tag from a packed key word. The packed layout
-    /// is defined here and nowhere else — storage code must go through this
-    /// helper rather than shifting by hand.
+    /// Extracts the keyspace tag from a packed key word.
     #[inline]
     pub(crate) const fn space_of_packed(packed: u64) -> Space {
-        (packed >> 48) as Space
+        (packed >> Key::ID_BITS) as Space
+    }
+
+    /// Extracts the identifier from a packed key word (the dense backend's
+    /// slab index and the range partitioner's sort key).
+    #[inline]
+    pub(crate) const fn id_of_packed(packed: u64) -> u64 {
+        packed & Key::MAX_ID
     }
 
     /// Reconstructs a [`Key`] from its packed form (inverse of
     /// [`Key::packed`]).
     #[inline]
     pub(crate) const fn from_packed(packed: u64) -> Key {
-        Key { space: Key::space_of_packed(packed), id: packed & ((1 << 48) - 1) }
+        Key { space: Key::space_of_packed(packed), id: Key::id_of_packed(packed) }
     }
 }
 
@@ -99,6 +121,16 @@ mod tests {
             assert_eq!(Key::from_packed(p), key);
             assert_eq!(Key::space_of_packed(p), key.space);
         }
+    }
+
+    #[test]
+    fn id_of_packed_matches_key_id() {
+        let mut r = crate::rng::SplitMix64::new(0xDE);
+        for _ in 0..1000 {
+            let key = Key::new(r.next_below(1 << 16) as Space, r.next_below(1 << 48));
+            assert_eq!(Key::id_of_packed(key.packed()), key.id);
+        }
+        assert_eq!(Key::id_of_packed(Key::new(u16::MAX, Key::MAX_ID).packed()), Key::MAX_ID);
     }
 
     #[test]

@@ -50,12 +50,15 @@
 //! deterministic regardless of thread scheduling.
 //!
 //! Snapshot storage is pluggable through the [`DhtStorage`] trait:
-//! [`FlatDht`] is the single-map reference backend and [`ShardedDht`]
+//! [`FlatDht`] is the single-map reference backend, [`ShardedDht`]
 //! hash-partitions keys over power-of-two shards so the round-finish merge
-//! runs shard-parallel. Select a backend with
-//! [`AmpcConfig::with_backend`]; both produce byte-identical snapshots and
-//! [`RunStats`] for the same seed (cross-shard keys never interact, and
-//! machine order is preserved within every shard).
+//! runs shard-parallel, and [`DenseDht`] stores each keyspace in a
+//! direct-indexed slab (hash-map overflow for out-of-slab ids) so an
+//! adaptive read is a bounds check plus an array index — no hashing — with
+//! a range-partitioned parallel merge. Select a backend with
+//! [`AmpcConfig::with_backend`]; all three produce byte-identical
+//! snapshots and [`RunStats`] for the same seed (cross-partition keys
+//! never interact, and machine order is preserved within every partition).
 
 #![warn(missing_docs)]
 
@@ -69,7 +72,7 @@ pub mod rng;
 mod stats;
 mod value;
 
-pub use dht::{Dht, DhtBackend, DhtStorage, FlatDht, ShardedDht, WriteOp};
+pub use dht::{DenseDht, Dht, DhtBackend, DhtStorage, FlatDht, ShardedDht, WriteOp};
 pub use error::{AmpcError, AmpcResult};
 pub use executor::{AmpcConfig, AmpcSystem, RoundOutcome};
 pub use key::{Key, Space};

@@ -39,16 +39,21 @@ pub struct MachineCtx<'a, V, S = FlatDht<V>> {
 }
 
 impl<'a, V: DhtValue, S: DhtStorage<V>> MachineCtx<'a, V, S> {
+    /// `write_buf` is a recycled (empty, capacity-retaining) buffer from a
+    /// previous round's machine, so steady-state rounds buffer writes
+    /// without allocating; pass `Vec::new()` when none is available.
     pub(crate) fn new(
         snapshot: &'a S,
         limits: Option<SpaceLimits>,
         machine: usize,
         round: usize,
         seed: u64,
+        write_buf: Vec<(Key, WriteOp<V>)>,
     ) -> Self {
+        debug_assert!(write_buf.is_empty(), "recycled write buffer must be drained");
         MachineCtx {
             snapshot,
-            write_buf: Vec::new(),
+            write_buf,
             reads: 0,
             read_words: 0,
             writes: 0,
@@ -183,7 +188,7 @@ mod tests {
     #[test]
     fn reads_are_metered() {
         let d = table();
-        let mut ctx = MachineCtx::new(&d, None, 0, 0, 1);
+        let mut ctx = MachineCtx::new(&d, None, 0, 0, 1, Vec::new());
         assert_eq!(ctx.read(Key::new(S, 3)), Some(&9));
         assert_eq!(ctx.read(Key::new(S, 99)), None);
         assert_eq!(ctx.reads_used(), 2);
@@ -197,7 +202,7 @@ mod tests {
         d.insert(Key::new(S, 0), 4u64);
         d.insert(Key::new(S, 4), 7u64);
         d.insert(Key::new(S, 7), 0u64);
-        let mut ctx = MachineCtx::new(&d, None, 0, 0, 1);
+        let mut ctx = MachineCtx::new(&d, None, 0, 0, 1, Vec::new());
         let mut cur = 0u64;
         for _ in 0..3 {
             cur = *ctx.read(Key::new(S, cur)).unwrap();
@@ -209,7 +214,7 @@ mod tests {
     #[test]
     fn writes_are_buffered_not_visible() {
         let d = table();
-        let mut ctx = MachineCtx::new(&d, None, 0, 0, 1);
+        let mut ctx = MachineCtx::new(&d, None, 0, 0, 1, Vec::new());
         ctx.write(Key::new(S, 3), 555);
         // Write-only DHT semantics: the round's snapshot is unchanged.
         assert_eq!(ctx.read(Key::new(S, 3)), Some(&9));
@@ -220,7 +225,7 @@ mod tests {
     fn violation_recorded_once() {
         let d = table();
         let limits = SpaceLimits::audit(2);
-        let mut ctx = MachineCtx::new(&d, Some(limits), 5, 7, 1);
+        let mut ctx = MachineCtx::new(&d, Some(limits), 5, 7, 1, Vec::new());
         for i in 0..4 {
             ctx.read(Key::new(S, i));
         }
@@ -234,7 +239,7 @@ mod tests {
     #[test]
     fn peek_does_not_charge_meters() {
         let d = table();
-        let mut ctx = MachineCtx::new(&d, None, 0, 0, 1);
+        let mut ctx = MachineCtx::new(&d, None, 0, 0, 1, Vec::new());
         assert_eq!(ctx.peek(Key::new(S, 3)), Some(&9));
         assert_eq!(ctx.reads_used(), 0);
         assert_eq!(ctx.read_words_used(), 0);
@@ -245,7 +250,7 @@ mod tests {
     #[test]
     fn write_side_violation_recorded() {
         let d = table();
-        let mut ctx = MachineCtx::new(&d, Some(SpaceLimits::audit(2)), 1, 0, 1);
+        let mut ctx = MachineCtx::new(&d, Some(SpaceLimits::audit(2)), 1, 0, 1, Vec::new());
         ctx.write(Key::new(S, 0), 1);
         ctx.write(Key::new(S, 1), 2);
         assert!(ctx.violation.is_none());
@@ -258,10 +263,10 @@ mod tests {
     #[test]
     fn rng_is_context_deterministic() {
         let d = table();
-        let ctx1 = MachineCtx::new(&d, None, 0, 3, 42);
+        let ctx1 = MachineCtx::new(&d, None, 0, 3, 42, Vec::new());
         // Same context on a different machine: streams depend on
         // (seed, round, tag, id), NOT on the machine index.
-        let ctx2 = MachineCtx::new(&d, None, 9, 3, 42);
+        let ctx2 = MachineCtx::new(&d, None, 9, 3, 42, Vec::new());
         assert_eq!(ctx1.rng(1, 5).next_u64(), ctx2.rng(1, 5).next_u64());
         assert_ne!(ctx1.rng(1, 5).next_u64(), ctx1.rng(1, 6).next_u64());
     }

@@ -1,10 +1,11 @@
-//! Merge-throughput bench — sequential (flat) vs shard-parallel merge.
+//! Merge-throughput bench — sequential (flat) vs partition-parallel merge.
 //!
 //! Times one write-heavy AMPC round on a ≥1M-edge generator instance under
-//! both storage backends. The round's machine phase is identical in both;
-//! what differs is the round-finish phase: `FlatDht` applies every machine
-//! buffer into one map sequentially, `ShardedDht` partitions buffers by
-//! key hash and applies the shards on parallel workers. Both runs are
+//! all three storage backends. The round's machine phase is identical in
+//! each; what differs is the round-finish phase: `FlatDht` applies every
+//! machine buffer into one map sequentially, `ShardedDht` partitions
+//! buffers by key hash, and `DenseDht` partitions them by contiguous id
+//! range, both applying the partitions on parallel workers. All runs are
 //! asserted to produce identical snapshots, so the timing difference is
 //! pure merge throughput.
 //!
@@ -16,7 +17,7 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 
-use ampc::{AmpcConfig, AmpcSystem, DhtBackend, DhtStorage, FlatDht, Key, ShardedDht};
+use ampc::{AmpcConfig, AmpcSystem, DenseDht, DhtBackend, DhtStorage, FlatDht, Key, ShardedDht};
 use ampc_graph::generators::erdos_renyi_gnm;
 use ampc_graph::Graph;
 
@@ -58,16 +59,24 @@ fn bench_merge_throughput(c: &mut Criterion) {
     let g = erdos_renyi_gnm(n, m, 0xB16);
     group.throughput(Throughput::Elements(m as u64));
 
+    // Both keyspaces are indexed by vertex id, so the dense slab hint is n.
+    let dense = DhtBackend::Dense { cap: n };
+
     // Cross-backend sanity: identical final snapshot words.
     let flat_words = rewrite_round::<FlatDht<Vec<u64>>>(&g, DhtBackend::Flat).1;
     let sharded_words = rewrite_round::<ShardedDht<Vec<u64>>>(&g, DhtBackend::sharded()).1;
+    let dense_words = rewrite_round::<DenseDht<Vec<u64>>>(&g, dense).1;
     assert_eq!(flat_words, sharded_words, "backends must merge to identical snapshots");
+    assert_eq!(flat_words, dense_words, "dense backend must merge to an identical snapshot");
 
     group.bench_with_input(BenchmarkId::new("flat", m), &g, |b, g| {
         b.iter(|| rewrite_round::<FlatDht<Vec<u64>>>(g, DhtBackend::Flat))
     });
     group.bench_with_input(BenchmarkId::new("sharded", m), &g, |b, g| {
         b.iter(|| rewrite_round::<ShardedDht<Vec<u64>>>(g, DhtBackend::sharded()))
+    });
+    group.bench_with_input(BenchmarkId::new("dense", m), &g, |b, g| {
+        b.iter(|| rewrite_round::<DenseDht<Vec<u64>>>(g, dense))
     });
     group.finish();
 }

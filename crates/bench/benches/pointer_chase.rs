@@ -1,0 +1,145 @@
+//! Pointer-chase bench — adaptive read latency under all three backends.
+//!
+//! After PR 2 parallelized the round-finish merge, wall-clock time in the
+//! paper's algorithms is dominated by *adaptive reads*: successor walks in
+//! `ShrinkSmallCycles` and parent resolution in the rooted-forest phase
+//! issue one DHT read per hop, and the value of each read chooses the next
+//! key. This bench isolates exactly that instruction sequence: a
+//! ShrinkSmallCycles-shaped successor walk over a ≥1M-vertex cycle, run on
+//! a single machine with parallelism disabled so the number reported is
+//! per-read latency, not multi-core throughput.
+//!
+//! Two walk patterns are timed:
+//!
+//! * `random`   — the successor permutation is a Sattolo-shuffled single
+//!   cycle, so every hop lands on an unpredictable slot (cache-hostile,
+//!   the honest pointer-chasing regime);
+//! * `sequential` — the successor of `i` is `i + 1 mod n`, the layout the
+//!   Euler-tour reduction actually produces for a path, where the dense
+//!   slab turns the walk into a prefetchable linear scan.
+//!
+//! Every backend must produce the identical walk checksum (the reads are
+//! the computation — a divergent checksum means a broken backend). Results
+//! are printed as a table and persisted to `BENCH_pointer_chase.json` at
+//! the repository root (override the path with `BENCH_POINTER_CHASE_OUT`)
+//! so CI can archive a perf trajectory across PRs.
+
+use std::time::Instant;
+
+use ampc::{AmpcConfig, AmpcSystem, DenseDht, DhtBackend, DhtStorage, FlatDht, Key, ShardedDht};
+
+/// Keyspace: successor pointers (the FWD table of the cycle machinery).
+const FWD: u16 = 0;
+
+/// Cycle size (≥ 1M vertices per the acceptance bar).
+const N: usize = 1 << 20;
+/// Walks started per timing pass.
+const STARTS: usize = 1 << 16;
+/// Hops per walk (a ShrinkSmallCycles probe at B ≈ 16 walks 4B hops).
+const HOPS: usize = 64;
+/// Timed passes per backend; the minimum is reported.
+const PASSES: usize = 3;
+
+/// Builds a single-cycle successor permutation: `i → i+1` when `random`
+/// is false, a Sattolo-shuffled cycle (every element deranged, one orbit)
+/// when true.
+fn successors(random: bool) -> Vec<u64> {
+    if !random {
+        return (0..N as u64).map(|i| (i + 1) % N as u64).collect();
+    }
+    // Sattolo's algorithm yields a uniform single-cycle permutation.
+    let mut perm: Vec<u64> = (0..N as u64).collect();
+    let mut rng = ampc::rng::stream(0xC4A5E, 0, 0, 0);
+    for i in (1..N).rev() {
+        let j = rng.next_below(i as u64) as usize;
+        perm.swap(i, j);
+    }
+    let mut succ = vec![0u64; N];
+    for i in 0..N {
+        succ[perm[i] as usize] = perm[(i + 1) % N];
+    }
+    succ
+}
+
+/// Runs `PASSES` timed walk rounds on one backend, returning
+/// `(best ns/read, checksum)`.
+fn chase<S: DhtStorage<u64>>(succ: &[u64], backend: DhtBackend) -> (f64, u64) {
+    // One machine, no thread pool: the time measured is the read path.
+    let cfg = AmpcConfig::default()
+        .with_machines(1)
+        .with_parallel(false)
+        .with_seed(0xC4A5E)
+        .with_backend(backend);
+    let mut sys: AmpcSystem<u64, S> =
+        AmpcSystem::new(cfg, succ.iter().enumerate().map(|(i, &s)| (Key::new(FWD, i as u64), s)));
+    let stride = (N / STARTS).max(1) as u64;
+    let starts: Vec<u64> = (0..STARTS as u64).map(|j| j * stride % N as u64).collect();
+    let mut best_ns = f64::INFINITY;
+    let mut checksum = 0u64;
+    for _ in 0..PASSES {
+        let t0 = Instant::now();
+        let out = sys
+            .round("pointer-chase", &starts, |ctx, &start| {
+                let mut cur = start;
+                let mut acc = 0u64;
+                for _ in 0..HOPS {
+                    cur = *ctx.read(Key::new(FWD, cur)).expect("cycle successor");
+                    acc = acc.wrapping_add(cur);
+                }
+                Some(acc)
+            })
+            .expect("walk round");
+        let elapsed = t0.elapsed();
+        checksum = out.results.iter().fold(0u64, |a, &x| a.wrapping_add(x));
+        best_ns = best_ns.min(elapsed.as_secs_f64() * 1e9 / (STARTS * HOPS) as f64);
+    }
+    (best_ns, checksum)
+}
+
+/// Times all three backends on one successor table, asserting checksum
+/// equality, and returns `[(backend name, ns/read); 3]`.
+fn run_pattern(succ: &[u64]) -> [(&'static str, f64); 3] {
+    let (flat_ns, flat_sum) = chase::<FlatDht<u64>>(succ, DhtBackend::Flat);
+    let (sharded_ns, sharded_sum) = chase::<ShardedDht<u64>>(succ, DhtBackend::sharded());
+    let (dense_ns, dense_sum) = chase::<DenseDht<u64>>(succ, DhtBackend::Dense { cap: N });
+    assert_eq!(flat_sum, sharded_sum, "sharded walk diverged from flat");
+    assert_eq!(flat_sum, dense_sum, "dense walk diverged from flat");
+    [("flat", flat_ns), ("sharded", sharded_ns), ("dense", dense_ns)]
+}
+
+fn json_object(rows: &[(&str, f64)]) -> String {
+    let fields: Vec<String> =
+        rows.iter().map(|(name, ns)| format!("\"{name}\": {ns:.2}")).collect();
+    format!("{{ {} }}", fields.join(", "))
+}
+
+fn main() {
+    println!(
+        "pointer_chase: n = {N}, {STARTS} walks x {HOPS} hops = {} reads/pass, best of {PASSES}",
+        STARTS * HOPS
+    );
+    let mut sections = Vec::new();
+    for (pattern, random) in [("random", true), ("sequential", false)] {
+        let succ = successors(random);
+        let rows = run_pattern(&succ);
+        println!("  {pattern} walk:");
+        for (name, ns) in rows {
+            println!("    {name:<8} {ns:8.2} ns/read");
+        }
+        let flat = rows[0].1;
+        let dense = rows[2].1;
+        println!("    dense vs flat: {:.2}x", flat / dense);
+        sections.push(format!("\"{pattern}_ns_per_read\": {}", json_object(&rows)));
+    }
+    let json = format!(
+        "{{\n  \"bench\": \"pointer_chase\",\n  \"n\": {N},\n  \"walks\": {STARTS},\n  \
+         \"hops\": {HOPS},\n  \"reads_per_pass\": {},\n  {}\n}}\n",
+        STARTS * HOPS,
+        sections.join(",\n  ")
+    );
+    let out_path = std::env::var("BENCH_POINTER_CHASE_OUT").unwrap_or_else(|_| {
+        concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_pointer_chase.json").to_string()
+    });
+    std::fs::write(&out_path, json).expect("write BENCH_pointer_chase.json");
+    println!("  wrote {out_path}");
+}

@@ -38,13 +38,14 @@ fn ring_state(n: usize, seed: u64) -> CycleState {
 }
 
 /// E1 — Theorem 1.1: forest connectivity in `O(log* n)` rounds, `O(n)`
-/// total space. Run under both storage backends — every counted quantity
-/// must be backend-independent (the backend only changes merge
-/// parallelism), so paired rows differ in the `backend` column alone.
+/// total space. Run under all three storage backends — every counted
+/// quantity must be backend-independent (the backend only changes merge
+/// parallelism and read latency), so grouped rows differ in the `backend`
+/// column alone.
 pub fn e1_forest_rounds(quick: bool) -> Table {
     let mut t = Table::new(
         "E1 — forest rounds and space vs n (Theorem 1.1)",
-        "O(log* n) AMPC rounds w.h.p. and optimal (linear) total space; identical under flat and sharded DHT backends",
+        "O(log* n) AMPC rounds w.h.p. and optimal (linear) total space; identical under flat, sharded, and dense DHT backends",
         &["family", "n", "backend", "log*n", "iters", "rounds", "queries/n", "peak words/n"],
     );
     let sizes: &[usize] =
@@ -59,7 +60,7 @@ pub fn e1_forest_rounds(quick: bool) -> Table {
         for &n in sizes {
             let g = fam.generate(n, 0xE1);
             let mut rows = Vec::new();
-            for backend in [DhtBackend::Flat, DhtBackend::sharded()] {
+            for backend in [DhtBackend::Flat, DhtBackend::sharded(), DhtBackend::dense()] {
                 let cfg = ForestCcConfig::default().with_seed(0xE1).with_backend(backend);
                 let res = connected_components_forest(&g, &cfg).expect("forest cc");
                 assert_correct(&g, &res.labeling, "E1");
@@ -76,6 +77,7 @@ pub fn e1_forest_rounds(quick: bool) -> Table {
                 ]);
             }
             assert_eq!(rows[0], rows[1], "E1: backends disagreed on counted quantities");
+            assert_eq!(rows[0], rows[2], "E1: dense backend disagreed on counted quantities");
         }
     }
     t
@@ -488,14 +490,15 @@ pub fn e11_rooted_forest(quick: bool) -> Table {
     t
 }
 
-/// E12 — storage backends: the sharded snapshot store must be observably
-/// identical to the flat reference while parallelizing the round-finish
-/// merge (see `crates/ampc/src/dht.rs` for the equivalence argument).
+/// E12 — storage backends: the sharded and dense snapshot stores must be
+/// observably identical to the flat reference while parallelizing the
+/// round-finish merge (and, for dense, removing hashing from the adaptive
+/// read path — see `crates/ampc/src/dht.rs` for the equivalence argument).
 pub fn e12_storage_backends(quick: bool) -> Table {
     use std::time::Instant;
     let mut t = Table::new(
-        "E12 — DHT storage backends (flat vs sharded merge)",
-        "Backends are observably identical (labels, rounds, queries, peak space); sharding only changes merge parallelism",
+        "E12 — DHT storage backends (flat vs sharded vs dense)",
+        "Backends are observably identical (labels, rounds, queries, peak space); they only change merge parallelism and read latency",
         &["workload", "backend", "shards", "rounds", "queries", "peak words", "wall ms"],
     );
     let n = if quick { 1 << 12 } else { 1 << 15 };
@@ -504,7 +507,7 @@ pub fn e12_storage_backends(quick: bool) -> Table {
 
     let mut forest_rows: Vec<(usize, usize, usize)> = Vec::new();
     let mut general_rows: Vec<(usize, usize, usize)> = Vec::new();
-    for backend in [DhtBackend::Flat, DhtBackend::sharded()] {
+    for backend in [DhtBackend::Flat, DhtBackend::sharded(), DhtBackend::dense()] {
         let shards = backend.resolved_shards();
 
         let start = Instant::now();
@@ -545,6 +548,8 @@ pub fn e12_storage_backends(quick: bool) -> Table {
     }
     assert_eq!(forest_rows[0], forest_rows[1], "E12: forest backends diverged");
     assert_eq!(general_rows[0], general_rows[1], "E12: general backends diverged");
+    assert_eq!(forest_rows[0], forest_rows[2], "E12: dense forest backend diverged");
+    assert_eq!(general_rows[0], general_rows[2], "E12: dense general backend diverged");
     t
 }
 

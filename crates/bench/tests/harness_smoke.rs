@@ -48,11 +48,12 @@ fn quick_general_experiments_run() {
 
 #[test]
 fn quick_backend_experiment_runs() {
-    // e12 asserts flat/sharded equivalence internally; here we check the
-    // table shape: one flat row and one sharded row per workload.
+    // e12 asserts flat/sharded/dense equivalence internally; here we check
+    // the table shape: one row per backend per workload.
     let table = ampc_bench::run_one("e12", true).expect("known id");
-    assert_eq!(table.rows.len(), 4, "two workloads × two backends");
+    assert_eq!(table.rows.len(), 6, "two workloads × three backends");
     let backends: Vec<&str> = table.rows.iter().map(|r| r[1].as_str()).collect();
     assert_eq!(backends.iter().filter(|b| **b == "flat").count(), 2);
     assert_eq!(backends.iter().filter(|b| **b == "sharded").count(), 2);
+    assert_eq!(backends.iter().filter(|b| **b == "dense").count(), 2);
 }

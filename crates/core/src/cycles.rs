@@ -68,6 +68,10 @@ impl<S: DhtStorage<u64>> CycleState<S> {
     pub fn from_decomposition(decomp: &CycleDecomposition, config: AmpcConfig) -> Self {
         let pred = decomp.predecessors();
         let n0 = decomp.len();
+        // Every cycle keyspace is indexed by arc ids 0..n0 — size an
+        // unhinted dense backend's slab accordingly.
+        let backend = config.backend.with_capacity_hint(n0.max(1));
+        let config = config.with_backend(backend);
         let init = (0..n0).flat_map(|a| {
             [
                 (Key::new(FWD, a as u64), pack(decomp.succ[a] as u64, 0, false)),
@@ -82,6 +86,8 @@ impl<S: DhtStorage<u64>> CycleState<S> {
     /// (used by unit tests and by the rooted-forest reduction).
     pub fn from_successors(succ: &[u64], config: AmpcConfig) -> Self {
         let n0 = succ.len();
+        let backend = config.backend.with_capacity_hint(n0.max(1));
+        let config = config.with_backend(backend);
         let mut pred = vec![0u64; n0];
         for (a, &s) in succ.iter().enumerate() {
             pred[s as usize] = a as u64;

@@ -29,7 +29,8 @@
 //! verify the resulting shapes against the lemmas.
 
 use ampc::{
-    AmpcConfig, AmpcResult, DhtBackend, DhtStorage, FlatDht, RunStats, ShardedDht, SpaceLimits,
+    AmpcConfig, AmpcResult, DenseDht, DhtBackend, DhtStorage, FlatDht, RunStats, ShardedDht,
+    SpaceLimits,
 };
 use ampc_graph::euler::forest_to_cycles;
 use ampc_graph::{Graph, Labeling};
@@ -198,6 +199,7 @@ pub fn connected_components_forest(g: &Graph, cfg: &ForestCcConfig) -> AmpcResul
     match cfg.backend {
         DhtBackend::Flat => forest_cc_impl::<FlatDht<u64>>(g, cfg),
         DhtBackend::Sharded { .. } => forest_cc_impl::<ShardedDht<u64>>(g, cfg),
+        DhtBackend::Dense { .. } => forest_cc_impl::<DenseDht<u64>>(g, cfg),
     }
 }
 
@@ -214,6 +216,10 @@ fn forest_cc_impl<S: DhtStorage<u64>>(
     let decomp = forest_to_cycles(g);
     let n0 = decomp.len();
 
+    // All cycle keyspaces (FWD/BWD/STAMP/PARENT) use ids 0..n0, so
+    // `CycleState::from_decomposition` hints an unhinted dense backend's
+    // slab at the cycle-vertex count (explicit `dense:N` capacities pass
+    // through unchanged).
     let mut ampc_cfg = AmpcConfig::default()
         .with_machines(cfg.machines)
         .with_seed(cfg.seed)

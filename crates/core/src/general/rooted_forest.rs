@@ -19,7 +19,9 @@
 //! The `rooted_forest` ablation test demonstrates they agree on random
 //! forests, and `ShrinkGeneral` can be configured to use either.
 
-use ampc::{AmpcConfig, AmpcResult, DhtBackend, DhtStorage, FlatDht, Key, RunStats, ShardedDht};
+use ampc::{
+    AmpcConfig, AmpcResult, DenseDht, DhtBackend, DhtStorage, FlatDht, Key, RunStats, ShardedDht,
+};
 use ampc_graph::euler::forest_to_cycles;
 use ampc_graph::{Graph, VertexId};
 
@@ -52,6 +54,9 @@ pub fn resolve_roots_euler(
         DhtBackend::Sharded { .. } => {
             resolve_roots_euler_impl::<ShardedDht<u64>>(parents, walk_cap, ampc_cfg)
         }
+        DhtBackend::Dense { .. } => {
+            resolve_roots_euler_impl::<DenseDht<u64>>(parents, walk_cap, ampc_cfg)
+        }
     }
 }
 
@@ -66,6 +71,8 @@ fn resolve_roots_euler_impl<S: DhtStorage<u64>>(
     let forest = Graph::from_edges(n, &edges);
 
     // Euler tour (Observation 3.1; cited O(1)-round primitive, charged).
+    // (`from_decomposition` hints an unhinted dense backend's slab at the
+    // arc count itself.)
     let decomp = forest_to_cycles(&forest);
     let mut state: CycleState<S> = CycleState::from_decomposition(&decomp, ampc_cfg);
     state.sys.stats_mut().charge_external(1, 2 * forest.m(), 2 * decomp.len().max(1));
@@ -142,6 +149,9 @@ pub fn resolve_roots_chase(
         DhtBackend::Sharded { .. } => {
             resolve_roots_chase_impl::<ShardedDht<u64>>(parents, chase_cap, ampc_cfg)
         }
+        DhtBackend::Dense { .. } => {
+            resolve_roots_chase_impl::<DenseDht<u64>>(parents, chase_cap, ampc_cfg)
+        }
     }
 }
 
@@ -152,6 +162,9 @@ fn resolve_roots_chase_impl<S: DhtStorage<u64>>(
 ) -> AmpcResult<RootedForestOutcome> {
     const SUPER: ampc::Space = 0;
     let n = parents.len();
+    // Parent pointers are keyed by vertex ids 0..n — the dense slab hint.
+    let backend = ampc_cfg.backend.with_capacity_hint(n.max(1));
+    let ampc_cfg = ampc_cfg.with_backend(backend);
     let mut sys: ampc::AmpcSystem<u64, S> = ampc::AmpcSystem::new(
         ampc_cfg,
         parents

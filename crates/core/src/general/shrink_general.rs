@@ -27,8 +27,8 @@
 //! DESIGN.md (substitutions) for why this preserves the cited interface.
 
 use ampc::{
-    AmpcConfig, AmpcResult, AmpcSystem, DhtBackend, DhtStorage, DhtValue, FlatDht, Key, RunStats,
-    ShardedDht, Space,
+    AmpcConfig, AmpcResult, AmpcSystem, DenseDht, DhtBackend, DhtStorage, DhtValue, FlatDht, Key,
+    RunStats, ShardedDht, Space,
 };
 use ampc_graph::contract::contract;
 use ampc_graph::degree3::to_degree3;
@@ -134,6 +134,9 @@ pub fn shrink_general_with(
         DhtBackend::Sharded { .. } => {
             shrink_general_impl::<ShardedDht<GVal>>(g, t, chase_cap, ampc_cfg, resolution)
         }
+        DhtBackend::Dense { .. } => {
+            shrink_general_impl::<DenseDht<GVal>>(g, t, chase_cap, ampc_cfg, resolution)
+        }
     }
 }
 
@@ -150,6 +153,10 @@ fn shrink_general_impl<S: DhtStorage<GVal>>(
     let n3 = d3.graph.n();
     let m3 = d3.graph.m();
 
+    // Every keyspace here (ADJ/RANK/SUPER) is indexed by G3 vertex ids
+    // 0..n3 — the dense backend's slab hint.
+    let backend = ampc_cfg.backend.with_capacity_hint(n3.max(1));
+    let ampc_cfg = ampc_cfg.with_backend(backend);
     let mut sys: AmpcSystem<GVal, S> = AmpcSystem::new(
         ampc_cfg,
         (0..n3).map(|v| {

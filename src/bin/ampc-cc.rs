@@ -8,9 +8,12 @@
 //!                use "-" for stdin
 //!   --auto       pick Algorithm 1 for forests, Algorithm 2 otherwise (default)
 //!   --k K        space parameter (Theorems 1.1/1.2), default 2
-//!   --backend B  DHT storage backend: "flat" (default), "sharded", or
-//!                "sharded:N" for N shards (results are identical; sharded
-//!                merges round output shard-parallel)
+//!   --backend B  DHT storage backend: "flat" (default), "sharded" or
+//!                "sharded:N" for N hash shards, "dense" or "dense:CAP" for
+//!                direct-indexed slabs of CAP ids per keyspace (unhinted
+//!                "dense" sizes slabs from the input). Results are identical
+//!                across backends; sharded/dense merge round output in
+//!                parallel and dense reads skip hashing entirely
 //!   --labels     print "vertex component" lines to stdout
 //!   --trace      print the per-round cost ledger
 //!   --metrics    print structural metrics of the input first
@@ -49,14 +52,25 @@ fn parse_backend(s: &str) -> Result<DhtBackend, String> {
     match s {
         "flat" => Ok(DhtBackend::Flat),
         "sharded" => Ok(DhtBackend::sharded()),
-        other => match other.strip_prefix("sharded:") {
-            Some(n) => {
+        "dense" => Ok(DhtBackend::dense()),
+        other => {
+            if let Some(n) = other.strip_prefix("sharded:") {
                 let shards: usize =
                     n.parse().map_err(|e| format!("bad shard count in --backend: {e}"))?;
                 Ok(DhtBackend::Sharded { shards })
+            } else if let Some(n) = other.strip_prefix("dense:") {
+                let cap: usize =
+                    n.parse().map_err(|e| format!("bad slab capacity in --backend: {e}"))?;
+                if cap == 0 {
+                    return Err("dense slab capacity must be positive (omit :CAP to let the \
+                                pipeline size the slab from its input)"
+                        .into());
+                }
+                Ok(DhtBackend::Dense { cap })
+            } else {
+                Err(format!("unknown backend {other:?} (expected flat|sharded[:N]|dense[:CAP])"))
             }
-            None => Err(format!("unknown backend {other:?} (expected flat|sharded|sharded:N)")),
-        },
+        }
     }
 }
 
@@ -142,7 +156,7 @@ fn main() -> ExitCode {
             }
             eprintln!(
                 "usage: ampc-cc <file> [--forest|--general|--auto] [--k K] [--seed S]\n\
-                 \x20                 [--machines M] [--backend flat|sharded|sharded:N]\n\
+                 \x20                 [--machines M] [--backend flat|sharded[:N]|dense[:CAP]]\n\
                  \x20                 [--labels] [--trace] [--metrics]"
             );
             return ExitCode::from(2);

@@ -89,3 +89,29 @@ fn cli_rejects_bad_usage() {
     let out = Command::new(exe).args(["x.txt", "--bogus"]).output().expect("spawn");
     assert_eq!(out.status.code(), Some(2), "unknown flag must exit 2");
 }
+
+#[test]
+fn cli_backend_grammar() {
+    // Every backend spelling must run cleanly and report the same
+    // component count (backends never change results); dense:4 forces the
+    // overflow path even on the tiny smoke graph.
+    for backend in ["flat", "sharded", "sharded:4", "dense", "dense:4"] {
+        let out = run(&["--general", "--seed", "7", "--backend", backend]);
+        let stderr = String::from_utf8_lossy(&out.stderr);
+        assert!(out.status.success(), "--backend {backend}: exit {:?}\n{stderr}", out.status);
+        let short = backend.split(':').next().unwrap();
+        assert!(
+            stderr.contains(&format!("dht backend: {short}")),
+            "--backend {backend}: wrong backend reported\n{stderr}"
+        );
+        assert!(
+            stderr.contains(&format!("components = {EXPECTED_COMPONENTS}")),
+            "--backend {backend}: wrong component count\n{stderr}"
+        );
+    }
+    // Malformed specs are usage errors.
+    for backend in ["dense:0", "dense:x", "sharded:x", "bogus"] {
+        let out = run(&["--backend", backend]);
+        assert_eq!(out.status.code(), Some(2), "--backend {backend} must exit 2");
+    }
+}

@@ -157,12 +157,12 @@ fn general_matrix_ground_truth_and_determinism() {
     }
 }
 
-/// Storage backends are an execution detail of the simulator: `FlatDht`
-/// and `ShardedDht` must produce byte-identical labelings and per-round
-/// `RunStats` over the full family × machine count × seed matrix of
-/// Algorithm 1. (The labeling is a projection of the final snapshot and the
-/// fingerprint covers every per-round counter, so divergence anywhere in
-/// snapshot contents or metering fails the comparison; `ampc`'s own
+/// Storage backends are an execution detail of the simulator: `FlatDht`,
+/// `ShardedDht`, and `DenseDht` must produce byte-identical labelings and
+/// per-round `RunStats` over the full family × machine count × seed matrix
+/// of Algorithm 1. (The labeling is a projection of the final snapshot and
+/// the fingerprint covers every per-round counter, so divergence anywhere
+/// in snapshot contents or metering fails the comparison; `ampc`'s own
 /// backend-equivalence tests additionally compare raw sorted snapshots.)
 #[test]
 fn forest_backend_equivalence_matrix() {
@@ -188,6 +188,24 @@ fn forest_backend_equivalence_matrix() {
                     "family {} machines {machines} seed {seed}: shard count changed the run",
                     fam.name()
                 );
+                // Dense with the pipeline-provided slab hint…
+                let dense = run_forest_backend(&g, machines, seed, DhtBackend::dense());
+                assert_eq!(
+                    flat,
+                    dense,
+                    "family {} machines {machines} seed {seed}: dense backend diverged",
+                    fam.name()
+                );
+                // …and with a deliberately tiny slab, so most ids take the
+                // overflow path and straddle the boundary.
+                let dense_tiny =
+                    run_forest_backend(&g, machines, seed, DhtBackend::Dense { cap: 32 });
+                assert_eq!(
+                    flat,
+                    dense_tiny,
+                    "family {} machines {machines} seed {seed}: dense overflow diverged",
+                    fam.name()
+                );
             }
         }
     }
@@ -209,6 +227,21 @@ fn general_backend_equivalence_matrix() {
                     flat,
                     sharded,
                     "family {} machines {machines} seed {seed}: backends diverged",
+                    fam.name()
+                );
+                let dense = run_general_backend(&g, machines, seed, DhtBackend::dense());
+                assert_eq!(
+                    flat,
+                    dense,
+                    "family {} machines {machines} seed {seed}: dense backend diverged",
+                    fam.name()
+                );
+                let dense_tiny =
+                    run_general_backend(&g, machines, seed, DhtBackend::Dense { cap: 32 });
+                assert_eq!(
+                    flat,
+                    dense_tiny,
+                    "family {} machines {machines} seed {seed}: dense overflow diverged",
                     fam.name()
                 );
             }
