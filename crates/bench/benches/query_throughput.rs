@@ -1,0 +1,104 @@
+//! Query-throughput bench — the read path under the three workload mixes.
+//!
+//! Builds a `ComponentIndex` over a ≥1M-vertex forest with thousands of
+//! components and times the `QueryEngine` on each standard mix (uniform,
+//! Zipf-skewed, adversarial cross-component), comparing the per-call path
+//! against the batched slice-in/slice-out path. The labeling comes from
+//! the union-find reference: the index is a pure function of the
+//! partition (the cross-validation matrix pins pipeline labels to the
+//! reference), so the numbers measure exactly the serving layer, not the
+//! pipeline in front of it.
+//!
+//! The single and batched paths must produce identical answer checksums —
+//! the answers are the computation, so a divergent checksum means a broken
+//! engine. Results are printed as a table and persisted to
+//! `BENCH_query_throughput.json` at the repository root (override with
+//! `BENCH_QUERY_THROUGHPUT_OUT`) so CI archives the serving-throughput
+//! trajectory next to the pointer-chase read-latency baseline.
+//!
+//! Set `AMPC_BENCH_QUICK=1` for the CI-sized run (2^16 vertices, 2^17
+//! queries per mix).
+
+use std::time::Instant;
+
+use ampc_graph::generators::random_forest;
+use ampc_graph::reference_components;
+use ampc_query::workload::{self, Mix};
+use ampc_query::{throughput, ComponentIndex, QueryEngine};
+
+/// Batch size for the batched pass (the CLI default).
+const BATCH: usize = 1024;
+/// Timed passes per (mix, path); the best is reported.
+const PASSES: usize = 3;
+/// Workload seed (the queries, not the graph).
+const SEED: u64 = 0x5E27E;
+
+fn quick() -> bool {
+    std::env::var("AMPC_BENCH_QUICK").map(|v| v != "0").unwrap_or(false)
+}
+
+fn main() {
+    let (n, num_queries) =
+        if quick() { (1usize << 16, 1usize << 17) } else { (1usize << 20, 1usize << 20) };
+    // A forest of ~n/256-vertex trees: thousands of components spanning
+    // several size decades, so every mix (incl. cross-component) has
+    // structure to work against.
+    let g = random_forest(n, n / 256, 0xF0);
+    let labeling = reference_components(&g);
+
+    let t0 = Instant::now();
+    let index = ComponentIndex::build(&labeling);
+    let build_ms = t0.elapsed().as_secs_f64() * 1e3;
+    println!(
+        "query_throughput: n = {n}, components = {}, index {} bytes built in {build_ms:.1} ms",
+        index.num_components(),
+        index.heap_bytes()
+    );
+    println!("  {num_queries} queries per mix, batch = {BATCH}, best of {PASSES}");
+
+    let engine = QueryEngine::new(&index);
+    let mut buf = Vec::new();
+    let mut sections = Vec::new();
+    for mix in Mix::STANDARD {
+        let queries = workload::generate(&index, mix, num_queries, SEED);
+        let mut single_qps = 0.0f64;
+        let mut batch_qps = 0.0f64;
+        let mut single_sum = 0u64;
+        let mut batch_sum = 0u64;
+        for _ in 0..PASSES {
+            let (qps, sum) = throughput::single_pass(&engine, &queries);
+            single_qps = single_qps.max(qps);
+            single_sum = sum;
+            let (qps, sum) = throughput::batched_pass(&engine, &queries, BATCH, &mut buf);
+            batch_qps = batch_qps.max(qps);
+            batch_sum = sum;
+        }
+        assert_eq!(single_sum, batch_sum, "mix {}: batch path diverged", mix.name());
+        println!(
+            "  {:<8} single {:>12.0} q/s | batch {:>12.0} q/s | checksum {}",
+            mix.name(),
+            single_qps,
+            batch_qps,
+            single_sum
+        );
+        sections.push(format!(
+            "\"{}\": {{ \"single_queries_per_sec\": {:.0}, \"batch_queries_per_sec\": {:.0} }}",
+            mix.name(),
+            single_qps,
+            batch_qps
+        ));
+    }
+
+    let json = format!(
+        "{{\n  \"bench\": \"query_throughput\",\n  \"n\": {n},\n  \"components\": {},\n  \
+         \"queries_per_mix\": {num_queries},\n  \"batch\": {BATCH},\n  \
+         \"index_build_ms\": {build_ms:.1},\n  \"mixes\": {{ {} }}\n}}\n",
+        index.num_components(),
+        sections.join(", ")
+    );
+    let out_path = std::env::var("BENCH_QUERY_THROUGHPUT_OUT").unwrap_or_else(|_| {
+        concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_query_throughput.json").to_string()
+    });
+    std::fs::write(&out_path, json).expect("write BENCH_query_throughput.json");
+    println!("  wrote {out_path}");
+}

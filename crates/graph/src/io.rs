@@ -66,6 +66,14 @@ pub fn read_edge_list<R: Read>(r: R) -> io::Result<Graph> {
         };
         let u = parse(it.next())?;
         let v = parse(it.next())?;
+        // Ids are stored as u32; a larger id would silently wrap in the
+        // cast below, so reject it here with a line number.
+        if u > VertexId::MAX as u64 || v > VertexId::MAX as u64 {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("line {}: vertex id exceeds the u32 id space", lineno + 1),
+            ));
+        }
         max_id = max_id.max(u).max(v);
         saw_vertex = true;
         edges.push((u as VertexId, v as VertexId));
@@ -138,6 +146,69 @@ mod tests {
         let g = read_edge_list("".as_bytes()).unwrap();
         assert_eq!(g.n(), 0);
         assert_eq!(g.m(), 0);
+    }
+
+    #[test]
+    fn roundtrip_empty_graph_with_vertices() {
+        // n > 0, m = 0: only the header carries information.
+        let g = Graph::empty(12);
+        let mut buf = Vec::new();
+        write_edge_list(&g, &mut buf).unwrap();
+        let h = read_edge_list(&buf[..]).unwrap();
+        assert_eq!(h.n(), 12);
+        assert_eq!(h.m(), 0);
+        assert_eq!(g, h);
+    }
+
+    #[test]
+    fn roundtrip_isolated_vertices_everywhere() {
+        // Isolated vertices below, between, and above the edge-bearing
+        // ids — all must survive via the nodes header.
+        let g = Graph::from_edges(9, &[(2, 5)]);
+        let mut buf = Vec::new();
+        write_edge_list(&g, &mut buf).unwrap();
+        let h = read_edge_list(&buf[..]).unwrap();
+        assert_eq!(h.n(), 9);
+        assert_eq!(h.m(), 1);
+        assert_eq!(g, h);
+    }
+
+    #[test]
+    fn duplicate_and_self_loop_edges_collapse_on_read() {
+        // CSR construction dedups parallel edges (in either orientation)
+        // and drops self-loops; a round-trip of the result is stable.
+        let text = "0 1\n1 0\n0 1\n2 2\n1 2\n";
+        let g = read_edge_list(text.as_bytes()).unwrap();
+        assert_eq!(g.n(), 3);
+        assert_eq!(g.m(), 2);
+        assert_eq!(g.degree(2), 1); // the self-loop is gone
+        let mut buf = Vec::new();
+        write_edge_list(&g, &mut buf).unwrap();
+        assert_eq!(read_edge_list(&buf[..]).unwrap(), g);
+    }
+
+    #[test]
+    fn max_id_vertex_roundtrip() {
+        // An edge touching the highest declared id, and a headerless input
+        // whose max id defines n.
+        let g = Graph::from_edges(7, &[(0, 6), (6, 3)]);
+        let mut buf = Vec::new();
+        write_edge_list(&g, &mut buf).unwrap();
+        let h = read_edge_list(&buf[..]).unwrap();
+        assert_eq!(h.n(), 7);
+        assert_eq!(g, h);
+        let headerless = read_edge_list("0 41\n".as_bytes()).unwrap();
+        assert_eq!(headerless.n(), 42);
+        assert_eq!(headerless.degree(41), 1);
+    }
+
+    #[test]
+    fn ids_beyond_u32_are_rejected_not_wrapped() {
+        // 2^32 would wrap to 0 in the VertexId cast; it must error instead,
+        // even when a huge nodes header would make the wrapped id "valid".
+        let over = (u32::MAX as u64 + 1).to_string();
+        assert!(read_edge_list(format!("{over} 1\n").as_bytes()).is_err());
+        assert!(read_edge_list(format!("# nodes: 5000000000\n1 {over}\n").as_bytes()).is_err());
     }
 
     #[test]

@@ -37,6 +37,22 @@ impl Labeling {
         labels.len()
     }
 
+    /// Iterates `(vertex, label)` pairs in vertex order.
+    pub fn iter(&self) -> impl Iterator<Item = (VertexId, u64)> + '_ {
+        self.0.iter().enumerate().map(|(v, &l)| (v as VertexId, l))
+    }
+
+    /// Size of every label class, keyed by label. Shared by the structural
+    /// metrics and the component-index builder, which both need the
+    /// per-component vertex counts of an arbitrary labeling.
+    pub fn component_sizes(&self) -> std::collections::HashMap<u64, usize> {
+        let mut sizes = std::collections::HashMap::new();
+        for &l in &self.0 {
+            *sizes.entry(l).or_insert(0usize) += 1;
+        }
+        sizes
+    }
+
     /// Canonical form: every vertex labeled by the minimum vertex id in its
     /// label class. Two labelings induce the same partition iff their
     /// canonical forms are equal.
@@ -121,5 +137,32 @@ mod tests {
         let g = Graph::empty(4);
         let l = reference_components(&g);
         assert_eq!(l.num_components(), 4);
+    }
+
+    #[test]
+    fn iter_yields_vertex_label_pairs_in_order() {
+        let l = Labeling(vec![9, 9, 3]);
+        let pairs: Vec<_> = l.iter().collect();
+        assert_eq!(pairs, vec![(0, 9), (1, 9), (2, 3)]);
+        assert_eq!(Labeling(vec![]).iter().count(), 0);
+    }
+
+    #[test]
+    fn component_sizes_counts_every_class() {
+        let l = Labeling(vec![7, 7, 7, 9, 9, 42]);
+        let sizes = l.component_sizes();
+        assert_eq!(sizes.len(), 3);
+        assert_eq!(sizes[&7], 3);
+        assert_eq!(sizes[&9], 2);
+        assert_eq!(sizes[&42], 1);
+        assert!(Labeling(vec![]).component_sizes().is_empty());
+    }
+
+    #[test]
+    fn component_sizes_agrees_with_reference() {
+        let g = two_paths();
+        let sizes = reference_components(&g).component_sizes();
+        assert_eq!(sizes.values().sum::<usize>(), g.n());
+        assert!(sizes.values().all(|&s| s == 3));
     }
 }

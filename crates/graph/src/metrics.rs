@@ -32,10 +32,7 @@ pub struct GraphMetrics {
 /// Computes [`GraphMetrics`] for `g`.
 pub fn metrics(g: &Graph) -> GraphMetrics {
     let labels = reference_components(g);
-    let mut sizes = std::collections::HashMap::new();
-    for v in 0..g.n() as VertexId {
-        *sizes.entry(labels.get(v)).or_insert(0usize) += 1;
-    }
+    let sizes = labels.component_sizes();
     let largest = sizes.values().copied().max().unwrap_or(0);
     let isolated = (0..g.n() as VertexId).filter(|&v| g.degree(v) == 0).count();
 
@@ -94,11 +91,7 @@ pub fn degree_histogram(g: &Graph) -> Vec<usize> {
 
 /// Component-size histogram as sorted `(size, count)` pairs.
 pub fn component_size_histogram(g: &Graph) -> Vec<(usize, usize)> {
-    let labels = reference_components(g);
-    let mut sizes = std::collections::HashMap::new();
-    for v in 0..g.n() as VertexId {
-        *sizes.entry(labels.get(v)).or_insert(0usize) += 1;
-    }
+    let sizes = reference_components(g).component_sizes();
     let mut hist = std::collections::HashMap::new();
     for s in sizes.values() {
         *hist.entry(*s).or_insert(0usize) += 1;

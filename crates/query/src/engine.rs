@@ -1,0 +1,133 @@
+//! Batch query engine over a [`ComponentIndex`].
+//!
+//! The engine's contract is the serving-layer hot path: queries and
+//! answers are plain `Copy` values, batches are slice-in/slice-out, and
+//! executing a batch performs **zero allocations** — the caller owns both
+//! buffers and reuses them across batches. Answers are `u64` so one
+//! uniform answer type covers the whole [`Query`] algebra (`Connected`
+//! encodes as 0/1).
+
+use ampc_graph::VertexId;
+
+use crate::index::ComponentIndex;
+
+/// One connectivity query. All variants answer in O(1) array reads.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum Query {
+    /// Are `u` and `v` in the same component? Answer: 1 or 0.
+    Connected(VertexId, VertexId),
+    /// Dense component id of `v`.
+    ComponentOf(VertexId),
+    /// Size of the component containing `v`.
+    ComponentSize(VertexId),
+    /// Size of the `k`-th largest component (1-based); 0 when there are
+    /// fewer than `k` components.
+    TopKSize(u32),
+}
+
+/// Executes [`Query`] values against an immutable [`ComponentIndex`].
+///
+/// The engine borrows the index, so any number of engines (one per serving
+/// thread) can read the same index concurrently — immutability *is* the
+/// concurrency story of the read path.
+#[derive(Copy, Clone, Debug)]
+pub struct QueryEngine<'a> {
+    index: &'a ComponentIndex,
+}
+
+impl<'a> QueryEngine<'a> {
+    /// Creates an engine over `index`.
+    pub fn new(index: &'a ComponentIndex) -> Self {
+        QueryEngine { index }
+    }
+
+    /// The underlying index.
+    pub fn index(&self) -> &'a ComponentIndex {
+        self.index
+    }
+
+    /// Answers one query.
+    #[inline]
+    pub fn answer(&self, q: Query) -> u64 {
+        match q {
+            Query::Connected(u, v) => self.index.connected(u, v) as u64,
+            Query::ComponentOf(v) => self.index.component_of(v) as u64,
+            Query::ComponentSize(v) => self.index.component_size(v) as u64,
+            Query::TopKSize(k) => self.index.kth_largest_size(k as usize) as u64,
+        }
+    }
+
+    /// Answers `queries[i]` into `answers[i]` for every `i`: slice in,
+    /// slice out, no allocation. The tight loop over `Copy` values is what
+    /// the `query_throughput` bench measures against the one-call-per-query
+    /// path.
+    ///
+    /// # Panics
+    /// Panics if the slices differ in length.
+    pub fn answer_batch(&self, queries: &[Query], answers: &mut [u64]) {
+        assert_eq!(queries.len(), answers.len(), "batch slices must have equal length");
+        for (slot, &q) in answers.iter_mut().zip(queries) {
+            *slot = self.answer(q);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ampc_graph::Labeling;
+
+    /// Components: {0,1,2} id 0, {3,4} id 1, {5} id 2.
+    fn engine_fixture() -> ComponentIndex {
+        ComponentIndex::build(&Labeling(vec![8, 8, 8, 2, 2, 5]))
+    }
+
+    #[test]
+    fn single_answers_cover_the_algebra() {
+        let idx = engine_fixture();
+        let eng = QueryEngine::new(&idx);
+        assert_eq!(eng.answer(Query::Connected(0, 2)), 1);
+        assert_eq!(eng.answer(Query::Connected(0, 3)), 0);
+        assert_eq!(eng.answer(Query::ComponentOf(4)), 1);
+        assert_eq!(eng.answer(Query::ComponentSize(1)), 3);
+        assert_eq!(eng.answer(Query::TopKSize(1)), 3);
+        assert_eq!(eng.answer(Query::TopKSize(3)), 1);
+        assert_eq!(eng.answer(Query::TopKSize(4)), 0);
+    }
+
+    #[test]
+    fn batch_matches_single_query_answers() {
+        let idx = engine_fixture();
+        let eng = QueryEngine::new(&idx);
+        let queries = vec![
+            Query::Connected(0, 1),
+            Query::Connected(2, 5),
+            Query::ComponentOf(5),
+            Query::ComponentSize(3),
+            Query::TopKSize(2),
+        ];
+        let mut answers = vec![0u64; queries.len()];
+        eng.answer_batch(&queries, &mut answers);
+        let singles: Vec<u64> = queries.iter().map(|&q| eng.answer(q)).collect();
+        assert_eq!(answers, singles);
+        assert_eq!(answers, vec![1, 0, 2, 2, 2]);
+    }
+
+    #[test]
+    fn batch_buffers_are_reusable() {
+        let idx = engine_fixture();
+        let eng = QueryEngine::new(&idx);
+        let mut answers = vec![0u64; 2];
+        eng.answer_batch(&[Query::Connected(0, 1), Query::Connected(0, 3)], &mut answers);
+        assert_eq!(answers, vec![1, 0]);
+        eng.answer_batch(&[Query::ComponentOf(0), Query::ComponentOf(3)], &mut answers);
+        assert_eq!(answers, vec![0, 1]);
+    }
+
+    #[test]
+    #[should_panic(expected = "equal length")]
+    fn mismatched_batch_lengths_panic() {
+        let idx = engine_fixture();
+        QueryEngine::new(&idx).answer_batch(&[Query::TopKSize(1)], &mut []);
+    }
+}

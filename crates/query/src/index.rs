@@ -1,0 +1,262 @@
+//! Immutable component index: a finished run, frozen for serving.
+//!
+//! [`ComponentIndex::build`] rank-remaps the arbitrary 64-bit labels of a
+//! [`Labeling`] to dense component ids `0..num_components`, assigned in
+//! order of each component's minimum member vertex. The remapping makes the
+//! index a pure function of the *partition* rather than of the label
+//! values, so an AMPC run and the sequential union-find reference build
+//! byte-identical indexes — and it shrinks the per-vertex word from `u64`
+//! to `u32`, halving the hot array.
+//!
+//! Query-path layout (no hashing anywhere):
+//!
+//! ```text
+//! comp_of : Vec<u32>        vertex   → dense component id
+//! offsets : Vec<usize>      component → member-list slice bounds (CSR)
+//! members : Vec<VertexId>   concatenated member lists, sorted per component
+//! by_size : Vec<u32>        component ids, largest component first
+//! ```
+
+use std::collections::HashMap;
+
+use ampc_graph::{Graph, Labeling, VertexId};
+
+/// Dense component identifier in `0..num_components`.
+pub type ComponentId = u32;
+
+/// An immutable connectivity index over one labeling.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ComponentIndex {
+    comp_of: Vec<ComponentId>,
+    offsets: Vec<usize>,
+    members: Vec<VertexId>,
+    by_size: Vec<ComponentId>,
+}
+
+impl ComponentIndex {
+    /// Builds the index from a labeling.
+    ///
+    /// Dense ids are assigned in order of first appearance scanning
+    /// vertices `0..n`, i.e. components are numbered by their minimum
+    /// member vertex — deterministic for any labeling of the same
+    /// partition. The only hashing happens here, once, at build time.
+    pub fn build(labeling: &Labeling) -> Self {
+        let n = labeling.len();
+        let mut dense: HashMap<u64, ComponentId> = HashMap::new();
+        let mut comp_of = Vec::with_capacity(n);
+        for (_, label) in labeling.iter() {
+            let next = dense.len() as ComponentId;
+            comp_of.push(*dense.entry(label).or_insert(next));
+        }
+        let c = dense.len();
+
+        // Counting sort of vertices by component: offsets then fill. The
+        // vertex scan is in increasing order, so each member list comes out
+        // sorted without a per-component sort.
+        let mut offsets = vec![0usize; c + 1];
+        for &comp in &comp_of {
+            offsets[comp as usize + 1] += 1;
+        }
+        for i in 0..c {
+            offsets[i + 1] += offsets[i];
+        }
+        let mut cursor = offsets.clone();
+        let mut members = vec![0 as VertexId; n];
+        for (v, &comp) in comp_of.iter().enumerate() {
+            members[cursor[comp as usize]] = v as VertexId;
+            cursor[comp as usize] += 1;
+        }
+
+        let mut by_size: Vec<ComponentId> = (0..c as ComponentId).collect();
+        // Descending size; ties broken by ascending id — total order, so
+        // the ranking is deterministic.
+        by_size.sort_by_key(|&comp| {
+            (usize::MAX - (offsets[comp as usize + 1] - offsets[comp as usize]), comp)
+        });
+
+        ComponentIndex { comp_of, offsets, members, by_size }
+    }
+
+    /// Builds the index from a pipeline run over `g`, refusing a labeling
+    /// that is not a valid CC-labeling of `g`. This is the constructor the
+    /// serving path uses: verify once at build time, then answer queries
+    /// with no per-query checks.
+    pub fn from_run(g: &Graph, labeling: &Labeling) -> Result<Self, String> {
+        if labeling.len() != g.n() {
+            return Err(format!(
+                "labeling covers {} vertices but the graph has {}",
+                labeling.len(),
+                g.n()
+            ));
+        }
+        if !labeling.validates(g) {
+            return Err("labeling is not a valid CC-labeling of the graph".into());
+        }
+        Ok(Self::build(labeling))
+    }
+
+    /// Number of vertices indexed.
+    #[inline]
+    pub fn num_vertices(&self) -> usize {
+        self.comp_of.len()
+    }
+
+    /// Number of connected components.
+    #[inline]
+    pub fn num_components(&self) -> usize {
+        self.offsets.len() - 1
+    }
+
+    /// Dense component id of `v`. One array read.
+    ///
+    /// # Panics
+    /// Panics if `v` is out of range.
+    #[inline]
+    pub fn component_of(&self, v: VertexId) -> ComponentId {
+        self.comp_of[v as usize]
+    }
+
+    /// True iff `u` and `v` are in the same component. Two array reads.
+    #[inline]
+    pub fn connected(&self, u: VertexId, v: VertexId) -> bool {
+        self.comp_of[u as usize] == self.comp_of[v as usize]
+    }
+
+    /// Number of vertices in component `c`. Two array reads.
+    #[inline]
+    pub fn size_of(&self, c: ComponentId) -> usize {
+        self.offsets[c as usize + 1] - self.offsets[c as usize]
+    }
+
+    /// Size of the component containing `v`. Three array reads.
+    #[inline]
+    pub fn component_size(&self, v: VertexId) -> usize {
+        self.size_of(self.comp_of[v as usize])
+    }
+
+    /// Sorted member vertices of component `c`. A slice borrow, no copy.
+    #[inline]
+    pub fn members(&self, c: ComponentId) -> &[VertexId] {
+        &self.members[self.offsets[c as usize]..self.offsets[c as usize + 1]]
+    }
+
+    /// The (at most) `k` largest components, largest first, ties by
+    /// ascending component id. A slice borrow of the precomputed ranking.
+    #[inline]
+    pub fn top_k(&self, k: usize) -> &[ComponentId] {
+        &self.by_size[..k.min(self.by_size.len())]
+    }
+
+    /// Size of the `rank`-th largest component (1-based), or 0 when there
+    /// are fewer than `rank` components.
+    #[inline]
+    pub fn kth_largest_size(&self, rank: usize) -> usize {
+        if rank == 0 || rank > self.by_size.len() {
+            return 0;
+        }
+        self.size_of(self.by_size[rank - 1])
+    }
+
+    /// Heap footprint of the index in bytes (the serving-capacity number).
+    pub fn heap_bytes(&self) -> usize {
+        self.comp_of.len() * std::mem::size_of::<ComponentId>()
+            + self.offsets.len() * std::mem::size_of::<usize>()
+            + self.members.len() * std::mem::size_of::<VertexId>()
+            + self.by_size.len() * std::mem::size_of::<ComponentId>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ampc_graph::reference_components;
+
+    fn index_of(labels: &[u64]) -> ComponentIndex {
+        ComponentIndex::build(&Labeling(labels.to_vec()))
+    }
+
+    #[test]
+    fn dense_ids_follow_minimum_member_order() {
+        // Labels are arbitrary; component of vertex 0 must get id 0.
+        let idx = index_of(&[90, 5, 90, 5, 7]);
+        assert_eq!(idx.num_components(), 3);
+        assert_eq!(idx.component_of(0), 0);
+        assert_eq!(idx.component_of(1), 1);
+        assert_eq!(idx.component_of(4), 2);
+        assert!(idx.connected(0, 2));
+        assert!(idx.connected(1, 3));
+        assert!(!idx.connected(0, 1));
+    }
+
+    #[test]
+    fn index_is_a_function_of_the_partition() {
+        // Same partition under different label values ⇒ identical index.
+        let a = index_of(&[7, 7, 7, 9, 9, 9]);
+        let b = index_of(&[100, 100, 100, 3, 3, 3]);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn members_are_sorted_and_partition_the_vertices() {
+        let idx = index_of(&[1, 2, 1, 3, 2, 1]);
+        let mut seen = Vec::new();
+        for c in 0..idx.num_components() as ComponentId {
+            let m = idx.members(c);
+            assert!(m.windows(2).all(|w| w[0] < w[1]), "members of {c} not sorted");
+            assert_eq!(m.len(), idx.size_of(c));
+            seen.extend_from_slice(m);
+        }
+        seen.sort_unstable();
+        assert_eq!(seen, (0..6).collect::<Vec<_>>());
+        assert_eq!(idx.members(0), &[0, 2, 5]);
+    }
+
+    #[test]
+    fn top_k_ranks_by_size_then_id() {
+        // Sizes: comp0=2, comp1=3, comp2=2, comp3=1.
+        let idx = index_of(&[1, 2, 2, 1, 2, 5, 5, 9]);
+        assert_eq!(idx.top_k(10), &[1, 0, 2, 3]);
+        assert_eq!(idx.top_k(2), &[1, 0]);
+        assert_eq!(idx.top_k(0), &[] as &[ComponentId]);
+        assert_eq!(idx.kth_largest_size(1), 3);
+        assert_eq!(idx.kth_largest_size(2), 2);
+        assert_eq!(idx.kth_largest_size(4), 1);
+        assert_eq!(idx.kth_largest_size(5), 0);
+        assert_eq!(idx.kth_largest_size(0), 0);
+    }
+
+    #[test]
+    fn empty_labeling_builds_an_empty_index() {
+        let idx = index_of(&[]);
+        assert_eq!(idx.num_vertices(), 0);
+        assert_eq!(idx.num_components(), 0);
+        assert_eq!(idx.top_k(3), &[] as &[ComponentId]);
+        assert_eq!(idx.kth_largest_size(1), 0);
+    }
+
+    #[test]
+    fn from_run_validates_against_the_graph() {
+        let g = Graph::from_edges(6, &[(0, 1), (1, 2), (3, 4), (4, 5)]);
+        let good = reference_components(&g);
+        let idx = ComponentIndex::from_run(&g, &good).expect("valid labeling");
+        assert_eq!(idx.num_components(), 2);
+        // Merging the two true components must be rejected.
+        assert!(ComponentIndex::from_run(&g, &Labeling(vec![1; 6])).is_err());
+        // Wrong length must be rejected.
+        assert!(ComponentIndex::from_run(&g, &Labeling(vec![1, 1, 1])).is_err());
+    }
+
+    #[test]
+    fn matches_reference_on_a_real_graph() {
+        let g = Graph::from_edges(9, &[(0, 3), (3, 6), (1, 4), (2, 5), (5, 8), (8, 2)]);
+        let truth = reference_components(&g);
+        let idx = ComponentIndex::build(&truth);
+        for u in 0..9u32 {
+            for v in 0..9u32 {
+                assert_eq!(idx.connected(u, v), truth.get(u) == truth.get(v), "({u},{v})");
+            }
+            assert_eq!(idx.component_size(u), truth.component_sizes()[&truth.get(u)]);
+        }
+        assert!(idx.heap_bytes() > 0);
+    }
+}

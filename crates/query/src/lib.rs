@@ -1,0 +1,38 @@
+//! # `ampc-query` — the read path of the connectivity system
+//!
+//! The pipelines in `ampc-cc` end where a `Labeling` begins; this crate is
+//! what *serves* that labeling. It turns one finished run into an immutable,
+//! cache-friendly structure that answers connectivity queries at memory
+//! speed:
+//!
+//! * [`ComponentIndex`] — labels rank-remapped to dense
+//!   `0..num_components` component ids, a per-component size array, a
+//!   CSR-style member list (component → sorted vertices), and a
+//!   by-size ordering, so [`ComponentIndex::connected`],
+//!   [`ComponentIndex::component_of`], [`ComponentIndex::component_size`],
+//!   and [`ComponentIndex::top_k`] are all O(1) array reads with no
+//!   hashing on the query path;
+//! * [`QueryEngine`] — single-query and batch (slice-in/slice-out,
+//!   allocation-free) execution of the [`Query`] algebra;
+//! * [`workload`] — deterministic SplitMix64-seeded query-mix generators
+//!   (uniform, Zipf-skewed, adversarial cross-component) in the same style
+//!   as the graph generators, plus a plain-text query-file format;
+//! * [`throughput`] — the timed single-call and batched passes shared by
+//!   the CLI's `query` subcommand and the `query_throughput` bench.
+//!
+//! The index is **immutable by design**: a build is a pure function of the
+//! labeling's partition (dense ids are assigned by minimum member vertex,
+//! not by the arbitrary input label values), so two labelings that induce
+//! the same partition — e.g. an AMPC run and the union-find reference —
+//! build byte-identical indexes. That determinism is what the
+//! cross-validation matrix pins.
+
+#![warn(missing_docs)]
+
+mod engine;
+mod index;
+pub mod throughput;
+pub mod workload;
+
+pub use engine::{Query, QueryEngine};
+pub use index::{ComponentId, ComponentIndex};

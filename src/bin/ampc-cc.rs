@@ -2,7 +2,11 @@
 //!
 //! ```text
 //! ampc-cc <file> [--forest|--general|--auto] [--k K] [--seed S]
-//!                [--machines M] [--backend B] [--labels] [--trace] [--metrics]
+//!                [--machines M] [--backend B] [--labels] [--trace]
+//!                [--metrics] [--json]
+//! ampc-cc query <file> [pipeline options as above]
+//!                [--mix uniform|zipf[:EXP]|cross] [--queries N] [--batch B]
+//!                [--query-file F] [--top K] [--json]
 //!
 //!   <file>       edge list ("u v" per line, optional "# nodes: N" header);
 //!                use "-" for stdin
@@ -17,26 +21,45 @@
 //!   --labels     print "vertex component" lines to stdout
 //!   --trace      print the per-round cost ledger
 //!   --metrics    print structural metrics of the input first
+//!   --json       emit one machine-readable JSON object on stdout (labels +
+//!                RunStats for runs; the throughput report for queries)
+//!
+//! query mode runs the pipeline, freezes the labeling into an immutable
+//! component index, cross-checks every answer against the union-find
+//! reference, and reports single-query and batch throughput:
+//!   --mix         synthetic workload shape (default uniform)
+//!   --queries N   synthetic workload size (default 100000)
+//!   --batch B     batch size for the batched pass (default 1024)
+//!   --query-file  answer queries from a file instead of a synthetic mix
+//!                 (lines: "connected U V" | "component V" | "size V" |
+//!                 "topk K"; '#' comments)
+//!   --top K       print the K largest components
 //! ```
 //!
 //! Example:
 //! ```text
 //! cargo run --release --bin ampc-cc -- graph.txt --metrics --trace
+//! cargo run --release --bin ampc-cc -- query graph.txt --mix zipf --queries 1000000
 //! ```
 
+use std::fmt::Write as _;
 use std::io::Read;
 use std::process::ExitCode;
+use std::time::Instant;
 
-use adaptive_mpc_connectivity::ampc::DhtBackend;
+use adaptive_mpc_connectivity::ampc::{DhtBackend, RunStats};
 use adaptive_mpc_connectivity::cc::forest::pipeline::{
     connected_components_forest, ForestCcConfig,
 };
 use adaptive_mpc_connectivity::cc::general::algorithm2::{
     connected_components_general, GeneralCcConfig,
 };
-use adaptive_mpc_connectivity::graph::{io as graph_io, metrics, reference_components, Graph};
+use adaptive_mpc_connectivity::graph::{
+    io as graph_io, metrics, reference_components, Graph, Labeling,
+};
+use adaptive_mpc_connectivity::query::{throughput, workload, ComponentIndex, QueryEngine};
 
-struct Args {
+struct RunArgs {
     file: String,
     mode: Mode,
     k: u32,
@@ -46,6 +69,21 @@ struct Args {
     labels: bool,
     trace: bool,
     metrics: bool,
+    json: bool,
+}
+
+struct QueryArgs {
+    run: RunArgs,
+    mix: workload::Mix,
+    queries: usize,
+    batch: usize,
+    query_file: Option<String>,
+    top: usize,
+}
+
+enum Cmd {
+    Run(RunArgs),
+    Query(QueryArgs),
 }
 
 fn parse_backend(s: &str) -> Result<DhtBackend, String> {
@@ -81,8 +119,8 @@ enum Mode {
     General,
 }
 
-fn parse_args() -> Result<Args, String> {
-    let mut args = Args {
+fn parse_args() -> Result<Cmd, String> {
+    let mut run = RunArgs {
         file: String::new(),
         mode: Mode::Auto,
         k: 2,
@@ -92,49 +130,68 @@ fn parse_args() -> Result<Args, String> {
         labels: false,
         trace: false,
         metrics: false,
+        json: false,
     };
-    let mut it = std::env::args().skip(1);
+    let mut argv = std::env::args().skip(1).peekable();
+    let is_query = argv.peek().map(|a| a == "query").unwrap_or(false);
+    if is_query {
+        argv.next();
+    }
+    let mut mix = workload::Mix::Uniform;
+    let mut queries = 100_000usize;
+    let mut batch = 1024usize;
+    let mut query_file: Option<String> = None;
+    let mut top = 0usize;
+
+    let mut it = argv;
     while let Some(a) = it.next() {
+        let mut value = |flag: &str| -> Result<String, String> {
+            it.next().ok_or_else(|| format!("{flag} needs a value"))
+        };
         match a.as_str() {
-            "--forest" => args.mode = Mode::Forest,
-            "--general" => args.mode = Mode::General,
-            "--auto" => args.mode = Mode::Auto,
-            "--labels" => args.labels = true,
-            "--trace" => args.trace = true,
-            "--metrics" => args.metrics = true,
-            "--k" => {
-                args.k = it
-                    .next()
-                    .ok_or("--k needs a value")?
-                    .parse()
-                    .map_err(|e| format!("bad --k: {e}"))?;
-            }
+            "--forest" => run.mode = Mode::Forest,
+            "--general" => run.mode = Mode::General,
+            "--auto" => run.mode = Mode::Auto,
+            "--labels" => run.labels = true,
+            "--trace" => run.trace = true,
+            "--metrics" => run.metrics = true,
+            "--json" => run.json = true,
+            "--k" => run.k = value("--k")?.parse().map_err(|e| format!("bad --k: {e}"))?,
             "--seed" => {
-                args.seed = it
-                    .next()
-                    .ok_or("--seed needs a value")?
-                    .parse()
-                    .map_err(|e| format!("bad --seed: {e}"))?;
+                run.seed = value("--seed")?.parse().map_err(|e| format!("bad --seed: {e}"))?
             }
             "--machines" => {
-                args.machines = it
-                    .next()
-                    .ok_or("--machines needs a value")?
-                    .parse()
-                    .map_err(|e| format!("bad --machines: {e}"))?;
+                run.machines =
+                    value("--machines")?.parse().map_err(|e| format!("bad --machines: {e}"))?
             }
-            "--backend" => {
-                args.backend = parse_backend(&it.next().ok_or("--backend needs a value")?)?;
+            "--backend" => run.backend = parse_backend(&value("--backend")?)?,
+            "--mix" if is_query => mix = workload::Mix::parse(&value("--mix")?)?,
+            "--queries" if is_query => {
+                queries = value("--queries")?.parse().map_err(|e| format!("bad --queries: {e}"))?
+            }
+            "--batch" if is_query => {
+                batch = value("--batch")?.parse().map_err(|e| format!("bad --batch: {e}"))?;
+                if batch == 0 {
+                    return Err("--batch must be positive".into());
+                }
+            }
+            "--query-file" if is_query => query_file = Some(value("--query-file")?),
+            "--top" if is_query => {
+                top = value("--top")?.parse().map_err(|e| format!("bad --top: {e}"))?
             }
             "--help" | "-h" => return Err("usage".into()),
-            other if args.file.is_empty() => args.file = other.to_string(),
+            other if run.file.is_empty() => run.file = other.to_string(),
             other => return Err(format!("unexpected argument: {other}")),
         }
     }
-    if args.file.is_empty() {
+    if run.file.is_empty() {
         return Err("missing input file".into());
     }
-    Ok(args)
+    if is_query {
+        Ok(Cmd::Query(QueryArgs { run, mix, queries, batch, query_file, top }))
+    } else {
+        Ok(Cmd::Run(run))
+    }
 }
 
 fn load(file: &str) -> std::io::Result<Graph> {
@@ -147,29 +204,97 @@ fn load(file: &str) -> std::io::Result<Graph> {
     }
 }
 
-fn main() -> ExitCode {
-    let args = match parse_args() {
-        Ok(a) => a,
-        Err(e) => {
-            if e != "usage" {
-                eprintln!("error: {e}\n");
-            }
-            eprintln!(
-                "usage: ampc-cc <file> [--forest|--general|--auto] [--k K] [--seed S]\n\
-                 \x20                 [--machines M] [--backend flat|sharded[:N]|dense[:CAP]]\n\
-                 \x20                 [--labels] [--trace] [--metrics]"
-            );
-            return ExitCode::from(2);
-        }
+/// Runs the configured pipeline on `g`. Returns the labeling, the run's
+/// stats, and the algorithm number used (1 = forest, 2 = general).
+fn run_pipeline(g: &Graph, args: &RunArgs) -> Result<(Labeling, RunStats, u8), String> {
+    let use_forest = match args.mode {
+        Mode::Forest => true,
+        Mode::General => false,
+        Mode::Auto => g.is_forest(),
     };
+    eprintln!("dht backend: {}", args.backend.name());
+    if use_forest {
+        eprintln!("algorithm: 1 (forest, Theorem 1.1)");
+        let mut cfg = ForestCcConfig::default().with_seed(args.seed).with_backend(args.backend);
+        cfg.machines = args.machines;
+        let r = connected_components_forest(g, &cfg).map_err(|e| e.to_string())?;
+        Ok((r.labeling, r.stats, 1))
+    } else {
+        eprintln!("algorithm: 2 (general, Theorem 1.2, k = {})", args.k);
+        let mut cfg = GeneralCcConfig::default()
+            .with_seed(args.seed)
+            .with_k(args.k)
+            .with_backend(args.backend);
+        cfg.machines = args.machines;
+        let r = connected_components_general(g, &cfg).map_err(|e| e.to_string())?;
+        Ok((r.labeling, r.stats, 2))
+    }
+}
 
-    let g = match load(&args.file) {
-        Ok(g) => g,
-        Err(e) => {
-            eprintln!("error reading {}: {e}", args.file);
-            return ExitCode::FAILURE;
+/// Minimal JSON string escape (round names are static literals, but the
+/// output must stay well-formed whatever they contain).
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
         }
-    };
+    }
+    out
+}
+
+/// Renders a run (labels + RunStats) as one JSON object.
+fn run_json(g: &Graph, args: &RunArgs, labeling: &Labeling, stats: &RunStats, alg: u8) -> String {
+    let mut s = String::new();
+    s.push_str("{\n");
+    let _ = writeln!(s, "  \"n\": {},", g.n());
+    let _ = writeln!(s, "  \"m\": {},", g.m());
+    let _ = writeln!(s, "  \"algorithm\": {alg},");
+    let _ = writeln!(s, "  \"backend\": \"{}\",", json_escape(args.backend.name()));
+    let _ = writeln!(s, "  \"seed\": {},", args.seed);
+    let _ = writeln!(s, "  \"components\": {},", labeling.num_components());
+    let _ = writeln!(s, "  \"rounds\": {},", stats.rounds());
+    let _ = writeln!(s, "  \"queries\": {},", stats.total_queries());
+    let _ = writeln!(s, "  \"peak_space_words\": {},", stats.peak_total_space());
+    s.push_str("  \"per_round\": [\n");
+    let per_round = stats.per_round();
+    for (i, r) in per_round.iter().enumerate() {
+        let _ = write!(
+            s,
+            "    {{ \"index\": {}, \"name\": \"{}\", \"reads\": {}, \"read_words\": {}, \
+             \"writes\": {}, \"write_words\": {}, \"snapshot_words\": {}, \
+             \"total_space_words\": {} }}",
+            r.index,
+            json_escape(&r.name),
+            r.reads,
+            r.read_words,
+            r.writes,
+            r.write_words,
+            r.snapshot_words,
+            r.total_space_words
+        );
+        s.push_str(if i + 1 < per_round.len() { ",\n" } else { "\n" });
+    }
+    s.push_str("  ],\n");
+    s.push_str("  \"labels\": [");
+    for (v, l) in labeling.canonical().iter().enumerate() {
+        if v > 0 {
+            s.push_str(", ");
+        }
+        let _ = write!(s, "{l}");
+    }
+    s.push_str("]\n}\n");
+    s
+}
+
+fn cmd_run(args: RunArgs) -> Result<(), String> {
+    let g = load(&args.file).map_err(|e| format!("error reading {}: {e}", args.file))?;
     eprintln!("loaded: n = {}, m = {}", g.n(), g.m());
 
     if args.metrics {
@@ -186,44 +311,11 @@ fn main() -> ExitCode {
         );
     }
 
-    let use_forest = match args.mode {
-        Mode::Forest => true,
-        Mode::General => false,
-        Mode::Auto => g.is_forest(),
-    };
-
-    eprintln!("dht backend: {}", args.backend.name());
-    let (labeling, stats) = if use_forest {
-        eprintln!("algorithm: 1 (forest, Theorem 1.1)");
-        let mut cfg = ForestCcConfig::default().with_seed(args.seed).with_backend(args.backend);
-        cfg.machines = args.machines;
-        match connected_components_forest(&g, &cfg) {
-            Ok(r) => (r.labeling, r.stats),
-            Err(e) => {
-                eprintln!("error: {e}");
-                return ExitCode::FAILURE;
-            }
-        }
-    } else {
-        eprintln!("algorithm: 2 (general, Theorem 1.2, k = {})", args.k);
-        let mut cfg = GeneralCcConfig::default()
-            .with_seed(args.seed)
-            .with_k(args.k)
-            .with_backend(args.backend);
-        cfg.machines = args.machines;
-        match connected_components_general(&g, &cfg) {
-            Ok(r) => (r.labeling, r.stats),
-            Err(e) => {
-                eprintln!("error: {e}");
-                return ExitCode::FAILURE;
-            }
-        }
-    };
+    let (labeling, stats, alg) = run_pipeline(&g, &args)?;
 
     // Safety net for a user-facing tool: verify before reporting.
     if !labeling.same_partition(&reference_components(&g)) {
-        eprintln!("internal error: labeling failed verification");
-        return ExitCode::FAILURE;
+        return Err("internal error: labeling failed verification".into());
     }
 
     eprintln!(
@@ -236,13 +328,186 @@ fn main() -> ExitCode {
     if args.trace {
         eprintln!("\n{}", stats.round_table());
     }
-    if args.labels {
-        let canonical = labeling.canonical();
-        let mut out = String::with_capacity(canonical.len() * 8);
-        for (v, l) in canonical.iter().enumerate() {
-            out.push_str(&format!("{v} {l}\n"));
-        }
-        print!("{out}");
+    if args.json {
+        print!("{}", run_json(&g, &args, &labeling, &stats, alg));
+    } else if args.labels {
+        print_labels(&labeling);
     }
-    ExitCode::SUCCESS
+    Ok(())
+}
+
+/// Prints canonical "vertex component" lines to stdout (the `--labels`
+/// output of both subcommands).
+fn print_labels(labeling: &Labeling) {
+    let canonical = labeling.canonical();
+    let mut out = String::with_capacity(canonical.len() * 8);
+    for (v, l) in canonical.iter().enumerate() {
+        let _ = writeln!(out, "{v} {l}");
+    }
+    print!("{out}");
+}
+
+fn cmd_query(args: QueryArgs) -> Result<(), String> {
+    let g = load(&args.run.file).map_err(|e| format!("error reading {}: {e}", args.run.file))?;
+    eprintln!("loaded: n = {}, m = {}", g.n(), g.m());
+
+    if args.run.metrics {
+        let m = metrics::metrics(&g);
+        eprintln!(
+            "metrics: components = {}, largest = {}, isolated = {}, max deg = {}, \
+             mean deg = {:.2}, diameter ≥ {}",
+            m.components,
+            m.largest_component,
+            m.isolated,
+            m.max_degree,
+            m.mean_degree,
+            m.diameter_lower_bound
+        );
+    }
+
+    let (labeling, stats, alg) = run_pipeline(&g, &args.run)?;
+    eprintln!(
+        "pipeline: components = {} | AMPC rounds = {} | queries = {}",
+        labeling.num_components(),
+        stats.rounds(),
+        stats.total_queries()
+    );
+    if args.run.trace {
+        eprintln!("\n{}", stats.round_table());
+    }
+
+    // One union-find pass serves both checks: the pipeline labeling must
+    // induce the reference partition, and the index built from it must be
+    // byte-identical to one built from the reference labels (dense ids are
+    // a pure function of the partition) — which makes every possible query
+    // answer identical as well.
+    let truth = reference_components(&g);
+    if !labeling.same_partition(&truth) {
+        return Err("internal error: labeling failed verification".into());
+    }
+    let t0 = Instant::now();
+    let index = ComponentIndex::build(&labeling);
+    let build_ms = t0.elapsed().as_secs_f64() * 1e3;
+    eprintln!(
+        "index: {} components over {} vertices, {} bytes, built in {build_ms:.2} ms",
+        index.num_components(),
+        index.num_vertices(),
+        index.heap_bytes()
+    );
+    let reference = ComponentIndex::build(&truth);
+    if index != reference {
+        return Err("internal error: index diverges from the union-find reference".into());
+    }
+
+    let queries = match &args.query_file {
+        Some(path) => {
+            let file = std::fs::File::open(path)
+                .map_err(|e| format!("error opening query file {path}: {e}"))?;
+            workload::parse_query_file(file, g.n())
+                .map_err(|e| format!("error parsing query file {path}: {e}"))?
+        }
+        None => workload::generate(&index, args.mix, args.queries, args.run.seed),
+    };
+    let source = match &args.query_file {
+        Some(path) => format!("file:{path}"),
+        None => args.mix.name().to_string(),
+    };
+    eprintln!("workload: {} ({} queries, batch = {})", source, queries.len(), args.batch);
+
+    let engine = QueryEngine::new(&index);
+    // Per-query validation against the reference engine, answer by answer
+    // (the index equality above already implies this; this loop pins it
+    // observably and catches any engine-level divergence).
+    let ref_engine = QueryEngine::new(&reference);
+    for &q in &queries {
+        let (got, want) = (engine.answer(q), ref_engine.answer(q));
+        if got != want {
+            return Err(format!("query {q:?}: index answered {got}, reference {want}"));
+        }
+    }
+    eprintln!(
+        "validated: {}/{} answers match the union-find reference",
+        queries.len(),
+        queries.len()
+    );
+
+    let mut buf = Vec::new();
+    // Warm pass, then best of two timed passes per path.
+    let (_, checksum) = throughput::single_pass(&engine, &queries);
+    let single_qps =
+        (0..2).map(|_| throughput::single_pass(&engine, &queries).0).fold(0.0f64, f64::max);
+    let (_, batch_checksum) = throughput::batched_pass(&engine, &queries, args.batch, &mut buf);
+    let batch_qps = (0..2)
+        .map(|_| throughput::batched_pass(&engine, &queries, args.batch, &mut buf).0)
+        .fold(0.0f64, f64::max);
+    if checksum != batch_checksum {
+        return Err("internal error: batch checksum diverged from single-query path".into());
+    }
+
+    eprintln!(
+        "throughput: single = {:.0} q/s | batch = {:.0} q/s | checksum = {checksum}",
+        single_qps, batch_qps
+    );
+
+    if args.top > 0 {
+        eprintln!("top {} components by size:", args.top);
+        for (rank, &c) in index.top_k(args.top).iter().enumerate() {
+            eprintln!("  #{:<3} component {:<10} size {}", rank + 1, c, index.size_of(c));
+        }
+    }
+
+    if args.run.json {
+        let mut s = String::new();
+        s.push_str("{\n");
+        let _ = writeln!(s, "  \"n\": {},", g.n());
+        let _ = writeln!(s, "  \"m\": {},", g.m());
+        let _ = writeln!(s, "  \"algorithm\": {alg},");
+        let _ = writeln!(s, "  \"backend\": \"{}\",", json_escape(args.run.backend.name()));
+        let _ = writeln!(s, "  \"components\": {},", index.num_components());
+        let _ = writeln!(s, "  \"index_bytes\": {},", index.heap_bytes());
+        let _ = writeln!(s, "  \"index_build_ms\": {build_ms:.3},");
+        let _ = writeln!(s, "  \"workload\": \"{}\",", json_escape(&source));
+        let _ = writeln!(s, "  \"queries\": {},", queries.len());
+        let _ = writeln!(s, "  \"batch\": {},", args.batch);
+        let _ = writeln!(s, "  \"single_queries_per_sec\": {single_qps:.0},");
+        let _ = writeln!(s, "  \"batch_queries_per_sec\": {batch_qps:.0},");
+        let _ = writeln!(s, "  \"checksum\": {checksum},");
+        let _ = writeln!(s, "  \"validated\": {}", queries.len());
+        s.push_str("}\n");
+        print!("{s}");
+    } else if args.run.labels {
+        print_labels(&labeling);
+    }
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    let cmd = match parse_args() {
+        Ok(c) => c,
+        Err(e) => {
+            if e != "usage" {
+                eprintln!("error: {e}\n");
+            }
+            eprintln!(
+                "usage: ampc-cc <file> [--forest|--general|--auto] [--k K] [--seed S]\n\
+                 \x20                 [--machines M] [--backend flat|sharded[:N]|dense[:CAP]]\n\
+                 \x20                 [--labels] [--trace] [--metrics] [--json]\n\
+                 \x20      ampc-cc query <file> [pipeline options]\n\
+                 \x20                 [--mix uniform|zipf[:EXP]|cross] [--queries N]\n\
+                 \x20                 [--batch B] [--query-file F] [--top K] [--json]"
+            );
+            return ExitCode::from(2);
+        }
+    };
+    let result = match cmd {
+        Cmd::Run(args) => cmd_run(args),
+        Cmd::Query(args) => cmd_query(args),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
 }

@@ -11,7 +11,9 @@
 //!   contraction, ground-truth connectivity);
 //! * [`cc`] — the paper's algorithms (Algorithm 1 forest pipeline,
 //!   Algorithm 2 general-graph recursion) plus cited subroutines and
-//!   baselines.
+//!   baselines;
+//! * [`query`] — the read path: immutable component index, batch query
+//!   engine, and deterministic workload driver over finished runs.
 //!
 //! See `examples/quickstart.rs` for a five-minute tour and `DESIGN.md` for
 //! the full system inventory.
@@ -19,3 +21,4 @@
 pub use ampc;
 pub use ampc_cc as cc;
 pub use ampc_graph as graph;
+pub use ampc_query as query;

@@ -115,3 +115,89 @@ fn cli_backend_grammar() {
         assert_eq!(out.status.code(), Some(2), "--backend {backend} must exit 2");
     }
 }
+
+fn run_query(args: &[&str]) -> std::process::Output {
+    let exe = env!("CARGO_BIN_EXE_ampc-cc");
+    let data = Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/data/smoke.txt");
+    Command::new(exe).arg("query").arg(data).args(args).output().expect("failed to spawn ampc-cc")
+}
+
+#[test]
+fn cli_query_mix_grammar_and_validation() {
+    // Every mix spelling runs the serving path end to end: pipeline →
+    // index → workload → per-answer union-find validation → throughput.
+    for mix in ["uniform", "zipf", "zipf:0.9", "cross"] {
+        let out = run_query(&["--seed", "7", "--queries", "2000", "--mix", mix, "--top", "2"]);
+        let stderr = String::from_utf8_lossy(&out.stderr);
+        assert!(out.status.success(), "--mix {mix}: exit {:?}\n{stderr}", out.status.code());
+        assert!(
+            stderr.contains("validated: 2000/2000 answers match the union-find reference"),
+            "--mix {mix}: missing validation line\n{stderr}"
+        );
+        assert!(stderr.contains("throughput:"), "--mix {mix}: missing throughput\n{stderr}");
+        assert!(stderr.contains("top 2 components"), "--mix {mix}: missing top-k\n{stderr}");
+    }
+    // Malformed query flags are usage errors.
+    for bad in
+        [&["--mix", "bogus"][..], &["--mix", "zipf:x"], &["--batch", "0"], &["--queries", "x"]]
+    {
+        let out = run_query(bad);
+        assert_eq!(out.status.code(), Some(2), "query {bad:?} must exit 2");
+    }
+    // Query flags are rejected outside the query subcommand.
+    let out = run(&["--mix", "uniform"]);
+    assert_eq!(out.status.code(), Some(2), "--mix without the query subcommand must exit 2");
+}
+
+#[test]
+fn cli_query_honors_pipeline_flags() {
+    // --trace/--metrics/--labels are pipeline options and must work under
+    // the query subcommand too.
+    let out = run_query(&["--seed", "7", "--queries", "100", "--trace", "--metrics", "--labels"]);
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(out.status.success(), "query with pipeline flags failed\n{stderr}");
+    assert!(stderr.contains("metrics: components = 3"), "missing metrics line\n{stderr}");
+    assert!(stderr.contains("round"), "missing trace ledger\n{stderr}");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert_eq!(stdout.lines().count(), 8, "expected one label line per vertex\n{stdout}");
+}
+
+#[test]
+fn cli_query_file_answers_are_reported() {
+    let dir = std::env::temp_dir().join("ampc_cli_query_test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let qfile = dir.join("queries.txt");
+    std::fs::write(&qfile, "# smoke queries\nconnected 0 3\nconnected 0 4\nsize 4\ntopk 1\n")
+        .unwrap();
+    let out = run_query(&["--query-file", qfile.to_str().unwrap(), "--json"]);
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(out.status.success(), "query file run failed\n{stderr}");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("\"queries\": 4"), "wrong query count\n{stdout}");
+    // connected(0,3)=1 + connected(0,4)=0 + size(4)=3 + topk(1)=4 ⇒ checksum 8.
+    assert!(stdout.contains("\"checksum\": 8"), "wrong checksum\n{stdout}");
+    let out = run_query(&["--query-file", "/definitely/missing.txt"]);
+    assert_eq!(out.status.code(), Some(1), "missing query file must fail");
+    std::fs::remove_file(&qfile).ok();
+}
+
+#[test]
+fn cli_json_run_output_is_machine_readable() {
+    let out = run(&["--general", "--seed", "7", "--json"]);
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    // One object carrying the labeling and the RunStats headline numbers.
+    for field in [
+        "\"n\": 8",
+        "\"m\": 6",
+        "\"algorithm\": 2",
+        "\"components\": 3",
+        "\"rounds\":",
+        "\"labels\": [",
+    ] {
+        assert!(stdout.contains(field), "missing {field}\n{stdout}");
+    }
+    // The canonical labels of the smoke graph: path 0-1-2-3, triangle
+    // 4-5-6, isolated 7.
+    assert!(stdout.contains("[0, 0, 0, 0, 4, 4, 4, 7]"), "wrong labels\n{stdout}");
+}

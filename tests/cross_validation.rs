@@ -26,6 +26,7 @@ use adaptive_mpc_connectivity::graph::generators::{
 use adaptive_mpc_connectivity::graph::{reference_components, Graph, Labeling};
 
 use adaptive_mpc_connectivity::ampc::{DhtBackend, RunStats};
+use adaptive_mpc_connectivity::query::{workload, ComponentIndex, Query, QueryEngine};
 
 /// Machine counts every scenario runs under.
 const MACHINE_COUNTS: [usize; 2] = [3, 16];
@@ -266,6 +267,77 @@ fn general_multi_component_union() {
                 "machines {machines} seed {seed}: union components merged or split"
             );
             assert_eq!(labeling.num_components(), truth.num_components());
+        }
+    }
+}
+
+/// Answers every query of every standard workload mix against an
+/// independent union-find oracle (labels, partition comparison, size
+/// census, and a from-scratch dense-id remap — none of it routed through
+/// `ComponentIndex`), plus the batch path against the single path.
+fn assert_queries_match_reference(g: &Graph, labeling: &Labeling, seed: u64, ctx: &str) {
+    let index = ComponentIndex::from_run(g, labeling)
+        .unwrap_or_else(|e| panic!("{ctx}: index build rejected pipeline labeling: {e}"));
+    let truth = reference_components(g);
+
+    // The index must be byte-identical to one built straight from the
+    // union-find labeling (dense ids are a function of the partition).
+    assert_eq!(index, ComponentIndex::build(&truth), "{ctx}: index diverges from reference");
+
+    // Independent oracles from the union-find side.
+    let canonical = truth.canonical(); // v → min member of v's component
+    let sizes = truth.component_sizes();
+    let mut mins: Vec<u64> = canonical.clone();
+    mins.sort_unstable();
+    mins.dedup();
+    let dense_of = |v: u32| mins.binary_search(&canonical[v as usize]).unwrap() as u64;
+    let mut sizes_desc: Vec<usize> = sizes.values().copied().collect();
+    sizes_desc.sort_unstable_by(|a, b| b.cmp(a));
+
+    let engine = QueryEngine::new(&index);
+    for mix in workload::Mix::STANDARD {
+        let queries = workload::generate(&index, mix, 300, seed);
+        let mut batch = vec![0u64; queries.len()];
+        engine.answer_batch(&queries, &mut batch);
+        for (&q, &batched) in queries.iter().zip(&batch) {
+            let got = engine.answer(q);
+            assert_eq!(got, batched, "{ctx}: batch diverged on {q:?}");
+            let want = match q {
+                Query::Connected(u, v) => (truth.get(u) == truth.get(v)) as u64,
+                Query::ComponentOf(v) => dense_of(v),
+                Query::ComponentSize(v) => sizes[&truth.get(v)] as u64,
+                Query::TopKSize(k) => sizes_desc.get(k as usize - 1).copied().unwrap_or(0) as u64,
+            };
+            assert_eq!(got, want, "{ctx} mix {}: wrong answer for {q:?}", mix.name());
+        }
+    }
+}
+
+/// The serving layer over the full matrix: every family × machine count ×
+/// seed of both algorithms, index built from the pipeline labeling, every
+/// workload-mix answer checked against the union-find oracle.
+#[test]
+fn query_service_matches_union_find_across_matrix() {
+    let n = 400;
+    for fam in ForestFamily::ALL {
+        for machines in MACHINE_COUNTS {
+            for seed in SEEDS {
+                let g = fam.generate(n, seed ^ 0x9E11);
+                let (labeling, _, _) = run_forest(&g, machines, seed);
+                let ctx = format!("forest family {} machines {machines} seed {seed}", fam.name());
+                assert_queries_match_reference(&g, &labeling, seed, &ctx);
+            }
+        }
+    }
+    let n = 250;
+    for fam in GraphFamily::ALL {
+        for machines in MACHINE_COUNTS {
+            for seed in SEEDS {
+                let g = fam.generate(n, seed ^ 0x9E12);
+                let (labeling, _) = run_general(&g, machines, seed);
+                let ctx = format!("general family {} machines {machines} seed {seed}", fam.name());
+                assert_queries_match_reference(&g, &labeling, seed, &ctx);
+            }
         }
     }
 }
