@@ -1,37 +1,44 @@
-//! Query-throughput bench — the read path under the three workload mixes.
+//! Query-throughput bench — the serving layer under the three workload
+//! mixes, at one and several reader threads.
 //!
-//! Builds a `ComponentIndex` over a ≥1M-vertex forest with thousands of
-//! components and times the `QueryEngine` on each standard mix (uniform,
-//! Zipf-skewed, adversarial cross-component), comparing the per-call path
-//! against the batched slice-in/slice-out path. The labeling comes from
-//! the union-find reference: the index is a pure function of the
-//! partition (the cross-validation matrix pins pipeline labels to the
-//! reference), so the numbers measure exactly the serving layer, not the
-//! pipeline in front of it.
+//! Exercises the real serving stack end to end: a `PipelineSpec` (auto →
+//! Algorithm 1 on the forest input, dense backend) handed to a
+//! `ConnectivityService`, which runs the pipeline, validates the labeling,
+//! and publishes the frozen `ComponentIndex` as epoch 0; the
+//! multi-threaded driver then answers each standard mix (uniform,
+//! Zipf-skewed, adversarial cross-component) through lock-free pinned
+//! snapshots — the per-call path vs. the batched slice-in/slice-out path,
+//! at every configured thread count.
 //!
-//! The single and batched paths must produce identical answer checksums —
-//! the answers are the computation, so a divergent checksum means a broken
-//! engine. Results are printed as a table and persisted to
-//! `BENCH_query_throughput.json` at the repository root (override with
-//! `BENCH_QUERY_THROUGHPUT_OUT`) so CI archives the serving-throughput
-//! trajectory next to the pointer-chase read-latency baseline.
+//! Totals are thread-count-invariant by construction (deterministic
+//! striping + commutative checksum); the bench asserts it. Results are
+//! printed as a table and persisted to `BENCH_query_throughput.json` at
+//! the repository root (override with `BENCH_QUERY_THROUGHPUT_OUT`): the
+//! per-mix single-thread rows keep the serving-throughput trajectory
+//! started in PR 4, and the `thread_scaling` rows (≥2 thread counts) seed
+//! the read-scaling trajectory. On a single-core CI host the 4-thread
+//! rows measure oversubscription, not scaling — the interesting numbers
+//! come from multi-core runs.
 //!
 //! Set `AMPC_BENCH_QUICK=1` for the CI-sized run (2^16 vertices, 2^17
 //! queries per mix).
 
 use std::time::Instant;
 
+use ampc::DhtBackend;
+use ampc_cc::pipeline::PipelineSpec;
 use ampc_graph::generators::random_forest;
-use ampc_graph::reference_components;
 use ampc_query::workload::{self, Mix};
-use ampc_query::{throughput, ComponentIndex, QueryEngine};
+use ampc_serve::{driver, ServiceBuilder};
 
 /// Batch size for the batched pass (the CLI default).
 const BATCH: usize = 1024;
-/// Timed passes per (mix, path); the best is reported.
+/// Timed passes per (mix, threads, path); the best is reported.
 const PASSES: usize = 3;
 /// Workload seed (the queries, not the graph).
 const SEED: u64 = 0x5E27E;
+/// Reader-thread counts for the scaling rows.
+const THREAD_COUNTS: [usize; 2] = [1, 4];
 
 fn quick() -> bool {
     std::env::var("AMPC_BENCH_QUICK").map(|v| v != "0").unwrap_or(false)
@@ -44,57 +51,78 @@ fn main() {
     // several size decades, so every mix (incl. cross-component) has
     // structure to work against.
     let g = random_forest(n, n / 256, 0xF0);
-    let labeling = reference_components(&g);
+    let spec = PipelineSpec::default().with_seed(SEED).with_backend(DhtBackend::dense());
 
     let t0 = Instant::now();
-    let index = ComponentIndex::build(&labeling);
+    let service = ServiceBuilder::new(g).spec(spec).build().expect("service build");
     let build_ms = t0.elapsed().as_secs_f64() * 1e3;
+    let snap = service.snapshot();
     println!(
-        "query_throughput: n = {n}, components = {}, index {} bytes built in {build_ms:.1} ms",
-        index.num_components(),
-        index.heap_bytes()
+        "query_throughput: n = {n}, components = {}, index {} bytes | algorithm {} \
+         ({} AMPC rounds) | epoch {} published in {build_ms:.1} ms",
+        snap.index().num_components(),
+        snap.index().heap_bytes(),
+        snap.algorithm().number(),
+        snap.stats().rounds(),
+        snap.epoch()
     );
-    println!("  {num_queries} queries per mix, batch = {BATCH}, best of {PASSES}");
+    println!(
+        "  {num_queries} queries per mix, batch = {BATCH}, threads = {THREAD_COUNTS:?}, \
+         best of {PASSES}"
+    );
 
-    let engine = QueryEngine::new(&index);
-    let mut buf = Vec::new();
-    let mut sections = Vec::new();
+    let mut mix_sections = Vec::new();
+    let mut scaling_rows = Vec::new();
     for mix in Mix::STANDARD {
-        let queries = workload::generate(&index, mix, num_queries, SEED);
-        let mut single_qps = 0.0f64;
-        let mut batch_qps = 0.0f64;
-        let mut single_sum = 0u64;
-        let mut batch_sum = 0u64;
-        for _ in 0..PASSES {
-            let (qps, sum) = throughput::single_pass(&engine, &queries);
-            single_qps = single_qps.max(qps);
-            single_sum = sum;
-            let (qps, sum) = throughput::batched_pass(&engine, &queries, BATCH, &mut buf);
-            batch_qps = batch_qps.max(qps);
-            batch_sum = sum;
+        let queries = workload::generate(snap.index(), mix, num_queries, SEED);
+        let mut baseline_checksum = None;
+        for threads in THREAD_COUNTS {
+            let mut single_qps = 0.0f64;
+            let mut batch_qps = 0.0f64;
+            for _ in 0..PASSES {
+                let r = driver::run(&service, &queries, threads, BATCH);
+                // Totals are striping-invariant; any drift is a torn read
+                // or a broken engine, not noise.
+                let expect = *baseline_checksum.get_or_insert(r.checksum);
+                assert_eq!(expect, r.checksum, "mix {}: checksum drifted", mix.name());
+                single_qps = single_qps.max(r.aggregate_single_qps);
+                batch_qps = batch_qps.max(r.aggregate_batch_qps);
+            }
+            println!(
+                "  {:<8} threads {:>2} | single {:>12.0} q/s | batch {:>12.0} q/s | checksum {}",
+                mix.name(),
+                threads,
+                single_qps,
+                batch_qps,
+                baseline_checksum.unwrap_or(0)
+            );
+            scaling_rows.push(format!(
+                "{{ \"mix\": \"{}\", \"threads\": {threads}, \
+                 \"single_queries_per_sec\": {single_qps:.0}, \
+                 \"batch_queries_per_sec\": {batch_qps:.0} }}",
+                mix.name()
+            ));
+            if threads == 1 {
+                // The single-thread row continues the PR 4 trajectory keys.
+                mix_sections.push(format!(
+                    "\"{}\": {{ \"single_queries_per_sec\": {:.0}, \
+                     \"batch_queries_per_sec\": {:.0} }}",
+                    mix.name(),
+                    single_qps,
+                    batch_qps
+                ));
+            }
         }
-        assert_eq!(single_sum, batch_sum, "mix {}: batch path diverged", mix.name());
-        println!(
-            "  {:<8} single {:>12.0} q/s | batch {:>12.0} q/s | checksum {}",
-            mix.name(),
-            single_qps,
-            batch_qps,
-            single_sum
-        );
-        sections.push(format!(
-            "\"{}\": {{ \"single_queries_per_sec\": {:.0}, \"batch_queries_per_sec\": {:.0} }}",
-            mix.name(),
-            single_qps,
-            batch_qps
-        ));
     }
 
     let json = format!(
         "{{\n  \"bench\": \"query_throughput\",\n  \"n\": {n},\n  \"components\": {},\n  \
          \"queries_per_mix\": {num_queries},\n  \"batch\": {BATCH},\n  \
-         \"index_build_ms\": {build_ms:.1},\n  \"mixes\": {{ {} }}\n}}\n",
-        index.num_components(),
-        sections.join(", ")
+         \"service_build_ms\": {build_ms:.1},\n  \"mixes\": {{ {} }},\n  \
+         \"thread_scaling\": [\n    {}\n  ]\n}}\n",
+        snap.index().num_components(),
+        mix_sections.join(", "),
+        scaling_rows.join(",\n    ")
     );
     let out_path = std::env::var("BENCH_QUERY_THROUGHPUT_OUT").unwrap_or_else(|_| {
         concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_query_throughput.json").to_string()

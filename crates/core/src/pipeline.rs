@@ -1,0 +1,387 @@
+//! Unified pipeline dispatch: one spec, one entry point, both algorithms.
+//!
+//! Before this module, every consumer of the pipelines — the `ampc-cc`
+//! binary, the benches, the serving layer — re-implemented the same grid:
+//! match on forest vs. general, build the matching config, thread the
+//! backend/seed/machine plumbing through, and adapt the two result types.
+//! [`PipelineSpec`] collapses that grid into a single value (algorithm,
+//! backend, limits, seed, machines) and [`Pipeline::execute`] into a single
+//! call returning the unified [`PipelineRun`].
+//!
+//! Dispatch stays fully monomorphized: [`PipelineSpec::resolve`] picks the
+//! concrete pipeline once (consulting the input for [`Algorithm::Auto`]),
+//! and the per-backend match arms inside
+//! [`connected_components_forest`]/[`connected_components_general`] remain
+//! the only dispatch points — no `dyn` anywhere on the hot path.
+
+use ampc::{AmpcResult, DhtBackend, RunStats};
+use ampc_graph::{Graph, Labeling};
+
+use crate::forest::pipeline::{connected_components_forest, ForestCcConfig};
+use crate::general::algorithm2::{connected_components_general, GeneralCcConfig};
+
+/// Which of the paper's algorithms a [`PipelineSpec`] requests.
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Default)]
+pub enum Algorithm {
+    /// Pick Algorithm 1 for forests, Algorithm 2 otherwise (the default).
+    #[default]
+    Auto,
+    /// Algorithm 1 (Theorem 1.1) — requires an acyclic input.
+    Forest,
+    /// Algorithm 2 (Theorem 1.2) — any graph.
+    General,
+}
+
+impl Algorithm {
+    /// Parses a spec string: `auto`, `forest`, or `general`.
+    pub fn parse(s: &str) -> Result<Algorithm, String> {
+        match s {
+            "auto" => Ok(Algorithm::Auto),
+            "forest" => Ok(Algorithm::Forest),
+            "general" => Ok(Algorithm::General),
+            other => Err(format!("unknown algorithm {other:?} (expected auto|forest|general)")),
+        }
+    }
+
+    /// Short reporting name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Algorithm::Auto => "auto",
+            Algorithm::Forest => "forest",
+            Algorithm::General => "general",
+        }
+    }
+}
+
+/// The algorithm a run actually used once `Auto` has been resolved.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum ResolvedAlgorithm {
+    /// Algorithm 1 (forest pipeline).
+    Forest,
+    /// Algorithm 2 (general-graph recursion).
+    General,
+}
+
+impl ResolvedAlgorithm {
+    /// The paper's algorithm number (1 = forest, 2 = general).
+    pub fn number(&self) -> u8 {
+        match self {
+            ResolvedAlgorithm::Forest => 1,
+            ResolvedAlgorithm::General => 2,
+        }
+    }
+
+    /// Short reporting name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            ResolvedAlgorithm::Forest => "forest",
+            ResolvedAlgorithm::General => "general",
+        }
+    }
+}
+
+/// Everything needed to run a connectivity pipeline, in one value.
+///
+/// The spec is plain `Clone + Send` data, so it can be stored in a serving
+/// handle, shipped to a background rebuild thread, or embedded in a bench
+/// table row. Two runs of the same spec on the same graph are
+/// byte-identical (the pipelines are deterministic given the seed).
+#[derive(Clone, Debug, PartialEq)]
+pub struct PipelineSpec {
+    /// Algorithm selection (resolved against the input when `Auto`).
+    pub algorithm: Algorithm,
+    /// DHT storage backend for every system the pipeline constructs.
+    pub backend: DhtBackend,
+    /// The space parameter `k` of Theorem 1.2 (ignored by Algorithm 1).
+    pub k: u32,
+    /// Run seed.
+    pub seed: u64,
+    /// Simulated machine count.
+    pub machines: usize,
+    /// Attach space limits and record violations (audit mode). Currently
+    /// honored by the forest pipeline; the general recursion's audit mode
+    /// is a ROADMAP item.
+    pub audit_limits: bool,
+}
+
+impl Default for PipelineSpec {
+    fn default() -> Self {
+        PipelineSpec {
+            algorithm: Algorithm::Auto,
+            backend: DhtBackend::Flat,
+            k: 2,
+            seed: 0xCC,
+            machines: 8,
+            audit_limits: false,
+        }
+    }
+}
+
+impl PipelineSpec {
+    /// Sets the algorithm.
+    pub fn with_algorithm(mut self, algorithm: Algorithm) -> Self {
+        self.algorithm = algorithm;
+        self
+    }
+
+    /// Selects the DHT storage backend.
+    pub fn with_backend(mut self, backend: DhtBackend) -> Self {
+        self.backend = backend;
+        self
+    }
+
+    /// Sets the space parameter `k` (Algorithm 2 only).
+    pub fn with_k(mut self, k: u32) -> Self {
+        self.k = k;
+        self
+    }
+
+    /// Sets the seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Sets the simulated machine count.
+    pub fn with_machines(mut self, machines: usize) -> Self {
+        self.machines = machines;
+        self
+    }
+
+    /// Enables audit-mode space limits.
+    pub fn with_audit_limits(mut self, audit: bool) -> Self {
+        self.audit_limits = audit;
+        self
+    }
+
+    /// The forest config this spec denotes.
+    pub fn forest_config(&self) -> ForestCcConfig {
+        let mut cfg = ForestCcConfig::default().with_seed(self.seed).with_backend(self.backend);
+        cfg.machines = self.machines;
+        cfg.audit_limits = self.audit_limits;
+        cfg
+    }
+
+    /// The general-graph config this spec denotes.
+    pub fn general_config(&self) -> GeneralCcConfig {
+        let mut cfg = GeneralCcConfig::default()
+            .with_seed(self.seed)
+            .with_k(self.k)
+            .with_backend(self.backend);
+        cfg.machines = self.machines;
+        cfg
+    }
+
+    /// Resolves `Auto` against `g` and returns the concrete pipeline.
+    /// Resolution consults only `g.is_forest()`; it never runs anything.
+    pub fn resolve(&self, g: &Graph) -> ResolvedPipeline {
+        let use_forest = match self.algorithm {
+            Algorithm::Forest => true,
+            Algorithm::General => false,
+            Algorithm::Auto => g.is_forest(),
+        };
+        if use_forest {
+            ResolvedPipeline::Forest(ForestPipeline { cfg: self.forest_config() })
+        } else {
+            ResolvedPipeline::General(GeneralPipeline { cfg: self.general_config() })
+        }
+    }
+
+    /// Resolves and executes in one call — the everyday entry point.
+    pub fn run(&self, g: &Graph) -> AmpcResult<PipelineRun> {
+        self.resolve(g).execute(g)
+    }
+}
+
+/// Unified result of any pipeline run: the product every consumer of the
+/// old per-algorithm result types actually used.
+#[derive(Debug, Clone)]
+pub struct PipelineRun {
+    /// The computed CC-labeling of the input graph.
+    pub labeling: Labeling,
+    /// Aggregated AMPC cost accounting.
+    pub stats: RunStats,
+    /// Which algorithm produced it.
+    pub algorithm: ResolvedAlgorithm,
+}
+
+/// A runnable connectivity pipeline: the seam the serving layer and the
+/// benches program against instead of the concrete entry points.
+pub trait Pipeline {
+    /// The algorithm this pipeline executes.
+    fn algorithm(&self) -> ResolvedAlgorithm;
+
+    /// Human-readable description for run logs (algorithm number, theorem,
+    /// parameters).
+    fn describe(&self) -> String;
+
+    /// Runs the pipeline on `g`.
+    fn execute(&self, g: &Graph) -> AmpcResult<PipelineRun>;
+}
+
+/// Algorithm 1 as a [`Pipeline`].
+#[derive(Debug, Clone)]
+pub struct ForestPipeline {
+    /// The full forest configuration (exposed so experiments can tweak
+    /// knobs the spec doesn't model, e.g. the trade-off `B₀`).
+    pub cfg: ForestCcConfig,
+}
+
+impl Pipeline for ForestPipeline {
+    fn algorithm(&self) -> ResolvedAlgorithm {
+        ResolvedAlgorithm::Forest
+    }
+
+    fn describe(&self) -> String {
+        "1 (forest, Theorem 1.1)".to_string()
+    }
+
+    fn execute(&self, g: &Graph) -> AmpcResult<PipelineRun> {
+        let r = connected_components_forest(g, &self.cfg)?;
+        Ok(PipelineRun {
+            labeling: r.labeling,
+            stats: r.stats,
+            algorithm: ResolvedAlgorithm::Forest,
+        })
+    }
+}
+
+/// Algorithm 2 as a [`Pipeline`].
+#[derive(Debug, Clone)]
+pub struct GeneralPipeline {
+    /// The full general-graph configuration.
+    pub cfg: GeneralCcConfig,
+}
+
+impl Pipeline for GeneralPipeline {
+    fn algorithm(&self) -> ResolvedAlgorithm {
+        ResolvedAlgorithm::General
+    }
+
+    fn describe(&self) -> String {
+        format!("2 (general, Theorem 1.2, k = {})", self.cfg.k)
+    }
+
+    fn execute(&self, g: &Graph) -> AmpcResult<PipelineRun> {
+        let r = connected_components_general(g, &self.cfg)?;
+        Ok(PipelineRun {
+            labeling: r.labeling,
+            stats: r.stats,
+            algorithm: ResolvedAlgorithm::General,
+        })
+    }
+}
+
+/// A [`PipelineSpec`] resolved to its concrete pipeline. Enum (not `dyn`)
+/// so `execute` dispatches statically into the monomorphized entry points.
+#[derive(Debug, Clone)]
+pub enum ResolvedPipeline {
+    /// Algorithm 1.
+    Forest(ForestPipeline),
+    /// Algorithm 2.
+    General(GeneralPipeline),
+}
+
+impl Pipeline for ResolvedPipeline {
+    fn algorithm(&self) -> ResolvedAlgorithm {
+        match self {
+            ResolvedPipeline::Forest(p) => p.algorithm(),
+            ResolvedPipeline::General(p) => p.algorithm(),
+        }
+    }
+
+    fn describe(&self) -> String {
+        match self {
+            ResolvedPipeline::Forest(p) => p.describe(),
+            ResolvedPipeline::General(p) => p.describe(),
+        }
+    }
+
+    fn execute(&self, g: &Graph) -> AmpcResult<PipelineRun> {
+        match self {
+            ResolvedPipeline::Forest(p) => p.execute(g),
+            ResolvedPipeline::General(p) => p.execute(g),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ampc_graph::generators::{erdos_renyi_gnm, random_forest};
+    use ampc_graph::reference_components;
+
+    #[test]
+    fn auto_resolves_by_input_shape() {
+        let forest = random_forest(200, 4, 1);
+        let cyclic = erdos_renyi_gnm(100, 300, 2);
+        let spec = PipelineSpec::default();
+        assert_eq!(spec.resolve(&forest).algorithm(), ResolvedAlgorithm::Forest);
+        assert_eq!(spec.resolve(&cyclic).algorithm(), ResolvedAlgorithm::General);
+        // Explicit selection overrides the shape (general runs on forests).
+        let spec = spec.with_algorithm(Algorithm::General);
+        assert_eq!(spec.resolve(&forest).algorithm(), ResolvedAlgorithm::General);
+    }
+
+    #[test]
+    fn spec_run_matches_direct_config_run() {
+        // The spec is sugar, not a different pipeline: its runs must be
+        // byte-identical to direct calls with the equivalent configs.
+        let forest = random_forest(800, 7, 3);
+        let spec = PipelineSpec::default().with_seed(99).with_backend(DhtBackend::dense());
+        let via_spec = spec.run(&forest).unwrap();
+        let direct = connected_components_forest(&forest, &spec.forest_config()).unwrap();
+        assert_eq!(via_spec.labeling.0, direct.labeling.0);
+        assert_eq!(via_spec.stats.rounds(), direct.stats.rounds());
+        assert_eq!(via_spec.algorithm.number(), 1);
+
+        let cyclic = erdos_renyi_gnm(300, 900, 4);
+        let spec = PipelineSpec::default().with_seed(7).with_k(3);
+        let via_spec = spec.run(&cyclic).unwrap();
+        let direct = connected_components_general(&cyclic, &spec.general_config()).unwrap();
+        assert_eq!(via_spec.labeling.0, direct.labeling.0);
+        assert_eq!(via_spec.stats.total_queries(), direct.stats.total_queries());
+        assert_eq!(via_spec.algorithm.number(), 2);
+    }
+
+    #[test]
+    fn spec_runs_are_correct_and_deterministic() {
+        let g = erdos_renyi_gnm(500, 1200, 5);
+        let spec = PipelineSpec::default().with_seed(11).with_machines(4);
+        let a = spec.run(&g).unwrap();
+        let b = spec.run(&g).unwrap();
+        assert!(a.labeling.same_partition(&reference_components(&g)));
+        assert_eq!(a.labeling.0, b.labeling.0);
+        assert_eq!(a.stats.rounds(), b.stats.rounds());
+    }
+
+    #[test]
+    fn describe_names_the_algorithm() {
+        let g = random_forest(50, 2, 1);
+        let spec = PipelineSpec::default();
+        assert!(spec.resolve(&g).describe().starts_with("1 (forest"));
+        let spec = spec.with_algorithm(Algorithm::General).with_k(5);
+        assert_eq!(spec.resolve(&g).describe(), "2 (general, Theorem 1.2, k = 5)");
+    }
+
+    #[test]
+    fn algorithm_parse_grammar() {
+        assert_eq!(Algorithm::parse("auto").unwrap(), Algorithm::Auto);
+        assert_eq!(Algorithm::parse("forest").unwrap(), Algorithm::Forest);
+        assert_eq!(Algorithm::parse("general").unwrap(), Algorithm::General);
+        assert!(Algorithm::parse("fastest").is_err());
+        assert_eq!(Algorithm::Auto.name(), "auto");
+        assert_eq!(ResolvedAlgorithm::Forest.name(), "forest");
+        assert_eq!(ResolvedAlgorithm::General.number(), 2);
+    }
+
+    #[test]
+    fn audit_limits_thread_through() {
+        let spec = PipelineSpec::default().with_audit_limits(true);
+        assert!(spec.forest_config().audit_limits);
+        let g = random_forest(500, 3, 9);
+        // Audit mode records rather than errors; the run must still verify.
+        let run = spec.run(&g).unwrap();
+        assert!(run.labeling.same_partition(&reference_components(&g)));
+    }
+}

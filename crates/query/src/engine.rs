@@ -7,9 +7,34 @@
 //! uniform answer type covers the whole [`Query`] algebra (`Connected`
 //! encodes as 0/1).
 
+use std::fmt;
+
 use ampc_graph::VertexId;
 
 use crate::index::ComponentIndex;
+
+/// Typed error for a mismatched batch: the query and answer slices must
+/// have equal lengths. Carries both lengths so the caller's error message
+/// can say which side was short.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub struct BatchLenError {
+    /// Length of the query slice.
+    pub queries: usize,
+    /// Length of the answer slice.
+    pub answers: usize,
+}
+
+impl fmt::Display for BatchLenError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "batch slices must have equal length: {} queries vs {} answer slots",
+            self.queries, self.answers
+        )
+    }
+}
+
+impl std::error::Error for BatchLenError {}
 
 /// One connectivity query. All variants answer in O(1) array reads.
 #[derive(Copy, Clone, Debug, PartialEq, Eq)]
@@ -62,13 +87,23 @@ impl<'a> QueryEngine<'a> {
     /// the `query_throughput` bench measures against the one-call-per-query
     /// path.
     ///
-    /// # Panics
-    /// Panics if the slices differ in length.
-    pub fn answer_batch(&self, queries: &[Query], answers: &mut [u64]) {
-        assert_eq!(queries.len(), answers.len(), "batch slices must have equal length");
+    /// # Errors
+    /// Returns [`BatchLenError`] — without touching either slice — when the
+    /// slices differ in length. (This used to be an implicit `assert!`
+    /// panic; a serving thread must be able to reject a malformed batch
+    /// without dying.) An empty pair of slices is a valid no-op batch.
+    pub fn answer_batch(
+        &self,
+        queries: &[Query],
+        answers: &mut [u64],
+    ) -> Result<(), BatchLenError> {
+        if queries.len() != answers.len() {
+            return Err(BatchLenError { queries: queries.len(), answers: answers.len() });
+        }
         for (slot, &q) in answers.iter_mut().zip(queries) {
             *slot = self.answer(q);
         }
+        Ok(())
     }
 }
 
@@ -107,7 +142,7 @@ mod tests {
             Query::TopKSize(2),
         ];
         let mut answers = vec![0u64; queries.len()];
-        eng.answer_batch(&queries, &mut answers);
+        eng.answer_batch(&queries, &mut answers).unwrap();
         let singles: Vec<u64> = queries.iter().map(|&q| eng.answer(q)).collect();
         assert_eq!(answers, singles);
         assert_eq!(answers, vec![1, 0, 2, 2, 2]);
@@ -118,16 +153,34 @@ mod tests {
         let idx = engine_fixture();
         let eng = QueryEngine::new(&idx);
         let mut answers = vec![0u64; 2];
-        eng.answer_batch(&[Query::Connected(0, 1), Query::Connected(0, 3)], &mut answers);
+        eng.answer_batch(&[Query::Connected(0, 1), Query::Connected(0, 3)], &mut answers).unwrap();
         assert_eq!(answers, vec![1, 0]);
-        eng.answer_batch(&[Query::ComponentOf(0), Query::ComponentOf(3)], &mut answers);
+        eng.answer_batch(&[Query::ComponentOf(0), Query::ComponentOf(3)], &mut answers).unwrap();
         assert_eq!(answers, vec![0, 1]);
     }
 
     #[test]
-    #[should_panic(expected = "equal length")]
-    fn mismatched_batch_lengths_panic() {
+    fn mismatched_batch_lengths_are_a_typed_error() {
         let idx = engine_fixture();
-        QueryEngine::new(&idx).answer_batch(&[Query::TopKSize(1)], &mut []);
+        let eng = QueryEngine::new(&idx);
+        // Short answer slice: rejected, and the answer buffer is untouched.
+        let mut answers = vec![99u64; 1];
+        let err = eng
+            .answer_batch(&[Query::TopKSize(1), Query::TopKSize(2)], &mut answers)
+            .expect_err("mismatched lengths must be rejected");
+        assert_eq!(err, BatchLenError { queries: 2, answers: 1 });
+        assert_eq!(answers, vec![99], "a rejected batch must not write answers");
+        // Short query slice: same contract, lengths swapped.
+        let mut answers = vec![0u64; 3];
+        let err = eng.answer_batch(&[Query::TopKSize(1)], &mut answers).unwrap_err();
+        assert_eq!((err.queries, err.answers), (1, 3));
+        assert!(err.to_string().contains("1 queries vs 3 answer slots"));
+    }
+
+    #[test]
+    fn empty_batch_is_a_valid_no_op() {
+        let idx = engine_fixture();
+        let eng = QueryEngine::new(&idx);
+        eng.answer_batch(&[], &mut []).expect("empty batch must succeed");
     }
 }

@@ -34,5 +34,5 @@ mod index;
 pub mod throughput;
 pub mod workload;
 
-pub use engine::{Query, QueryEngine};
+pub use engine::{BatchLenError, Query, QueryEngine};
 pub use index::{ComponentId, ComponentIndex};

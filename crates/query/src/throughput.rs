@@ -38,7 +38,7 @@ pub fn batched_pass(
     let mut checksum = 0u64;
     for chunk in queries.chunks(batch) {
         buf.resize(chunk.len(), 0);
-        engine.answer_batch(chunk, buf);
+        engine.answer_batch(chunk, buf).expect("buf was resized to the chunk length");
         for &a in buf.iter() {
             checksum = checksum.wrapping_add(a);
         }

@@ -1,0 +1,40 @@
+//! # `ampc-serve` — the connectivity serving layer
+//!
+//! `ampc-query` froze one finished run into an immutable index; this crate
+//! is what keeps that index **live**: the run→validate→index→serve
+//! lifecycle as a first-class service API, safe for any number of reader
+//! threads while background rebuilds publish new indexes under traffic.
+//!
+//! * [`EpochCell`] — the one concurrency primitive: a hand-rolled two-slot
+//!   `AtomicPtr`/`Arc` swap cell (no external crates — the workspace is
+//!   offline). Readers pin the current epoch lock-free; publishers swap in
+//!   a new value atomically; a retired epoch is freed exactly when its
+//!   last guard drops.
+//! * [`ServiceBuilder`] / [`ServiceHandle`] — `ServiceBuilder::new(graph)
+//!   .spec(spec).build()?` runs the configured [`PipelineSpec`], validates
+//!   the labeling against the graph, freezes it into a `ComponentIndex`,
+//!   and publishes epoch 0. The clone-able handle serves lock-free
+//!   [`IndexSnapshot`]s and runs [`ServiceHandle::rebuild`] on a
+//!   background thread — readers keep answering against their pinned
+//!   epoch while the swap happens under live traffic.
+//! * [`driver`] — the multi-threaded workload driver: a deterministic
+//!   per-thread striping of one query stream (totals are seed-reproducible
+//!   at any thread count), per-thread and aggregate queries/sec, each
+//!   thread answering through its own pinned snapshot.
+//!
+//! Per-epoch determinism carries over from the layers below: a published
+//! index is a pure function of `(spec, graph)`, so every snapshot of one
+//! epoch answers byte-identically — the property the swap-under-load tests
+//! pin by fingerprinting answers against per-graph oracles.
+
+#![warn(missing_docs)]
+
+pub mod driver;
+pub mod epoch;
+mod service;
+
+pub use ampc_cc::pipeline::PipelineSpec;
+pub use epoch::{EpochCell, EpochGuard};
+pub use service::{
+    IndexSnapshot, PublishedIndex, RebuildHandle, ServeError, ServiceBuilder, ServiceHandle,
+};

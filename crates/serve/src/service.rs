@@ -1,0 +1,372 @@
+//! `ConnectivityService` — the run→validate→index→serve lifecycle as a
+//! first-class API.
+//!
+//! [`ServiceBuilder`] runs a [`PipelineSpec`] over a graph, validates the
+//! labeling against the graph (the same check the CLI always performed),
+//! freezes it into a [`ComponentIndex`], and publishes it as epoch 0 of an
+//! [`EpochCell`]. The resulting [`ServiceHandle`] is clone-able and
+//! thread-safe: any number of reader threads call
+//! [`ServiceHandle::snapshot`] — a lock-free pin — and answer queries
+//! against their pinned epoch, while [`ServiceHandle::rebuild`] runs the
+//! pipeline on a *background thread* and publishes the new index
+//! atomically. Readers holding old snapshots are never blocked and never
+//! observe a half-built index; a retired epoch's memory is reclaimed once
+//! the last snapshot pinning it is dropped.
+//!
+//! Per-epoch determinism: the published index is a pure function of the
+//! (spec, graph) pair — the pipelines are seed-deterministic and the index
+//! remaps labels by partition — so every snapshot of one epoch answers
+//! byte-identically on every thread, machine, and backend.
+
+use std::sync::{Arc, Weak};
+use std::thread::JoinHandle;
+
+use ampc::{AmpcError, RunStats};
+use ampc_cc::pipeline::{Pipeline as _, PipelineSpec, ResolvedAlgorithm};
+use ampc_graph::{Graph, Labeling};
+use ampc_query::{ComponentIndex, QueryEngine};
+
+use crate::epoch::{EpochCell, EpochGuard};
+
+/// Errors surfaced by the serving layer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ServeError {
+    /// The underlying pipeline run failed.
+    Pipeline(AmpcError),
+    /// The pipeline produced a labeling that does not validate against the
+    /// graph (index construction refused it).
+    InvalidLabeling(String),
+    /// A background rebuild thread panicked.
+    RebuildPanicked,
+}
+
+impl std::fmt::Display for ServeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServeError::Pipeline(e) => write!(f, "pipeline run failed: {e}"),
+            ServeError::InvalidLabeling(msg) => write!(f, "labeling rejected: {msg}"),
+            ServeError::RebuildPanicked => write!(f, "background rebuild thread panicked"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {}
+
+impl From<AmpcError> for ServeError {
+    fn from(e: AmpcError) -> Self {
+        ServeError::Pipeline(e)
+    }
+}
+
+/// One published epoch: the immutable index plus the run that produced it.
+/// Everything here is frozen at publish time; readers share it via `Arc`.
+#[derive(Debug)]
+pub struct PublishedIndex {
+    epoch: u64,
+    index: ComponentIndex,
+    labeling: Labeling,
+    stats: RunStats,
+    algorithm: ResolvedAlgorithm,
+    graph_n: usize,
+    graph_m: usize,
+}
+
+impl PublishedIndex {
+    /// The epoch this index was published as.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// The immutable component index.
+    pub fn index(&self) -> &ComponentIndex {
+        &self.index
+    }
+
+    /// The raw labeling the pipeline produced (e.g. for `--labels` output).
+    pub fn labeling(&self) -> &Labeling {
+        &self.labeling
+    }
+
+    /// The producing run's cost accounting.
+    pub fn stats(&self) -> &RunStats {
+        &self.stats
+    }
+
+    /// Which algorithm produced this epoch.
+    pub fn algorithm(&self) -> ResolvedAlgorithm {
+        self.algorithm
+    }
+
+    /// `(n, m)` of the graph this epoch indexed.
+    pub fn graph_size(&self) -> (usize, usize) {
+        (self.graph_n, self.graph_m)
+    }
+}
+
+/// A pinned, immutable view of one published epoch. Cheap to clone (an
+/// `Arc` bump); holding it keeps that epoch's index alive, dropping it
+/// releases the pin. Obtainable only via [`ServiceHandle::snapshot`] —
+/// lock-free.
+#[derive(Clone)]
+pub struct IndexSnapshot {
+    guard: EpochGuard<PublishedIndex>,
+}
+
+impl IndexSnapshot {
+    /// The epoch this snapshot pinned.
+    pub fn epoch(&self) -> u64 {
+        self.guard.epoch()
+    }
+
+    /// A borrow-only query engine over this snapshot's index. Engines are
+    /// `Copy`; make one per thread or per batch, they cost nothing.
+    pub fn engine(&self) -> QueryEngine<'_> {
+        QueryEngine::new(self.guard.index())
+    }
+
+    /// Downgrades to a weak reference to the epoch payload — the hook the
+    /// lifecycle tests use to observe that retired epochs are freed once
+    /// every snapshot is dropped.
+    pub fn downgrade(&self) -> Weak<PublishedIndex> {
+        Arc::downgrade(self.guard.value())
+    }
+}
+
+impl std::ops::Deref for IndexSnapshot {
+    type Target = PublishedIndex;
+
+    fn deref(&self) -> &PublishedIndex {
+        &self.guard
+    }
+}
+
+/// The shared state behind every [`ServiceHandle`] clone: the epoch cell
+/// plus the spec every rebuild re-runs.
+#[derive(Debug)]
+struct ConnectivityService {
+    cell: EpochCell<PublishedIndex>,
+    spec: PipelineSpec,
+}
+
+/// Runs the spec on `g` and freezes the result into an epoch payload.
+/// Validation is part of the lifecycle: a labeling that does not validate
+/// against `g` is never published.
+fn build_payload(spec: &PipelineSpec, g: &Graph, epoch: u64) -> Result<PublishedIndex, ServeError> {
+    let run = spec.resolve(g).execute(g)?;
+    let index = ComponentIndex::from_run(g, &run.labeling).map_err(ServeError::InvalidLabeling)?;
+    Ok(PublishedIndex {
+        epoch,
+        index,
+        labeling: run.labeling,
+        stats: run.stats,
+        algorithm: run.algorithm,
+        graph_n: g.n(),
+        graph_m: g.m(),
+    })
+}
+
+/// Builder for a [`ServiceHandle`]: `ServiceBuilder::new(graph)
+/// .spec(spec).build()?` runs the pipeline once (synchronously), validates
+/// and indexes the result, and publishes it as epoch 0.
+pub struct ServiceBuilder {
+    graph: Graph,
+    spec: PipelineSpec,
+}
+
+impl ServiceBuilder {
+    /// Starts a builder over `graph` with the default [`PipelineSpec`].
+    pub fn new(graph: Graph) -> Self {
+        ServiceBuilder { graph, spec: PipelineSpec::default() }
+    }
+
+    /// Sets the pipeline spec used for the initial build and every rebuild.
+    pub fn spec(mut self, spec: PipelineSpec) -> Self {
+        self.spec = spec;
+        self
+    }
+
+    /// Runs the pipeline, validates, indexes, and publishes epoch 0.
+    pub fn build(self) -> Result<ServiceHandle, ServeError> {
+        let payload = build_payload(&self.spec, &self.graph, 0)?;
+        let service =
+            ConnectivityService { cell: EpochCell::new(Arc::new(payload)), spec: self.spec };
+        Ok(ServiceHandle { service: Arc::new(service) })
+    }
+}
+
+/// A clone-able handle to a connectivity service. Clones share the same
+/// epoch cell: a rebuild published through any handle is visible to
+/// snapshots taken through every other.
+#[derive(Clone, Debug)]
+pub struct ServiceHandle {
+    service: Arc<ConnectivityService>,
+}
+
+impl ServiceHandle {
+    /// Pins the current epoch — lock-free; never blocks on rebuilds. Call
+    /// once per thread (or per request) and answer any number of queries
+    /// against the returned snapshot.
+    pub fn snapshot(&self) -> IndexSnapshot {
+        IndexSnapshot { guard: self.service.cell.pin() }
+    }
+
+    /// The most recently published epoch number.
+    pub fn current_epoch(&self) -> u64 {
+        self.service.cell.epoch()
+    }
+
+    /// The spec every build and rebuild runs.
+    pub fn spec(&self) -> &PipelineSpec {
+        &self.service.spec
+    }
+
+    /// Rebuilds the index over `graph` on a background thread and
+    /// publishes it as the next epoch when done. Readers keep answering
+    /// against their pinned snapshots throughout; the swap is atomic.
+    ///
+    /// Returns immediately with a [`RebuildHandle`]; call
+    /// [`RebuildHandle::wait`] for the published epoch number (or the
+    /// pipeline/validation error, in which case nothing was published).
+    pub fn rebuild(&self, graph: Graph) -> RebuildHandle {
+        let service = Arc::clone(&self.service);
+        let join = std::thread::spawn(move || {
+            // Run the pipeline *before* taking the publish slot: the
+            // expensive work happens with zero impact on the epoch cell.
+            let run = build_payload(&service.spec, &graph, 0)?;
+            let epoch =
+                service.cell.publish_with(move |epoch| Arc::new(PublishedIndex { epoch, ..run }));
+            Ok(epoch)
+        });
+        RebuildHandle { join }
+    }
+
+    /// Convenience: [`ServiceHandle::rebuild`] + wait.
+    pub fn rebuild_blocking(&self, graph: Graph) -> Result<u64, ServeError> {
+        self.rebuild(graph).wait()
+    }
+}
+
+/// Handle to an in-flight background rebuild.
+pub struct RebuildHandle {
+    join: JoinHandle<Result<u64, ServeError>>,
+}
+
+impl RebuildHandle {
+    /// Blocks until the rebuild publishes (returning its epoch number) or
+    /// fails (returning the error; nothing was published).
+    pub fn wait(self) -> Result<u64, ServeError> {
+        self.join.join().map_err(|_| ServeError::RebuildPanicked)?
+    }
+
+    /// True once the background thread has finished (the result is ready
+    /// and `wait` will not block).
+    pub fn is_finished(&self) -> bool {
+        self.join.is_finished()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ampc::DhtBackend;
+    use ampc_cc::pipeline::Algorithm;
+    use ampc_graph::generators::{erdos_renyi_gnm, random_forest};
+    use ampc_graph::reference_components;
+
+    fn spec() -> PipelineSpec {
+        PipelineSpec::default().with_seed(42).with_machines(4)
+    }
+
+    #[test]
+    fn build_serves_a_validated_epoch_zero() {
+        let g = random_forest(2000, 13, 7);
+        let truth = reference_components(&g);
+        let service = ServiceBuilder::new(g).spec(spec()).build().expect("build");
+        let snap = service.snapshot();
+        assert_eq!(snap.epoch(), 0);
+        assert_eq!(snap.algorithm().number(), 1);
+        assert_eq!(snap.graph_size().0, 2000);
+        assert_eq!(snap.index().num_components(), 13);
+        // Byte-identical to the reference-built index (partition purity).
+        assert_eq!(*snap.index(), ComponentIndex::build(&truth));
+        assert!(snap.labeling().same_partition(&truth));
+        assert!(snap.stats().rounds() > 0);
+    }
+
+    #[test]
+    fn rebuild_publishes_new_epochs_while_old_snapshots_answer() {
+        let g0 = random_forest(500, 5, 1);
+        let g1 = random_forest(800, 9, 2);
+        let service = ServiceBuilder::new(g0).spec(spec()).build().unwrap();
+        let old = service.snapshot();
+        assert_eq!(old.index().num_components(), 5);
+
+        let epoch = service.rebuild_blocking(g1).expect("rebuild");
+        assert_eq!(epoch, 1);
+        assert_eq!(service.current_epoch(), 1);
+        // The old snapshot still answers against its pinned epoch…
+        assert_eq!(old.epoch(), 0);
+        assert_eq!(old.index().num_components(), 5);
+        // …and new snapshots see the new graph.
+        let new = service.snapshot();
+        assert_eq!(new.epoch(), 1);
+        assert_eq!(new.index().num_components(), 9);
+        assert_eq!(new.graph_size().0, 800);
+    }
+
+    #[test]
+    fn clones_share_the_epoch_cell() {
+        let service = ServiceBuilder::new(random_forest(300, 3, 4)).spec(spec()).build().unwrap();
+        let clone = service.clone();
+        clone.rebuild_blocking(random_forest(300, 7, 5)).unwrap();
+        assert_eq!(service.current_epoch(), 1);
+        assert_eq!(service.snapshot().index().num_components(), 7);
+    }
+
+    #[test]
+    fn retired_epochs_are_freed_once_unpinned() {
+        let service = ServiceBuilder::new(random_forest(200, 2, 6)).spec(spec()).build().unwrap();
+        let snap0 = service.snapshot();
+        let weak0 = snap0.downgrade();
+        service.rebuild_blocking(random_forest(200, 4, 7)).unwrap();
+        service.rebuild_blocking(random_forest(200, 6, 8)).unwrap();
+        assert!(weak0.upgrade().is_some(), "pinned epoch 0 must stay alive");
+        drop(snap0);
+        assert!(weak0.upgrade().is_none(), "unpinned retired epoch must be freed");
+    }
+
+    #[test]
+    fn spec_is_honored_by_rebuilds() {
+        let spec = PipelineSpec::default()
+            .with_seed(9)
+            .with_algorithm(Algorithm::General)
+            .with_backend(DhtBackend::dense())
+            .with_k(3);
+        let service =
+            ServiceBuilder::new(erdos_renyi_gnm(400, 900, 3)).spec(spec.clone()).build().unwrap();
+        assert_eq!(service.spec(), &spec);
+        assert_eq!(service.snapshot().algorithm().number(), 2);
+        service.rebuild_blocking(erdos_renyi_gnm(500, 1200, 4)).unwrap();
+        let snap = service.snapshot();
+        assert_eq!(snap.algorithm().number(), 2);
+        let truth = reference_components(&erdos_renyi_gnm(500, 1200, 4));
+        assert_eq!(*snap.index(), ComponentIndex::build(&truth));
+    }
+
+    #[test]
+    fn snapshots_of_one_epoch_answer_identically() {
+        let g = random_forest(1000, 11, 10);
+        let service = ServiceBuilder::new(g).spec(spec()).build().unwrap();
+        let a = service.snapshot();
+        let b = service.snapshot();
+        assert_eq!(a.epoch(), b.epoch());
+        assert_eq!(a.index(), b.index());
+        use ampc_query::Query;
+        for v in 0..1000u32 {
+            assert_eq!(
+                a.engine().answer(Query::ComponentOf(v)),
+                b.engine().answer(Query::ComponentOf(v))
+            );
+        }
+    }
+}

@@ -13,7 +13,11 @@
 //!   Algorithm 2 general-graph recursion) plus cited subroutines and
 //!   baselines;
 //! * [`query`] — the read path: immutable component index, batch query
-//!   engine, and deterministic workload driver over finished runs.
+//!   engine, and deterministic workload driver over finished runs;
+//! * [`serve`] — the serving layer: `PipelineSpec`-driven
+//!   `ConnectivityService` with lock-free epoch-swapped index snapshots,
+//!   background rebuilds under live traffic, and the multi-threaded
+//!   workload driver.
 //!
 //! See `examples/quickstart.rs` for a five-minute tour and `DESIGN.md` for
 //! the full system inventory.
@@ -22,3 +26,4 @@ pub use ampc;
 pub use ampc_cc as cc;
 pub use ampc_graph as graph;
 pub use ampc_query as query;
+pub use ampc_serve as serve;

@@ -163,6 +163,47 @@ fn cli_query_honors_pipeline_flags() {
 }
 
 #[test]
+fn cli_query_threads_reports_per_thread_and_reproducible_totals() {
+    // The multi-threaded driver stripes the stream deterministically, so
+    // the checksum must be identical at every thread count — and the text
+    // report must carry one row per thread plus the aggregate.
+    let base = run_query(&["--seed", "7", "--queries", "4000", "--threads", "3"]);
+    let stderr = String::from_utf8_lossy(&base.stderr);
+    assert!(base.status.success(), "--threads 3: exit {:?}\n{stderr}", base.status.code());
+    assert!(stderr.contains("threads = 3"), "missing thread count\n{stderr}");
+    for t in 0..3 {
+        assert!(stderr.contains(&format!("thread {t}")), "missing per-thread row {t}\n{stderr}");
+    }
+
+    let checksum_of = |out: &std::process::Output| -> String {
+        let stdout = String::from_utf8_lossy(&out.stdout);
+        let line = stdout
+            .lines()
+            .find(|l| l.contains("\"checksum\""))
+            .unwrap_or_else(|| panic!("no checksum in JSON\n{stdout}"))
+            .to_string();
+        line
+    };
+    let one = run_query(&["--seed", "7", "--queries", "4000", "--threads", "1", "--json"]);
+    assert!(one.status.success());
+    let four = run_query(&["--seed", "7", "--queries", "4000", "--threads", "4", "--json"]);
+    assert!(four.status.success());
+    assert_eq!(checksum_of(&one), checksum_of(&four), "checksum must not depend on --threads");
+    let stdout = String::from_utf8_lossy(&four.stdout);
+    assert!(stdout.contains("\"threads\": 4"), "missing threads field\n{stdout}");
+    assert!(stdout.contains("\"thread\": 3"), "missing per-thread JSON rows\n{stdout}");
+
+    // Zero or malformed thread counts are usage errors; --threads is
+    // query-only like the other workload flags.
+    for bad in [&["--threads", "0"][..], &["--threads", "x"]] {
+        let out = run_query(bad);
+        assert_eq!(out.status.code(), Some(2), "query {bad:?} must exit 2");
+    }
+    let out = run(&["--threads", "2"]);
+    assert_eq!(out.status.code(), Some(2), "--threads without the query subcommand must exit 2");
+}
+
+#[test]
 fn cli_query_file_answers_are_reported() {
     let dir = std::env::temp_dir().join("ampc_cli_query_test");
     std::fs::create_dir_all(&dir).unwrap();

@@ -298,7 +298,7 @@ fn assert_queries_match_reference(g: &Graph, labeling: &Labeling, seed: u64, ctx
     for mix in workload::Mix::STANDARD {
         let queries = workload::generate(&index, mix, 300, seed);
         let mut batch = vec![0u64; queries.len()];
-        engine.answer_batch(&queries, &mut batch);
+        engine.answer_batch(&queries, &mut batch).expect("batch sized to the query count");
         for (&q, &batched) in queries.iter().zip(&batch) {
             let got = engine.answer(q);
             assert_eq!(got, batched, "{ctx}: batch diverged on {q:?}");
