@@ -20,16 +20,25 @@
 //! rows measure oversubscription, not scaling — the interesting numbers
 //! come from multi-core runs.
 //!
+//! The **streaming** section measures the incremental delta path: edge
+//! insertion batches published as journal-epochs interleaved with read
+//! passes, versus the full rebuild they replace. Every batch is validated
+//! against a from-scratch union-find oracle before its timing counts; the
+//! bench asserts the journal publish is ≥ 10× cheaper than a rebuild.
+//!
 //! Set `AMPC_BENCH_QUICK=1` for the CI-sized run (2^16 vertices, 2^17
 //! queries per mix).
 
 use std::time::Instant;
 
+use ampc::rng::{derive_seed, SplitMix64};
 use ampc::DhtBackend;
 use ampc_cc::pipeline::PipelineSpec;
 use ampc_graph::generators::random_forest;
+use ampc_graph::{reference_components, Graph, VertexId};
 use ampc_query::workload::{self, Mix};
-use ampc_serve::{driver, ServiceBuilder};
+use ampc_query::{ComponentIndex, Query};
+use ampc_serve::{driver, JournalBudget, ServiceBuilder};
 
 /// Batch size for the batched pass (the CLI default).
 const BATCH: usize = 1024;
@@ -51,10 +60,15 @@ fn main() {
     // several size decades, so every mix (incl. cross-component) has
     // structure to work against.
     let g = random_forest(n, n / 256, 0xF0);
+    let base_edges: Vec<(VertexId, VertexId)> = g.edges().collect();
     let spec = PipelineSpec::default().with_seed(SEED).with_backend(DhtBackend::dense());
 
     let t0 = Instant::now();
-    let service = ServiceBuilder::new(g).spec(spec).build().expect("service build");
+    let service = ServiceBuilder::new(g)
+        .spec(spec)
+        .journal_budget(JournalBudget::unbounded())
+        .build()
+        .expect("service build");
     let build_ms = t0.elapsed().as_secs_f64() * 1e3;
     let snap = service.snapshot();
     println!(
@@ -115,14 +129,86 @@ fn main() {
         }
     }
 
+    // ---- streaming: journal-epoch inserts vs. the rebuild they replace.
+    let (batches, edges_per_batch) = if quick() { (8usize, 64usize) } else { (16usize, 64usize) };
+    // The rebuild cost a journal publish avoids: re-running the pipeline
+    // over the same graph (publishes epoch 1 and resets the lineage).
+    let t0 = Instant::now();
+    service.rebuild_blocking(Graph::from_edges(n, &base_edges)).expect("baseline rebuild");
+    let full_rebuild_ms = t0.elapsed().as_secs_f64() * 1e3;
+
+    let read_queries = workload::generate(snap.index(), Mix::Uniform, num_queries / 8, SEED ^ 1);
+    let components = snap.index().num_components();
+    drop(snap);
+    let mut all_edges = base_edges;
+    let mut publish_ms = Vec::with_capacity(batches);
+    let mut read_qps = 0.0f64;
+    let mut rng = SplitMix64::new(derive_seed(&[0x57_BEAC, SEED]));
+    for b in 0..batches {
+        let batch: Vec<(VertexId, VertexId)> = (0..edges_per_batch)
+            .map(|_| (rng.next_below(n as u64) as VertexId, rng.next_below(n as u64) as VertexId))
+            .collect();
+        let t0 = Instant::now();
+        let report = service.insert_edges(&batch).expect("insert_edges");
+        publish_ms.push(t0.elapsed().as_secs_f64() * 1e3);
+        assert!(!report.compaction_started, "unbounded budget must never compact");
+        all_edges.extend_from_slice(&batch);
+        // Reads interleave with the arrivals: one driver pass per batch.
+        let r = driver::run(&service, &read_queries, 1, BATCH);
+        read_qps = read_qps.max(r.aggregate_batch_qps);
+        // Validate before the timing counts: answers on the journal-epoch
+        // must be byte-identical to a from-scratch union-find oracle.
+        let oracle =
+            ComponentIndex::build(&reference_components(&Graph::from_edges(n, &all_edges)));
+        let snap = service.snapshot();
+        let engine = snap.engine();
+        assert_eq!(snap.num_components(), oracle.num_components(), "batch {b}");
+        let mut probe = SplitMix64::new(derive_seed(&[0xC4EC4, b as u64]));
+        for _ in 0..4096 {
+            let v = probe.next_below(n as u64) as VertexId;
+            assert_eq!(engine.answer(Query::ComponentOf(v)), oracle.component_of(v) as u64);
+            assert_eq!(engine.answer(Query::ComponentSize(v)), oracle.component_size(v) as u64);
+        }
+        for k in 1..=8u32 {
+            assert_eq!(
+                engine.answer(Query::TopKSize(k)),
+                oracle.kth_largest_size(k as usize) as u64
+            );
+        }
+    }
+    let avg_publish_ms = publish_ms.iter().sum::<f64>() / publish_ms.len() as f64;
+    let max_publish_ms = publish_ms.iter().fold(0.0f64, |a, &b| a.max(b));
+    let speedup = full_rebuild_ms / avg_publish_ms;
+    let final_components = service.snapshot().num_components();
+    println!(
+        "  streaming: {batches} batches × {edges_per_batch} edges | full rebuild \
+         {full_rebuild_ms:.1} ms | journal publish avg {avg_publish_ms:.3} ms \
+         (max {max_publish_ms:.3}) | {speedup:.0}× cheaper | reads {read_qps:.0} q/s | \
+         {final_components} components"
+    );
+    assert!(
+        speedup >= 10.0,
+        "journal publish must be ≥ 10× cheaper than a rebuild (got {speedup:.1}×)"
+    );
+
+    let streaming_section = format!(
+        "{{ \"batches\": {batches}, \"edges_per_batch\": {edges_per_batch}, \
+         \"full_rebuild_ms\": {full_rebuild_ms:.1}, \
+         \"avg_journal_publish_ms\": {avg_publish_ms:.3}, \
+         \"max_journal_publish_ms\": {max_publish_ms:.3}, \"speedup\": {speedup:.1}, \
+         \"reads_qps_during_stream\": {read_qps:.0}, \
+         \"final_components\": {final_components} }}"
+    );
+
     let json = format!(
         "{{\n  \"bench\": \"query_throughput\",\n  \"n\": {n},\n  \"components\": {},\n  \
          \"queries_per_mix\": {num_queries},\n  \"batch\": {BATCH},\n  \
          \"service_build_ms\": {build_ms:.1},\n  \"mixes\": {{ {} }},\n  \
-         \"thread_scaling\": [\n    {}\n  ]\n}}\n",
-        snap.index().num_components(),
+         \"thread_scaling\": [\n    {}\n  ],\n  \"streaming\": {}\n}}\n",
+        components,
         mix_sections.join(", "),
-        scaling_rows.join(",\n    ")
+        scaling_rows.join(",\n    "),
+        streaming_section
     );
     let out_path = std::env::var("BENCH_QUERY_THROUGHPUT_OUT").unwrap_or_else(|_| {
         concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_query_throughput.json").to_string()

@@ -1,4 +1,5 @@
-//! Batch query engine over a [`ComponentIndex`].
+//! Batch query engine over a [`ComponentIndex`], optionally merge-aware
+//! through a [`JournalView`].
 //!
 //! The engine's contract is the serving-layer hot path: queries and
 //! answers are plain `Copy` values, batches are slice-in/slice-out, and
@@ -6,12 +7,34 @@
 //! buffers and reuses them across batches. Answers are `u64` so one
 //! uniform answer type covers the whole [`Query`] algebra (`Connected`
 //! encodes as 0/1).
+//!
+//! **Checked-query contract.** A query naming a vertex the index does not
+//! cover — a stream built against epoch `N` answered on a smaller-graph
+//! epoch `N+1`, or a hostile query file — must never kill a serving
+//! thread. [`QueryEngine::try_answer`] returns `None` for such queries;
+//! [`QueryEngine::answer`] mirrors that in the `u64` encoding as
+//! [`NO_ANSWER`] (`u64::MAX`, unreachable by any real answer: component
+//! ids are `u32`, sizes are `≤ n`, and `Connected` is 0/1). No query path
+//! panics on out-of-range ids.
+//!
+//! **Journal-aware reads.** An engine built with
+//! [`QueryEngine::with_journal`] resolves every dense component id through
+//! the journal's remap table — one extra bounded-depth array read — so a
+//! journal-epoch answers the whole algebra without rebuilding the
+//! `O(n)`-sized index (see [`crate::journal`] for the byte-identity
+//! argument).
 
 use std::fmt;
 
 use ampc_graph::VertexId;
 
-use crate::index::ComponentIndex;
+use crate::index::{ComponentId, ComponentIndex};
+use crate::journal::JournalView;
+
+/// The `u64` answer encoding of "this query has no answer on this epoch"
+/// (an out-of-range vertex id). Distinguishable from every real answer:
+/// ids are `u32`, sizes at most `n`, `Connected` is 0/1.
+pub const NO_ANSWER: u64 = u64::MAX;
 
 /// Typed error for a mismatched batch: the query and answer slices must
 /// have equal lengths. Carries both lengths so the caller's error message
@@ -50,20 +73,28 @@ pub enum Query {
     TopKSize(u32),
 }
 
-/// Executes [`Query`] values against an immutable [`ComponentIndex`].
+/// Executes [`Query`] values against an immutable [`ComponentIndex`],
+/// resolving merges through an optional [`JournalView`].
 ///
-/// The engine borrows the index, so any number of engines (one per serving
-/// thread) can read the same index concurrently — immutability *is* the
-/// concurrency story of the read path.
+/// The engine borrows the index (and journal), so any number of engines
+/// (one per serving thread) can read the same epoch concurrently —
+/// immutability *is* the concurrency story of the read path.
 #[derive(Copy, Clone, Debug)]
 pub struct QueryEngine<'a> {
     index: &'a ComponentIndex,
+    journal: Option<&'a JournalView>,
 }
 
 impl<'a> QueryEngine<'a> {
-    /// Creates an engine over `index`.
+    /// Creates an engine over `index` with no journal (a full epoch).
     pub fn new(index: &'a ComponentIndex) -> Self {
-        QueryEngine { index }
+        QueryEngine { index, journal: None }
+    }
+
+    /// Creates a merge-aware engine: every dense id read out of `index` is
+    /// resolved through `journal` (one extra array read per id).
+    pub fn with_journal(index: &'a ComponentIndex, journal: &'a JournalView) -> Self {
+        QueryEngine { index, journal: Some(journal) }
     }
 
     /// The underlying index.
@@ -71,21 +102,55 @@ impl<'a> QueryEngine<'a> {
         self.index
     }
 
-    /// Answers one query.
+    /// The journal this engine resolves merges through, if any.
+    pub fn journal(&self) -> Option<&'a JournalView> {
+        self.journal
+    }
+
+    /// Merged dense component id of `v`, or `None` when `v` is out of
+    /// range for this epoch's graph.
+    #[inline]
+    fn comp(&self, v: VertexId) -> Option<ComponentId> {
+        let c = self.index.try_component_of(v)?;
+        Some(match self.journal {
+            Some(j) => j.resolve(c),
+            None => c,
+        })
+    }
+
+    /// Answers one query, or `None` when it names an out-of-range vertex.
+    #[inline]
+    pub fn try_answer(&self, q: Query) -> Option<u64> {
+        Some(match q {
+            Query::Connected(u, v) => (self.comp(u)? == self.comp(v)?) as u64,
+            Query::ComponentOf(v) => self.comp(v)? as u64,
+            Query::ComponentSize(v) => {
+                let c = self.comp(v)?;
+                match self.journal {
+                    Some(j) => j.size_of(c) as u64,
+                    None => self.index.size_of(c) as u64,
+                }
+            }
+            Query::TopKSize(k) => match self.journal {
+                Some(j) => j.kth_largest_size(k as usize) as u64,
+                None => self.index.kth_largest_size(k as usize) as u64,
+            },
+        })
+    }
+
+    /// Answers one query; an out-of-range vertex answers [`NO_ANSWER`]
+    /// instead of panicking (the `u64` mirror of
+    /// [`QueryEngine::try_answer`]'s `None`).
     #[inline]
     pub fn answer(&self, q: Query) -> u64 {
-        match q {
-            Query::Connected(u, v) => self.index.connected(u, v) as u64,
-            Query::ComponentOf(v) => self.index.component_of(v) as u64,
-            Query::ComponentSize(v) => self.index.component_size(v) as u64,
-            Query::TopKSize(k) => self.index.kth_largest_size(k as usize) as u64,
-        }
+        self.try_answer(q).unwrap_or(NO_ANSWER)
     }
 
     /// Answers `queries[i]` into `answers[i]` for every `i`: slice in,
     /// slice out, no allocation. The tight loop over `Copy` values is what
     /// the `query_throughput` bench measures against the one-call-per-query
-    /// path.
+    /// path. Out-of-range vertices answer [`NO_ANSWER`], same as
+    /// [`QueryEngine::answer`].
     ///
     /// # Errors
     /// Returns [`BatchLenError`] — without touching either slice — when the
@@ -128,6 +193,64 @@ mod tests {
         assert_eq!(eng.answer(Query::TopKSize(1)), 3);
         assert_eq!(eng.answer(Query::TopKSize(3)), 1);
         assert_eq!(eng.answer(Query::TopKSize(4)), 0);
+    }
+
+    #[test]
+    fn out_of_range_vertices_answer_the_sentinel_not_a_panic() {
+        let idx = engine_fixture();
+        let eng = QueryEngine::new(&idx);
+        // Every vertex-carrying variant, both sides of Connected.
+        assert_eq!(eng.answer(Query::Connected(0, 6)), NO_ANSWER);
+        assert_eq!(eng.answer(Query::Connected(6, 0)), NO_ANSWER);
+        assert_eq!(eng.answer(Query::Connected(u32::MAX, u32::MAX)), NO_ANSWER);
+        assert_eq!(eng.answer(Query::ComponentOf(6)), NO_ANSWER);
+        assert_eq!(eng.answer(Query::ComponentSize(99)), NO_ANSWER);
+        assert_eq!(eng.try_answer(Query::ComponentOf(6)), None);
+        assert_eq!(eng.try_answer(Query::ComponentOf(5)), Some(2));
+        // TopKSize has no vertex, so it always answers.
+        assert_eq!(eng.try_answer(Query::TopKSize(999)), Some(0));
+        // Batches carry the sentinel through, in position.
+        let mut answers = vec![0u64; 3];
+        eng.answer_batch(
+            &[Query::ComponentOf(0), Query::ComponentOf(6), Query::ComponentOf(5)],
+            &mut answers,
+        )
+        .unwrap();
+        assert_eq!(answers, vec![0, NO_ANSWER, 2]);
+    }
+
+    #[test]
+    fn journal_aware_engine_resolves_merges() {
+        use crate::journal::JournalView;
+        let idx = engine_fixture();
+        // Merge base components 1 and 2 ({3,4} ∪ {5}).
+        let journal = JournalView::build(&[0, 2, 2], &idx).unwrap();
+        let eng = QueryEngine::with_journal(&idx, &journal);
+        assert!(eng.journal().is_some());
+        assert_eq!(eng.answer(Query::Connected(3, 5)), 1);
+        assert_eq!(eng.answer(Query::Connected(0, 5)), 0);
+        assert_eq!(eng.answer(Query::ComponentOf(5)), 1);
+        assert_eq!(eng.answer(Query::ComponentSize(5)), 3);
+        assert_eq!(eng.answer(Query::TopKSize(1)), 3);
+        assert_eq!(eng.answer(Query::TopKSize(2)), 3);
+        assert_eq!(eng.answer(Query::TopKSize(3)), 0);
+        // The merged answers are byte-identical to a fresh build of the
+        // merged partition.
+        let fresh = ComponentIndex::build(&Labeling(vec![8, 8, 8, 2, 2, 2]));
+        let fresh_eng = QueryEngine::new(&fresh);
+        for v in 0..6u32 {
+            assert_eq!(
+                eng.answer(Query::ComponentOf(v)),
+                fresh_eng.answer(Query::ComponentOf(v)),
+                "vertex {v}"
+            );
+            assert_eq!(
+                eng.answer(Query::ComponentSize(v)),
+                fresh_eng.answer(Query::ComponentSize(v)),
+            );
+        }
+        // Sentinel passes through the journal path too.
+        assert_eq!(eng.answer(Query::ComponentOf(6)), NO_ANSWER);
     }
 
     #[test]

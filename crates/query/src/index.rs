@@ -110,16 +110,36 @@ impl ComponentIndex {
     /// Dense component id of `v`. One array read.
     ///
     /// # Panics
-    /// Panics if `v` is out of range.
+    /// Panics if `v` is out of range — serving threads answering queries of
+    /// unknown provenance use [`ComponentIndex::try_component_of`] instead.
     #[inline]
     pub fn component_of(&self, v: VertexId) -> ComponentId {
         self.comp_of[v as usize]
     }
 
+    /// Checked [`ComponentIndex::component_of`]: `None` when `v` is not a
+    /// vertex of this epoch's graph. Same cost — the unchecked variant
+    /// bounds-checks too, it just panics.
+    #[inline]
+    pub fn try_component_of(&self, v: VertexId) -> Option<ComponentId> {
+        self.comp_of.get(v as usize).copied()
+    }
+
     /// True iff `u` and `v` are in the same component. Two array reads.
+    ///
+    /// # Panics
+    /// Panics if either vertex is out of range; see
+    /// [`ComponentIndex::try_connected`].
     #[inline]
     pub fn connected(&self, u: VertexId, v: VertexId) -> bool {
         self.comp_of[u as usize] == self.comp_of[v as usize]
+    }
+
+    /// Checked [`ComponentIndex::connected`]: `None` when either vertex is
+    /// out of range.
+    #[inline]
+    pub fn try_connected(&self, u: VertexId, v: VertexId) -> Option<bool> {
+        Some(self.try_component_of(u)? == self.try_component_of(v)?)
     }
 
     /// Number of vertices in component `c`. Two array reads.
@@ -129,9 +149,20 @@ impl ComponentIndex {
     }
 
     /// Size of the component containing `v`. Three array reads.
+    ///
+    /// # Panics
+    /// Panics if `v` is out of range; see
+    /// [`ComponentIndex::try_component_size`].
     #[inline]
     pub fn component_size(&self, v: VertexId) -> usize {
         self.size_of(self.comp_of[v as usize])
+    }
+
+    /// Checked [`ComponentIndex::component_size`]: `None` when `v` is out
+    /// of range.
+    #[inline]
+    pub fn try_component_size(&self, v: VertexId) -> Option<usize> {
+        Some(self.size_of(self.try_component_of(v)?))
     }
 
     /// Sorted member vertices of component `c`. A slice borrow, no copy.
@@ -223,6 +254,24 @@ mod tests {
         assert_eq!(idx.kth_largest_size(4), 1);
         assert_eq!(idx.kth_largest_size(5), 0);
         assert_eq!(idx.kth_largest_size(0), 0);
+    }
+
+    #[test]
+    fn checked_variants_reject_out_of_range_vertices() {
+        let idx = index_of(&[1, 2, 1]);
+        assert_eq!(idx.try_component_of(0), Some(0));
+        assert_eq!(idx.try_component_of(2), Some(0));
+        assert_eq!(idx.try_component_of(3), None);
+        assert_eq!(idx.try_component_of(u32::MAX), None);
+        assert_eq!(idx.try_connected(0, 2), Some(true));
+        assert_eq!(idx.try_connected(0, 1), Some(false));
+        assert_eq!(idx.try_connected(0, 3), None);
+        assert_eq!(idx.try_connected(9, 0), None);
+        assert_eq!(idx.try_component_size(1), Some(1));
+        assert_eq!(idx.try_component_size(3), None);
+        // The empty index rejects every vertex.
+        let empty = index_of(&[]);
+        assert_eq!(empty.try_component_of(0), None);
     }
 
     #[test]

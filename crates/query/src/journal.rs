@@ -1,0 +1,235 @@
+//! Merge journals: incremental component merges over a frozen
+//! [`ComponentIndex`], the read-side half of journal-epochs.
+//!
+//! A full index build is a pure function of a whole graph; a streaming
+//! insertion only ever *merges* existing components (new edges cannot split
+//! anything). [`JournalView`] freezes the effect of a batch of merges into
+//! three small arrays over **dense component ids** — not vertices — so a
+//! journal costs `O(components)`, not `O(n)`:
+//!
+//! ```text
+//! remap   : Vec<ComponentId>  base dense id → merged dense id
+//! sizes   : Vec<usize>        merged id     → vertex count
+//! by_size : Vec<ComponentId>  merged ids, largest first (ties by id)
+//! ```
+//!
+//! The merge-aware read path is the base lookup plus **one extra array
+//! read**: `remap[comp_of[v]]`. There is no pointer chasing — the journal
+//! is fully resolved at build time, so the "find" is depth one by
+//! construction.
+//!
+//! **Byte-identity with a fresh build.** Merged ids are assigned in
+//! ascending order of each merged class's minimum *base* id. Base ids are
+//! themselves ordered by minimum member vertex
+//! ([`ComponentIndex::build`]), so a merged class's minimum base id orders
+//! classes exactly by their minimum member vertex — the same rule a
+//! from-scratch [`ComponentIndex::build`] over the merged graph uses. The
+//! journal therefore answers the *entire query algebra* (`Connected`,
+//! `ComponentOf`, `ComponentSize`, `TopKSize`) byte-identically to a full
+//! rebuild, which is what the streaming equivalence tests pin.
+
+use crate::index::{ComponentId, ComponentIndex};
+
+/// A frozen batch of component merges over one base [`ComponentIndex`].
+///
+/// Immutable once built: publish a new `JournalView` for every accepted
+/// insertion batch (they are `O(components)` to build), exactly like index
+/// epochs themselves.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct JournalView {
+    /// Base dense id → merged dense id.
+    remap: Vec<ComponentId>,
+    /// Merged dense id → vertex count.
+    sizes: Vec<usize>,
+    /// Merged ids ranked by descending size, ties by ascending id.
+    by_size: Vec<ComponentId>,
+    /// Component merges the journal carries (`base components − merged
+    /// components`).
+    merges: usize,
+}
+
+impl JournalView {
+    /// Freezes a merge labeling into a journal over `base`.
+    ///
+    /// `class_of[c]` names the merged class of base component `c`: two base
+    /// components are merged iff their entries are equal (the values are
+    /// opaque labels — e.g. union-find roots — and need not be idempotent).
+    ///
+    /// # Errors
+    /// Rejects a labeling whose length differs from `base`'s component
+    /// count or that names a class `>= base.num_components()`.
+    pub fn build(class_of: &[ComponentId], base: &ComponentIndex) -> Result<JournalView, String> {
+        let c = base.num_components();
+        if class_of.len() != c {
+            return Err(format!(
+                "merge labeling covers {} components but the base index has {c}",
+                class_of.len()
+            ));
+        }
+        // Minimum base id per class label (the class's canonical root).
+        let mut canon = vec![ComponentId::MAX; c];
+        for (id, &class) in class_of.iter().enumerate() {
+            if (class as usize) >= c {
+                return Err(format!("merge class {class} out of range for {c} base components"));
+            }
+            let slot = &mut canon[class as usize];
+            *slot = (*slot).min(id as ComponentId);
+        }
+        // Merged ids in ascending canonical-root order: scanning base ids
+        // upward discovers each class at its minimum member (canonical)
+        // id, mirroring ComponentIndex::build's first-appearance rule.
+        let mut dense_of_class = vec![ComponentId::MAX; c];
+        let mut sizes = Vec::new();
+        for (id, &class) in class_of.iter().enumerate() {
+            if canon[class as usize] == id as ComponentId {
+                dense_of_class[class as usize] = sizes.len() as ComponentId;
+                sizes.push(0usize);
+            }
+        }
+        let mut remap = vec![0 as ComponentId; c];
+        for (id, &class) in class_of.iter().enumerate() {
+            let d = dense_of_class[class as usize];
+            remap[id] = d;
+            sizes[d as usize] += base.size_of(id as ComponentId);
+        }
+        let mut by_size: Vec<ComponentId> = (0..sizes.len() as ComponentId).collect();
+        by_size.sort_by_key(|&d| (usize::MAX - sizes[d as usize], d));
+        let merges = c - sizes.len();
+        Ok(JournalView { remap, sizes, by_size, merges })
+    }
+
+    /// Merged dense id of base component `c` — the one extra read of the
+    /// journal-aware query path.
+    ///
+    /// # Panics
+    /// Panics if `c` is not a base component id (the engine only feeds it
+    /// ids read out of the base index, which are in range by construction).
+    #[inline]
+    pub fn resolve(&self, c: ComponentId) -> ComponentId {
+        self.remap[c as usize]
+    }
+
+    /// Number of components after the journal's merges.
+    #[inline]
+    pub fn num_components(&self) -> usize {
+        self.sizes.len()
+    }
+
+    /// Component merges the journal carries.
+    #[inline]
+    pub fn merges(&self) -> usize {
+        self.merges
+    }
+
+    /// Vertex count of merged component `d`.
+    ///
+    /// # Panics
+    /// Panics if `d >= num_components()`.
+    #[inline]
+    pub fn size_of(&self, d: ComponentId) -> usize {
+        self.sizes[d as usize]
+    }
+
+    /// Size of the `rank`-th largest merged component (1-based), or 0 when
+    /// there are fewer than `rank` components — same contract as
+    /// [`ComponentIndex::kth_largest_size`].
+    #[inline]
+    pub fn kth_largest_size(&self, rank: usize) -> usize {
+        if rank == 0 || rank > self.by_size.len() {
+            return 0;
+        }
+        self.sizes[self.by_size[rank - 1] as usize]
+    }
+
+    /// The (at most) `k` largest merged components, largest first.
+    #[inline]
+    pub fn top_k(&self, k: usize) -> &[ComponentId] {
+        &self.by_size[..k.min(self.by_size.len())]
+    }
+
+    /// Heap footprint in bytes (the per-journal-epoch publish cost).
+    pub fn heap_bytes(&self) -> usize {
+        self.remap.len() * std::mem::size_of::<ComponentId>()
+            + self.sizes.len() * std::mem::size_of::<usize>()
+            + self.by_size.len() * std::mem::size_of::<ComponentId>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ampc_graph::Labeling;
+
+    /// Base: components {0,1} id 0, {2} id 1, {3,4,5} id 2, {6} id 3.
+    fn base() -> ComponentIndex {
+        ComponentIndex::build(&Labeling(vec![9, 9, 4, 7, 7, 7, 1]))
+    }
+
+    #[test]
+    fn identity_journal_is_a_no_op() {
+        let base = base();
+        let j = JournalView::build(&[0, 1, 2, 3], &base).unwrap();
+        assert_eq!(j.num_components(), 4);
+        assert_eq!(j.merges(), 0);
+        for c in 0..4 {
+            assert_eq!(j.resolve(c), c);
+            assert_eq!(j.size_of(c), base.size_of(c));
+        }
+        assert_eq!(j.top_k(4), base.top_k(4));
+    }
+
+    #[test]
+    fn merges_renumber_by_minimum_base_id() {
+        let base = base();
+        // Merge base components 1 and 3 (shared class label 1).
+        let j = JournalView::build(&[0, 1, 2, 1], &base).unwrap();
+        assert_eq!(j.num_components(), 3);
+        assert_eq!(j.merges(), 1);
+        // Classes by min base id: {0}→0, {1,3}→1, {2}→2.
+        assert_eq!(j.resolve(0), 0);
+        assert_eq!(j.resolve(1), 1);
+        assert_eq!(j.resolve(2), 2);
+        assert_eq!(j.resolve(3), 1);
+        assert_eq!(j.size_of(0), 2);
+        assert_eq!(j.size_of(1), 2); // {2} + {6}
+        assert_eq!(j.size_of(2), 3);
+        // by_size: sizes [2, 2, 3] ⇒ ranked 2, 0, 1.
+        assert_eq!(j.top_k(3), &[2, 0, 1]);
+        assert_eq!(j.kth_largest_size(1), 3);
+        assert_eq!(j.kth_largest_size(3), 2);
+        assert_eq!(j.kth_largest_size(4), 0);
+        assert_eq!(j.kth_largest_size(0), 0);
+    }
+
+    #[test]
+    fn journal_matches_a_fresh_build_of_the_merged_partition() {
+        // Base partition over 8 vertices, then merge two classes; the
+        // journal's remap/sizes/ranking must agree with ComponentIndex
+        // built from the merged labeling directly.
+        let labels = vec![3u64, 3, 5, 5, 8, 8, 8, 2];
+        let base = ComponentIndex::build(&Labeling(labels.clone()));
+        // Merge the label-5 and label-2 classes (base ids 1 and 3).
+        let j = JournalView::build(&[0, 3, 2, 3], &base).unwrap();
+        let merged: Vec<u64> = labels.iter().map(|&l| if l == 2 { 5 } else { l }).collect();
+        let fresh = ComponentIndex::build(&Labeling(merged));
+        assert_eq!(j.num_components(), fresh.num_components());
+        for v in 0..8u32 {
+            assert_eq!(j.resolve(base.component_of(v)), fresh.component_of(v), "vertex {v}");
+            assert_eq!(j.size_of(j.resolve(base.component_of(v))), fresh.component_size(v));
+        }
+        for k in 0..=4 {
+            assert_eq!(j.kth_largest_size(k), fresh.kth_largest_size(k), "rank {k}");
+        }
+    }
+
+    #[test]
+    fn bad_labelings_are_rejected() {
+        let base = base();
+        assert!(JournalView::build(&[0, 1, 2], &base).is_err(), "short labeling");
+        assert!(JournalView::build(&[0, 1, 2, 4], &base).is_err(), "class out of range");
+        let empty = ComponentIndex::build(&Labeling(vec![]));
+        let j = JournalView::build(&[], &empty).unwrap();
+        assert_eq!(j.num_components(), 0);
+        assert_eq!(j.kth_largest_size(1), 0);
+    }
+}

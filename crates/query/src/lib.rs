@@ -13,7 +13,16 @@
 //!   and [`ComponentIndex::top_k`] are all O(1) array reads with no
 //!   hashing on the query path;
 //! * [`QueryEngine`] — single-query and batch (slice-in/slice-out,
-//!   allocation-free) execution of the [`Query`] algebra;
+//!   allocation-free) execution of the [`Query`] algebra, with a checked
+//!   contract for out-of-range vertices ([`QueryEngine::try_answer`] /
+//!   the [`NO_ANSWER`] sentinel — a hostile query file or a stream built
+//!   against an older, larger epoch never panics a serving thread) and an
+//!   optional merge-aware path through a journal;
+//! * [`JournalView`] — a frozen batch of component merges over a base
+//!   index (`O(components)` to build and hold), the read side of the
+//!   serving layer's incremental journal-epochs: resolves base dense ids
+//!   to merged dense ids in one extra array read, byte-identical to a
+//!   from-scratch rebuild of the merged graph;
 //! * [`workload`] — deterministic SplitMix64-seeded query-mix generators
 //!   (uniform, Zipf-skewed, adversarial cross-component) in the same style
 //!   as the graph generators, plus a plain-text query-file format;
@@ -31,8 +40,10 @@
 
 mod engine;
 mod index;
+pub mod journal;
 pub mod throughput;
 pub mod workload;
 
-pub use engine::{BatchLenError, Query, QueryEngine};
+pub use engine::{BatchLenError, Query, QueryEngine, NO_ANSWER};
 pub use index::{ComponentId, ComponentIndex};
+pub use journal::JournalView;

@@ -136,7 +136,14 @@ impl<T> EpochCell<T> {
     /// that receives the epoch number it will be published as — so a
     /// payload can embed its own epoch even with concurrent publishers.
     pub fn publish_with<F: FnOnce(u64) -> Arc<T>>(&self, make: F) -> u64 {
-        let _w = self.writer.lock().expect("epoch cell writer lock poisoned");
+        // A poisoned writer mutex is recoverable by construction: the
+        // guarded state is the slot/epoch pointer dance below, and a
+        // panicking publisher can only die inside `make(next)` — *before*
+        // any slot or epoch mutation (the atomics themselves never panic).
+        // So poison means "a previous publisher aborted cleanly", not "the
+        // cell is half-written"; refusing to publish forever (the old
+        // `.expect`) bricked the service for no soundness gain.
+        let _w = self.writer.lock().unwrap_or_else(|poisoned| poisoned.into_inner());
         let e = self.epoch.load(SeqCst);
         let next = e + 1;
         // Between publishes exactly one slot is populated (the active one);
@@ -341,6 +348,29 @@ mod tests {
         // 4 × 250 publishes ⇒ epoch exactly 1000, payload embeds it.
         assert_eq!(cell.epoch(), 1000);
         assert_eq!(*cell.pin().value().as_ref(), 1000);
+    }
+
+    #[test]
+    fn poisoned_publisher_does_not_brick_the_cell() {
+        // A publisher that panics inside its `make` closure poisons the
+        // writer mutex. The cell must shrug that off: the panic fires
+        // before any slot/epoch mutation, so the guarded state is intact
+        // and later publishes must succeed (this used to panic forever).
+        let cell = Arc::new(EpochCell::new(Arc::new(1u64)));
+        let result = std::panic::catch_unwind({
+            let cell = Arc::clone(&cell);
+            move || {
+                cell.publish_with(|_| -> Arc<u64> { panic!("publisher died mid-build") });
+            }
+        });
+        assert!(result.is_err(), "the publisher panic must propagate to its caller");
+        // The failed publish changed nothing…
+        assert_eq!(cell.epoch(), 0);
+        assert_eq!(*cell.pin().value().as_ref(), 1);
+        // …and the cell still publishes and reads normally afterwards.
+        assert_eq!(cell.publish(Arc::new(2)), 1);
+        let g = cell.pin();
+        assert_eq!((*g, g.epoch()), (2, 1));
     }
 
     #[test]

@@ -16,7 +16,14 @@
 //!   and publishes epoch 0. The clone-able handle serves lock-free
 //!   [`IndexSnapshot`]s and runs [`ServiceHandle::rebuild`] on a
 //!   background thread — readers keep answering against their pinned
-//!   epoch while the swap happens under live traffic.
+//!   epoch while the swap happens under live traffic. Rebuilds publish in
+//!   request order (ticket-sequenced), never completion order.
+//! * [`ServiceHandle::insert_edges`] — the incremental delta path:
+//!   streaming edge insertions union dense component ids and publish as
+//!   cheap **journal-epochs** ([`JournalView`] riding on an unchanged
+//!   base index, `O(components)` per publish), byte-identical to a full
+//!   rebuild of the merged graph; past a [`JournalBudget`] the service
+//!   compacts with a background rebuild and replays in-flight inserts.
 //! * [`driver`] — the multi-threaded workload driver: a deterministic
 //!   per-thread striping of one query stream (totals are seed-reproducible
 //!   at any thread count), per-thread and aggregate queries/sec, each
@@ -34,7 +41,9 @@ pub mod epoch;
 mod service;
 
 pub use ampc_cc::pipeline::PipelineSpec;
+pub use ampc_query::JournalView;
 pub use epoch::{EpochCell, EpochGuard};
 pub use service::{
-    IndexSnapshot, PublishedIndex, RebuildHandle, ServeError, ServiceBuilder, ServiceHandle,
+    IndexSnapshot, InsertReport, JournalBudget, PublishedIndex, RebuildHandle, ServeError,
+    ServiceBuilder, ServiceHandle,
 };

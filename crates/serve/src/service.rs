@@ -1,5 +1,5 @@
 //! `ConnectivityService` — the run→validate→index→serve lifecycle as a
-//! first-class API.
+//! first-class API, now with an incremental delta path.
 //!
 //! [`ServiceBuilder`] runs a [`PipelineSpec`] over a graph, validates the
 //! labeling against the graph (the same check the CLI always performed),
@@ -13,18 +13,40 @@
 //! observe a half-built index; a retired epoch's memory is reclaimed once
 //! the last snapshot pinning it is dropped.
 //!
-//! Per-epoch determinism: the published index is a pure function of the
+//! **Journal-epochs** ([`ServiceHandle::insert_edges`]): a streaming edge
+//! insertion can only *merge* components, so instead of re-running the
+//! pipeline the service unions the endpoints' dense component ids in a
+//! union-find over the current base index and publishes the result as a
+//! [`JournalView`] riding on the unchanged base — an `O(components)`
+//! publish instead of an `O(n + m)` rebuild. Snapshots of a journal-epoch
+//! answer through a merge-aware engine (one extra array read per id) and
+//! are byte-identical to a from-scratch build over the merged graph (see
+//! `ampc_query::journal` for the argument). Once the journal outgrows its
+//! [`JournalBudget`], the service *compacts*: a background pipeline rebuild
+//! over the merged graph, with insertions accepted throughout and replayed
+//! onto the new base when it lands.
+//!
+//! **Rebuild ordering**: rebuild requests take a ticket at request time and
+//! publish strictly in ticket order, so a slow earlier-requested rebuild
+//! can never overwrite a newer epoch (publish order used to be completion
+//! order — a race). Journal publishes and rebuild publishes are serialized
+//! through the stream lock, so the epoch sequence is a single total order.
+//!
+//! Per-epoch determinism: a published base index is a pure function of the
 //! (spec, graph) pair — the pipelines are seed-deterministic and the index
-//! remaps labels by partition — so every snapshot of one epoch answers
+//! remaps labels by partition — and a journal-epoch is a pure function of
+//! (base, inserted edges), so every snapshot of one epoch answers
 //! byte-identically on every thread, machine, and backend.
 
-use std::sync::{Arc, Weak};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicU64, Ordering::SeqCst};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, Weak};
 use std::thread::JoinHandle;
 
 use ampc::{AmpcError, RunStats};
 use ampc_cc::pipeline::{Pipeline as _, PipelineSpec, ResolvedAlgorithm};
-use ampc_graph::{Graph, Labeling};
-use ampc_query::{ComponentIndex, QueryEngine};
+use ampc_graph::{Graph, Labeling, UnionFind, VertexId};
+use ampc_query::{ComponentIndex, JournalView, QueryEngine};
 
 use crate::epoch::{EpochCell, EpochGuard};
 
@@ -38,6 +60,14 @@ pub enum ServeError {
     InvalidLabeling(String),
     /// A background rebuild thread panicked.
     RebuildPanicked,
+    /// An inserted edge names a vertex the current graph does not have.
+    /// The whole batch is rejected: nothing was applied or published.
+    VertexOutOfRange {
+        /// The offending endpoint.
+        vertex: VertexId,
+        /// Vertex count of the current graph.
+        n: usize,
+    },
 }
 
 impl std::fmt::Display for ServeError {
@@ -46,6 +76,9 @@ impl std::fmt::Display for ServeError {
             ServeError::Pipeline(e) => write!(f, "pipeline run failed: {e}"),
             ServeError::InvalidLabeling(msg) => write!(f, "labeling rejected: {msg}"),
             ServeError::RebuildPanicked => write!(f, "background rebuild thread panicked"),
+            ServeError::VertexOutOfRange { vertex, n } => {
+                write!(f, "inserted edge names vertex {vertex} but the graph has {n} vertices")
+            }
         }
     }
 }
@@ -58,11 +91,11 @@ impl From<AmpcError> for ServeError {
     }
 }
 
-/// One published epoch: the immutable index plus the run that produced it.
-/// Everything here is frozen at publish time; readers share it via `Arc`.
+/// The frozen product of one full pipeline run: index, labeling, stats.
+/// Base epochs own one of these; journal-epochs share their base's via
+/// `Arc` — that sharing is what makes a journal publish cheap.
 #[derive(Debug)]
-pub struct PublishedIndex {
-    epoch: u64,
+struct BaseIndex {
     index: ComponentIndex,
     labeling: Labeling,
     stats: RunStats,
@@ -71,35 +104,71 @@ pub struct PublishedIndex {
     graph_m: usize,
 }
 
+/// One published epoch: a shared base index plus, for journal-epochs, the
+/// frozen merge journal accumulated since that base. Everything here is
+/// immutable at publish time; readers share it via `Arc`.
+#[derive(Debug)]
+pub struct PublishedIndex {
+    epoch: u64,
+    base: Arc<BaseIndex>,
+    journal: Option<JournalView>,
+    inserted_edges: usize,
+}
+
 impl PublishedIndex {
     /// The epoch this index was published as.
     pub fn epoch(&self) -> u64 {
         self.epoch
     }
 
-    /// The immutable component index.
+    /// The immutable base component index. Journal-epochs answer through
+    /// [`PublishedIndex::journal`] on top of this — use
+    /// [`IndexSnapshot::engine`] to get the merge-aware view.
     pub fn index(&self) -> &ComponentIndex {
-        &self.index
+        &self.base.index
     }
 
-    /// The raw labeling the pipeline produced (e.g. for `--labels` output).
+    /// The raw labeling the base pipeline run produced (e.g. for
+    /// `--labels` output). Journal merges are not reflected here.
     pub fn labeling(&self) -> &Labeling {
-        &self.labeling
+        &self.base.labeling
     }
 
     /// The producing run's cost accounting.
     pub fn stats(&self) -> &RunStats {
-        &self.stats
+        &self.base.stats
     }
 
-    /// Which algorithm produced this epoch.
+    /// Which algorithm produced this epoch's base index.
     pub fn algorithm(&self) -> ResolvedAlgorithm {
-        self.algorithm
+        self.base.algorithm
     }
 
-    /// `(n, m)` of the graph this epoch indexed.
+    /// `(n, m)` of the graph this epoch answers for: the base graph plus
+    /// any edges accepted by the journal (counted as inserted, before
+    /// dedup against existing edges).
     pub fn graph_size(&self) -> (usize, usize) {
-        (self.graph_n, self.graph_m)
+        (self.base.graph_n, self.base.graph_m + self.inserted_edges)
+    }
+
+    /// The merge journal riding on the base index, if this is a
+    /// journal-epoch.
+    pub fn journal(&self) -> Option<&JournalView> {
+        self.journal.as_ref()
+    }
+
+    /// True iff this epoch carries journal merges on top of its base.
+    pub fn is_journal(&self) -> bool {
+        self.journal.is_some()
+    }
+
+    /// Number of connected components this epoch answers with (journal
+    /// merges included).
+    pub fn num_components(&self) -> usize {
+        match &self.journal {
+            Some(j) => j.num_components(),
+            None => self.base.index.num_components(),
+        }
     }
 }
 
@@ -118,10 +187,14 @@ impl IndexSnapshot {
         self.guard.epoch()
     }
 
-    /// A borrow-only query engine over this snapshot's index. Engines are
-    /// `Copy`; make one per thread or per batch, they cost nothing.
+    /// A borrow-only query engine over this snapshot's index — merge-aware
+    /// when the snapshot pinned a journal-epoch. Engines are `Copy`; make
+    /// one per thread or per batch, they cost nothing.
     pub fn engine(&self) -> QueryEngine<'_> {
-        QueryEngine::new(self.guard.index())
+        match self.guard.journal() {
+            Some(j) => QueryEngine::with_journal(self.guard.index(), j),
+            None => QueryEngine::new(self.guard.index()),
+        }
     }
 
     /// Downgrades to a weak reference to the epoch payload — the hook the
@@ -140,22 +213,146 @@ impl std::ops::Deref for IndexSnapshot {
     }
 }
 
-/// The shared state behind every [`ServiceHandle`] clone: the epoch cell
-/// plus the spec every rebuild re-runs.
+/// When a journal grows past this budget, the service falls back to a full
+/// background rebuild (compaction) over the merged graph. Until the
+/// compaction lands, insertions keep being accepted and published as
+/// journal-epochs — the budget bounds staleness cost, not availability.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct JournalBudget {
+    /// Compact once this many inserted edges have accumulated on one base.
+    pub max_edges: usize,
+    /// Compact once the journal carries this many component merges.
+    pub max_merges: usize,
+}
+
+impl JournalBudget {
+    /// A budget with explicit limits.
+    pub fn new(max_edges: usize, max_merges: usize) -> Self {
+        JournalBudget { max_edges, max_merges }
+    }
+
+    /// Never compact automatically (tests and benchmarks that want to
+    /// observe pure journal behavior).
+    pub fn unbounded() -> Self {
+        JournalBudget { max_edges: usize::MAX, max_merges: usize::MAX }
+    }
+
+    fn exceeded_by(&self, journal_edges: usize, journal_merges: usize) -> bool {
+        journal_edges > self.max_edges || journal_merges > self.max_merges
+    }
+}
+
+impl Default for JournalBudget {
+    /// 64 Ki inserted edges or 4 Ki merges — a journal publish is
+    /// `O(components)`, so the default keeps the incremental path far
+    /// cheaper than the `O(n + m)` rebuild it defers.
+    fn default() -> Self {
+        JournalBudget { max_edges: 1 << 16, max_merges: 1 << 12 }
+    }
+}
+
+/// What one [`ServiceHandle::insert_edges`] call did.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct InsertReport {
+    /// The journal-epoch this batch was published as.
+    pub epoch: u64,
+    /// Edges accepted from this batch (the whole batch, once validated).
+    pub applied: usize,
+    /// Component merges this batch caused.
+    pub new_merges: usize,
+    /// Total inserted edges accumulated on the current base.
+    pub journal_edges: usize,
+    /// Total merges the published journal carries.
+    pub journal_merges: usize,
+    /// Connected components after this batch.
+    pub components: usize,
+    /// True iff this batch pushed the journal over budget and kicked off a
+    /// background compaction rebuild.
+    pub compaction_started: bool,
+}
+
+/// Mutable write-side state: the current base graph, the edges inserted on
+/// top of it, and the union-find over base component ids that summarizes
+/// their merges. Guarded by one mutex; the read path never touches it.
+#[derive(Debug)]
+struct StreamState {
+    /// The graph the current base index was built from.
+    graph: Graph,
+    /// Edges accepted since the current base was published.
+    pending: Vec<(VertexId, VertexId)>,
+    /// Union-find over the base index's dense component ids.
+    uf: UnionFind,
+    /// Merges `uf` currently carries (`c - uf.num_components()`).
+    merges: usize,
+    /// The base every journal-epoch publishes against.
+    base: Arc<BaseIndex>,
+    /// A compaction rebuild is in flight (don't start another).
+    compacting: bool,
+    /// Bumped by every full rebuild that lands; a compaction that started
+    /// against an older generation abandons instead of clobbering.
+    generation: u64,
+}
+
+/// Ticket dispenser that forces rebuild publishes into request order:
+/// `take` at request time, `wait_for` before publishing, `advance` after —
+/// unconditionally, including on failure, so a dead rebuild never wedges
+/// the queue.
+#[derive(Debug)]
+struct RebuildTickets {
+    next: AtomicU64,
+    turn: Mutex<u64>,
+    done: Condvar,
+}
+
+impl RebuildTickets {
+    fn new() -> Self {
+        RebuildTickets { next: AtomicU64::new(0), turn: Mutex::new(0), done: Condvar::new() }
+    }
+
+    fn take(&self) -> u64 {
+        self.next.fetch_add(1, SeqCst)
+    }
+
+    fn wait_for(&self, ticket: u64) {
+        let mut turn = self.turn.lock().unwrap_or_else(|p| p.into_inner());
+        while *turn != ticket {
+            turn = self.done.wait(turn).unwrap_or_else(|p| p.into_inner());
+        }
+    }
+
+    fn advance(&self) {
+        let mut turn = self.turn.lock().unwrap_or_else(|p| p.into_inner());
+        *turn += 1;
+        self.done.notify_all();
+    }
+}
+
+/// The shared state behind every [`ServiceHandle`] clone.
 #[derive(Debug)]
 struct ConnectivityService {
     cell: EpochCell<PublishedIndex>,
     spec: PipelineSpec,
+    budget: JournalBudget,
+    stream: Mutex<StreamState>,
+    tickets: RebuildTickets,
 }
 
-/// Runs the spec on `g` and freezes the result into an epoch payload.
-/// Validation is part of the lifecycle: a labeling that does not validate
-/// against `g` is never published.
-fn build_payload(spec: &PipelineSpec, g: &Graph, epoch: u64) -> Result<PublishedIndex, ServeError> {
+/// Locks the stream state, recovering from poison: the guarded state is
+/// only ever mutated to a consistent snapshot before any point that can
+/// panic (publishing is a pointer swap, `Vec`/`UnionFind` updates finish
+/// before the publish), so a poisoned lock means an aborted writer, not
+/// torn state.
+fn lock_stream(stream: &Mutex<StreamState>) -> MutexGuard<'_, StreamState> {
+    stream.lock().unwrap_or_else(|poisoned| poisoned.into_inner())
+}
+
+/// Runs the spec on `g` and freezes the result. Validation is part of the
+/// lifecycle: a labeling that does not validate against `g` is never
+/// published.
+fn build_base(spec: &PipelineSpec, g: &Graph) -> Result<BaseIndex, ServeError> {
     let run = spec.resolve(g).execute(g)?;
     let index = ComponentIndex::from_run(g, &run.labeling).map_err(ServeError::InvalidLabeling)?;
-    Ok(PublishedIndex {
-        epoch,
+    Ok(BaseIndex {
         index,
         labeling: run.labeling,
         stats: run.stats,
@@ -165,18 +362,34 @@ fn build_payload(spec: &PipelineSpec, g: &Graph, epoch: u64) -> Result<Published
     })
 }
 
+/// Freezes the stream's current union-find into a journal over `base`.
+/// `None` when there are no merges (the journal would be an identity map —
+/// publish the base view instead and skip the remap read on every query).
+fn freeze_journal(st: &mut StreamState, base: &BaseIndex) -> Option<JournalView> {
+    if st.merges == 0 {
+        return None;
+    }
+    let c = base.index.num_components();
+    let class_of: Vec<u32> = (0..c as u32).map(|id| st.uf.find(id)).collect();
+    // Union-find roots are base component ids, so the labeling is in range
+    // and the right length by construction.
+    Some(JournalView::build(&class_of, &base.index).expect("union-find roots form a valid journal"))
+}
+
 /// Builder for a [`ServiceHandle`]: `ServiceBuilder::new(graph)
 /// .spec(spec).build()?` runs the pipeline once (synchronously), validates
 /// and indexes the result, and publishes it as epoch 0.
 pub struct ServiceBuilder {
     graph: Graph,
     spec: PipelineSpec,
+    budget: JournalBudget,
 }
 
 impl ServiceBuilder {
-    /// Starts a builder over `graph` with the default [`PipelineSpec`].
+    /// Starts a builder over `graph` with the default [`PipelineSpec`] and
+    /// [`JournalBudget`].
     pub fn new(graph: Graph) -> Self {
-        ServiceBuilder { graph, spec: PipelineSpec::default() }
+        ServiceBuilder { graph, spec: PipelineSpec::default(), budget: JournalBudget::default() }
     }
 
     /// Sets the pipeline spec used for the initial build and every rebuild.
@@ -185,17 +398,57 @@ impl ServiceBuilder {
         self
     }
 
+    /// Sets the journal budget that triggers compaction rebuilds.
+    pub fn journal_budget(mut self, budget: JournalBudget) -> Self {
+        self.budget = budget;
+        self
+    }
+
     /// Runs the pipeline, validates, indexes, and publishes epoch 0.
     pub fn build(self) -> Result<ServiceHandle, ServeError> {
-        let payload = build_payload(&self.spec, &self.graph, 0)?;
-        let service =
-            ConnectivityService { cell: EpochCell::new(Arc::new(payload)), spec: self.spec };
+        let base = Arc::new(build_base(&self.spec, &self.graph)?);
+        let c = base.index.num_components();
+        let stream = StreamState {
+            graph: self.graph,
+            pending: Vec::new(),
+            uf: UnionFind::new(c),
+            merges: 0,
+            base: Arc::clone(&base),
+            compacting: false,
+            generation: 0,
+        };
+        let payload = PublishedIndex { epoch: 0, base, journal: None, inserted_edges: 0 };
+        let service = ConnectivityService {
+            cell: EpochCell::new(Arc::new(payload)),
+            spec: self.spec,
+            budget: self.budget,
+            stream: Mutex::new(stream),
+            tickets: RebuildTickets::new(),
+        };
         Ok(ServiceHandle { service: Arc::new(service) })
     }
 }
 
+/// What a sequenced background rebuild does once its pipeline run lands.
+enum RebuildGoal {
+    /// Explicit [`ServiceHandle::rebuild`]: the graph is the new ground
+    /// truth; pending journal edges (they belong to the old lineage) are
+    /// discarded.
+    Replace,
+    /// Budget-triggered compaction: the graph is the old base merged with
+    /// the first `consumed` pending edges; the rest (inserted while the
+    /// compaction ran) are replayed onto the new base. Abandons without
+    /// publishing if a `Replace` landed in between (`generation` moved).
+    Compact {
+        /// Pending-edge prefix baked into the compacted graph.
+        consumed: usize,
+        /// Stream generation the compaction started from.
+        generation: u64,
+    },
+}
+
 /// A clone-able handle to a connectivity service. Clones share the same
-/// epoch cell: a rebuild published through any handle is visible to
+/// epoch cell: an epoch published through any handle is visible to
 /// snapshots taken through every other.
 #[derive(Clone, Debug)]
 pub struct ServiceHandle {
@@ -203,9 +456,9 @@ pub struct ServiceHandle {
 }
 
 impl ServiceHandle {
-    /// Pins the current epoch — lock-free; never blocks on rebuilds. Call
-    /// once per thread (or per request) and answer any number of queries
-    /// against the returned snapshot.
+    /// Pins the current epoch — lock-free; never blocks on rebuilds or
+    /// insertions. Call once per thread (or per request) and answer any
+    /// number of queries against the returned snapshot.
     pub fn snapshot(&self) -> IndexSnapshot {
         IndexSnapshot { guard: self.service.cell.pin() }
     }
@@ -220,24 +473,117 @@ impl ServiceHandle {
         &self.service.spec
     }
 
+    /// The budget past which insertions trigger a compaction rebuild.
+    pub fn journal_budget(&self) -> JournalBudget {
+        self.service.budget
+    }
+
+    /// Applies a batch of edge insertions to the current epoch and
+    /// publishes the result as a **journal-epoch**: endpoint components
+    /// are unioned over the base index's dense ids and the merged view is
+    /// frozen into a [`JournalView`] — an `O(components)` publish, no
+    /// pipeline run. Answers on the new epoch are byte-identical to a full
+    /// rebuild over the merged graph.
+    ///
+    /// If the batch pushes the journal past the [`JournalBudget`], a
+    /// background compaction rebuild starts (at most one at a time);
+    /// insertions keep working and are replayed onto the new base when it
+    /// lands.
+    ///
+    /// # Errors
+    /// [`ServeError::VertexOutOfRange`] if any endpoint is `>= n` for the
+    /// current graph. The batch is atomic: nothing is applied or published
+    /// on error.
+    pub fn insert_edges(&self, edges: &[(VertexId, VertexId)]) -> Result<InsertReport, ServeError> {
+        let service = &self.service;
+        let mut st = lock_stream(&service.stream);
+        let n = st.graph.n();
+        for &(u, v) in edges {
+            let bad = if (u as usize) >= n {
+                Some(u)
+            } else if (v as usize) >= n {
+                Some(v)
+            } else {
+                None
+            };
+            if let Some(vertex) = bad {
+                return Err(ServeError::VertexOutOfRange { vertex, n });
+            }
+        }
+
+        let base = Arc::clone(&st.base);
+        let mut new_merges = 0usize;
+        for &(u, v) in edges {
+            let (cu, cv) = (base.index.component_of(u), base.index.component_of(v));
+            if st.uf.union(cu, cv) {
+                new_merges += 1;
+            }
+        }
+        st.merges += new_merges;
+        st.pending.extend_from_slice(edges);
+
+        let journal = freeze_journal(&mut st, &base);
+        let components = match &journal {
+            Some(j) => j.num_components(),
+            None => base.index.num_components(),
+        };
+        let inserted_edges = st.pending.len();
+        let epoch = service.cell.publish_with(|epoch| {
+            Arc::new(PublishedIndex { epoch, base: Arc::clone(&base), journal, inserted_edges })
+        });
+
+        let over_budget = service.budget.exceeded_by(st.pending.len(), st.merges);
+        let compaction_started = over_budget && !st.compacting;
+        if compaction_started {
+            st.compacting = true;
+            let consumed = st.pending.len();
+            let generation = st.generation;
+            let merged: Vec<(VertexId, VertexId)> =
+                st.graph.edges().chain(st.pending.iter().copied()).collect();
+            let graph = Graph::from_edges(n, &merged);
+            let ticket = service.tickets.take();
+            let service = Arc::clone(&self.service);
+            // Fire-and-forget by design: the compaction reports through the
+            // epoch cell (or clears `compacting` on failure so a later
+            // batch retries), not through a handle.
+            std::thread::spawn(move || {
+                run_rebuild(&service, graph, RebuildGoal::Compact { consumed, generation }, ticket)
+            });
+        }
+
+        Ok(InsertReport {
+            epoch,
+            applied: edges.len(),
+            new_merges,
+            journal_edges: inserted_edges,
+            journal_merges: st.merges,
+            components,
+            compaction_started,
+        })
+    }
+
     /// Rebuilds the index over `graph` on a background thread and
-    /// publishes it as the next epoch when done. Readers keep answering
-    /// against their pinned snapshots throughout; the swap is atomic.
+    /// publishes it as a new base epoch. Readers keep answering against
+    /// their pinned snapshots throughout; the swap is atomic. Pending
+    /// journal edges are discarded — an explicit rebuild defines a new
+    /// ground-truth graph.
+    ///
+    /// Concurrent rebuilds publish in **request order** (each request takes
+    /// a ticket here, synchronously), so a slow earlier-requested rebuild
+    /// can never overwrite a newer epoch.
     ///
     /// Returns immediately with a [`RebuildHandle`]; call
     /// [`RebuildHandle::wait`] for the published epoch number (or the
     /// pipeline/validation error, in which case nothing was published).
+    /// Dropping the handle joins the rebuild and logs failures to stderr
+    /// instead of silently swallowing them; use [`RebuildHandle::detach`]
+    /// for explicit fire-and-forget.
     pub fn rebuild(&self, graph: Graph) -> RebuildHandle {
+        let ticket = self.service.tickets.take();
         let service = Arc::clone(&self.service);
-        let join = std::thread::spawn(move || {
-            // Run the pipeline *before* taking the publish slot: the
-            // expensive work happens with zero impact on the epoch cell.
-            let run = build_payload(&service.spec, &graph, 0)?;
-            let epoch =
-                service.cell.publish_with(move |epoch| Arc::new(PublishedIndex { epoch, ..run }));
-            Ok(epoch)
-        });
-        RebuildHandle { join }
+        let join =
+            std::thread::spawn(move || run_rebuild(&service, graph, RebuildGoal::Replace, ticket));
+        RebuildHandle { join: Some(join) }
     }
 
     /// Convenience: [`ServiceHandle::rebuild`] + wait.
@@ -246,22 +592,136 @@ impl ServiceHandle {
     }
 }
 
+/// Body of every sequenced background rebuild (explicit or compaction):
+/// run the pipeline (the expensive part, concurrent with everything), wait
+/// for this ticket's turn, then swap stream state + publish under the
+/// stream lock. The ticket is advanced on **every** path, including
+/// pipeline failure and panic, so one dead rebuild never wedges later ones.
+fn run_rebuild(
+    service: &Arc<ConnectivityService>,
+    graph: Graph,
+    goal: RebuildGoal,
+    ticket: u64,
+) -> Result<u64, ServeError> {
+    let built = catch_unwind(AssertUnwindSafe(|| build_base(&service.spec, &graph)));
+    service.tickets.wait_for(ticket);
+    let result = publish_rebuild(service, graph, &goal, built);
+    if result.is_err() {
+        if let RebuildGoal::Compact { .. } = goal {
+            // Let a later insert batch start a fresh compaction.
+            lock_stream(&service.stream).compacting = false;
+        }
+    }
+    service.tickets.advance();
+    result
+}
+
+/// The publish half of [`run_rebuild`], split out so the caller can
+/// guarantee ticket advancement around any early return.
+fn publish_rebuild(
+    service: &Arc<ConnectivityService>,
+    graph: Graph,
+    goal: &RebuildGoal,
+    built: std::thread::Result<Result<BaseIndex, ServeError>>,
+) -> Result<u64, ServeError> {
+    let base = match built {
+        Ok(Ok(base)) => Arc::new(base),
+        Ok(Err(e)) => return Err(e),
+        Err(_) => return Err(ServeError::RebuildPanicked),
+    };
+    let mut st = lock_stream(&service.stream);
+    match *goal {
+        RebuildGoal::Replace => {
+            st.graph = graph;
+            st.pending.clear();
+            st.uf = UnionFind::new(base.index.num_components());
+            st.merges = 0;
+            st.base = Arc::clone(&base);
+            st.compacting = false;
+            st.generation += 1;
+            Ok(service.cell.publish_with(|epoch| {
+                Arc::new(PublishedIndex {
+                    epoch,
+                    base: Arc::clone(&base),
+                    journal: None,
+                    inserted_edges: 0,
+                })
+            }))
+        }
+        RebuildGoal::Compact { consumed, generation } => {
+            if st.generation != generation {
+                // A Replace landed while we compacted: our base (and the
+                // pending edges we consumed) belong to a dead lineage.
+                // Publishing would clobber the newer graph — abandon.
+                st.compacting = false;
+                return Ok(service.cell.epoch());
+            }
+            st.graph = graph;
+            st.pending.drain(..consumed);
+            let c = base.index.num_components();
+            let mut uf = UnionFind::new(c);
+            let mut merges = 0usize;
+            for &(u, v) in &st.pending {
+                // Replayed edges were validated at insert time and the
+                // compacted graph has the same vertex count.
+                if uf.union(base.index.component_of(u), base.index.component_of(v)) {
+                    merges += 1;
+                }
+            }
+            st.uf = uf;
+            st.merges = merges;
+            st.base = Arc::clone(&base);
+            st.compacting = false;
+            let journal = freeze_journal(&mut st, &base);
+            let inserted_edges = st.pending.len();
+            Ok(service.cell.publish_with(|epoch| {
+                Arc::new(PublishedIndex { epoch, base: Arc::clone(&base), journal, inserted_edges })
+            }))
+        }
+    }
+}
+
 /// Handle to an in-flight background rebuild.
+///
+/// Dropping the handle **joins** the rebuild and logs a failure to stderr —
+/// the old behavior (silently detaching the thread and discarding its
+/// error) meant a failed rebuild was indistinguishable from a slow one.
+/// Call [`RebuildHandle::detach`] when fire-and-forget is really wanted.
 pub struct RebuildHandle {
-    join: JoinHandle<Result<u64, ServeError>>,
+    join: Option<JoinHandle<Result<u64, ServeError>>>,
 }
 
 impl RebuildHandle {
     /// Blocks until the rebuild publishes (returning its epoch number) or
     /// fails (returning the error; nothing was published).
-    pub fn wait(self) -> Result<u64, ServeError> {
-        self.join.join().map_err(|_| ServeError::RebuildPanicked)?
+    pub fn wait(mut self) -> Result<u64, ServeError> {
+        let join = self.join.take().expect("wait consumes the only join handle");
+        join.join().map_err(|_| ServeError::RebuildPanicked)?
     }
 
     /// True once the background thread has finished (the result is ready
     /// and `wait` will not block).
     pub fn is_finished(&self) -> bool {
-        self.join.is_finished()
+        self.join.as_ref().is_none_or(JoinHandle::is_finished)
+    }
+
+    /// Explicitly lets the rebuild finish in the background. The result is
+    /// discarded; the publish (or not, on failure) still happens in ticket
+    /// order.
+    pub fn detach(mut self) {
+        self.join.take();
+    }
+}
+
+impl Drop for RebuildHandle {
+    fn drop(&mut self) {
+        if let Some(join) = self.join.take() {
+            match join.join() {
+                Ok(Ok(_)) => {}
+                Ok(Err(e)) => eprintln!("ampc-serve: dropped rebuild failed: {e}"),
+                Err(_) => eprintln!("ampc-serve: dropped rebuild panicked"),
+            }
+        }
     }
 }
 
@@ -272,6 +732,7 @@ mod tests {
     use ampc_cc::pipeline::Algorithm;
     use ampc_graph::generators::{erdos_renyi_gnm, random_forest};
     use ampc_graph::reference_components;
+    use ampc_query::Query;
 
     fn spec() -> PipelineSpec {
         PipelineSpec::default().with_seed(42).with_machines(4)
@@ -287,6 +748,7 @@ mod tests {
         assert_eq!(snap.algorithm().number(), 1);
         assert_eq!(snap.graph_size().0, 2000);
         assert_eq!(snap.index().num_components(), 13);
+        assert!(!snap.is_journal());
         // Byte-identical to the reference-built index (partition purity).
         assert_eq!(*snap.index(), ComponentIndex::build(&truth));
         assert!(snap.labeling().same_partition(&truth));
@@ -361,12 +823,129 @@ mod tests {
         let b = service.snapshot();
         assert_eq!(a.epoch(), b.epoch());
         assert_eq!(a.index(), b.index());
-        use ampc_query::Query;
         for v in 0..1000u32 {
             assert_eq!(
                 a.engine().answer(Query::ComponentOf(v)),
                 b.engine().answer(Query::ComponentOf(v))
             );
         }
+    }
+
+    #[test]
+    fn insert_edges_publishes_journal_epochs_matching_a_fresh_oracle() {
+        // A forest of 8 trees; stitch trees together batch by batch and
+        // check the journal answers equal a from-scratch union-find build
+        // of the accumulated graph after every batch.
+        let g = random_forest(600, 8, 11);
+        let mut all_edges: Vec<(VertexId, VertexId)> = g.edges().collect();
+        let service = ServiceBuilder::new(g).spec(spec()).build().unwrap();
+
+        let batches: Vec<Vec<(VertexId, VertexId)>> =
+            vec![vec![(0, 599), (5, 5)], vec![(10, 590), (0, 5)], vec![(300, 301)]];
+        for (i, batch) in batches.iter().enumerate() {
+            let report = service.insert_edges(batch).expect("insert");
+            assert_eq!(report.epoch, i as u64 + 1);
+            assert_eq!(report.applied, batch.len());
+            all_edges.extend_from_slice(batch);
+            let oracle =
+                ComponentIndex::build(&reference_components(&Graph::from_edges(600, &all_edges)));
+            let snap = service.snapshot();
+            assert_eq!(snap.epoch(), report.epoch);
+            assert_eq!(snap.num_components(), oracle.num_components());
+            assert_eq!(report.components, oracle.num_components());
+            let eng = snap.engine();
+            for v in 0..600u32 {
+                assert_eq!(
+                    eng.answer(Query::ComponentOf(v)),
+                    oracle.component_of(v) as u64,
+                    "vertex {v} after batch {i}"
+                );
+                assert_eq!(eng.answer(Query::ComponentSize(v)), oracle.component_size(v) as u64);
+            }
+            for k in 1..=9u32 {
+                assert_eq!(
+                    eng.answer(Query::TopKSize(k)),
+                    oracle.kth_largest_size(k as usize) as u64
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn insert_batches_are_atomic_on_out_of_range_vertices() {
+        let service = ServiceBuilder::new(random_forest(100, 4, 12)).spec(spec()).build().unwrap();
+        let before = service.current_epoch();
+        let err = service.insert_edges(&[(0, 50), (3, 100)]).unwrap_err();
+        assert_eq!(err, ServeError::VertexOutOfRange { vertex: 100, n: 100 });
+        // Nothing applied, nothing published — including the valid edge.
+        assert_eq!(service.current_epoch(), before);
+        let report = service.insert_edges(&[(0, 50)]).expect("valid batch");
+        assert_eq!(report.epoch, before + 1);
+        // The service still answers after the rejected batch.
+        assert!(service.snapshot().engine().try_answer(Query::Connected(0, 50)).is_some());
+    }
+
+    #[test]
+    fn duplicate_and_intra_component_edges_publish_identity_epochs() {
+        let g = random_forest(200, 2, 13);
+        let idx = ComponentIndex::build(&reference_components(&g));
+        let comp0: Vec<VertexId> = (0..200u32).filter(|&v| idx.component_of(v) == 0).collect();
+        let service = ServiceBuilder::new(g).spec(spec()).build().unwrap();
+        // An edge inside one existing component merges nothing.
+        let report = service.insert_edges(&[(comp0[0], comp0[1])]).unwrap();
+        assert_eq!(report.new_merges, 0);
+        assert_eq!(report.journal_merges, 0);
+        let snap = service.snapshot();
+        assert_eq!(snap.epoch(), 1);
+        assert!(!snap.is_journal(), "no merges ⇒ no journal, just a fresh epoch on the base");
+        assert_eq!(snap.num_components(), 2);
+    }
+
+    #[test]
+    fn rebuild_resets_the_journal_lineage() {
+        let service = ServiceBuilder::new(random_forest(300, 6, 14)).spec(spec()).build().unwrap();
+        service.insert_edges(&[(0, 299)]).unwrap();
+        assert!(service.snapshot().is_journal() || service.snapshot().num_components() == 5);
+        let g2 = random_forest(150, 3, 15);
+        let truth2 = reference_components(&g2);
+        service.rebuild_blocking(g2).unwrap();
+        let snap = service.snapshot();
+        assert!(!snap.is_journal(), "a full rebuild starts a clean lineage");
+        assert_eq!(*snap.index(), ComponentIndex::build(&truth2));
+        // Inserts after the rebuild validate against the *new* graph.
+        let err = service.insert_edges(&[(0, 200)]).unwrap_err();
+        assert_eq!(err, ServeError::VertexOutOfRange { vertex: 200, n: 150 });
+    }
+
+    #[test]
+    fn over_budget_insertions_trigger_a_compaction_rebuild() {
+        let g = random_forest(400, 10, 16);
+        let mut all_edges: Vec<(VertexId, VertexId)> = g.edges().collect();
+        let service = ServiceBuilder::new(g)
+            .spec(spec())
+            .journal_budget(JournalBudget::new(2, usize::MAX))
+            .build()
+            .unwrap();
+        let batch = [(0u32, 399u32), (1, 398), (2, 397)];
+        all_edges.extend_from_slice(&batch);
+        let report = service.insert_edges(&batch).unwrap();
+        assert!(report.compaction_started, "3 edges > budget of 2 must compact");
+        // Poll until the compaction publishes a journal-free base epoch.
+        let deadline = std::time::Instant::now() + std::time::Duration::from_secs(30);
+        loop {
+            let snap = service.snapshot();
+            if snap.epoch() > report.epoch && !snap.is_journal() {
+                break;
+            }
+            assert!(std::time::Instant::now() < deadline, "compaction never landed");
+            std::thread::yield_now();
+        }
+        let snap = service.snapshot();
+        let oracle =
+            ComponentIndex::build(&reference_components(&Graph::from_edges(400, &all_edges)));
+        assert_eq!(*snap.index(), oracle, "compacted base must equal the fresh oracle");
+        // The journal lineage restarted: new inserts build on the new base.
+        let r2 = service.insert_edges(&[(3, 396)]).unwrap();
+        assert_eq!(r2.journal_edges, 1);
     }
 }

@@ -1,0 +1,203 @@
+//! Streaming journal-epochs: after every accepted insertion batch the
+//! service must answer the whole query algebra **byte-identically** to a
+//! from-scratch union-find build over the accumulated graph — across a
+//! family × seed matrix, under concurrent readers, and across the
+//! budget-triggered compaction fallback.
+
+use ampc::rng::{derive_seed, SplitMix64};
+use ampc_cc::pipeline::PipelineSpec;
+use ampc_graph::generators::{erdos_renyi_gnm, random_forest};
+use ampc_graph::{reference_components, Graph, VertexId};
+use ampc_query::{ComponentIndex, Query};
+use ampc_serve::{JournalBudget, ServiceBuilder, ServiceHandle};
+
+/// A deterministic batch of random candidate edges over `n` vertices.
+fn edge_batch(n: usize, len: usize, seed: u64) -> Vec<(VertexId, VertexId)> {
+    let mut rng = SplitMix64::new(seed);
+    (0..len)
+        .map(|_| (rng.next_below(n as u64) as VertexId, rng.next_below(n as u64) as VertexId))
+        .collect()
+}
+
+/// Asserts every algebra answer on the service's current epoch equals the
+/// from-scratch oracle built over `edges`.
+fn assert_matches_oracle(
+    service: &ServiceHandle,
+    n: usize,
+    edges: &[(VertexId, VertexId)],
+    ctx: &str,
+) {
+    let oracle = ComponentIndex::build(&reference_components(&Graph::from_edges(n, edges)));
+    let snap = service.snapshot();
+    let engine = snap.engine();
+    assert_eq!(snap.num_components(), oracle.num_components(), "{ctx}: component count");
+    for v in 0..n as VertexId {
+        assert_eq!(
+            engine.answer(Query::ComponentOf(v)),
+            oracle.component_of(v) as u64,
+            "{ctx}: ComponentOf({v})"
+        );
+        assert_eq!(
+            engine.answer(Query::ComponentSize(v)),
+            oracle.component_size(v) as u64,
+            "{ctx}: ComponentSize({v})"
+        );
+    }
+    let mut rng = SplitMix64::new(derive_seed(&[n as u64, edges.len() as u64]));
+    for _ in 0..200 {
+        let (u, v) = (rng.next_below(n as u64) as VertexId, rng.next_below(n as u64) as VertexId);
+        assert_eq!(
+            engine.answer(Query::Connected(u, v)),
+            oracle.connected(u, v) as u64,
+            "{ctx}: Connected({u},{v})"
+        );
+    }
+    for k in 1..=(oracle.num_components() as u32 + 2) {
+        assert_eq!(
+            engine.answer(Query::TopKSize(k)),
+            oracle.kth_largest_size(k as usize) as u64,
+            "{ctx}: TopKSize({k})"
+        );
+    }
+}
+
+#[test]
+fn journal_epochs_match_fresh_builds_across_families_and_seeds() {
+    // family × seed matrix: every batch of inserts on every graph must
+    // leave the service byte-identical to a from-scratch build.
+    const N: usize = 500;
+    const BATCHES: usize = 4;
+    const BATCH_LEN: usize = 12;
+    type MakeGraph = fn(u64) -> Graph;
+    let families: [(&str, MakeGraph); 2] = [
+        ("forest", |seed| random_forest(N, 10, seed)),
+        ("gnm", |seed| erdos_renyi_gnm(N, 300, seed)),
+    ];
+    for (family, make) in &families {
+        for seed in [1u64, 2, 3] {
+            let g = make(seed);
+            let mut edges: Vec<(VertexId, VertexId)> = g.edges().collect();
+            let spec = PipelineSpec::default().with_seed(seed).with_machines(4);
+            let service = ServiceBuilder::new(g)
+                .spec(spec)
+                .journal_budget(JournalBudget::unbounded())
+                .build()
+                .expect("build");
+            for b in 0..BATCHES {
+                let batch = edge_batch(N, BATCH_LEN, derive_seed(&[0x57A6, seed, b as u64]));
+                let report = service.insert_edges(&batch).expect("insert");
+                assert_eq!(report.applied, batch.len());
+                assert!(!report.compaction_started, "unbounded budget must never compact");
+                edges.extend_from_slice(&batch);
+                assert_matches_oracle(
+                    &service,
+                    N,
+                    &edges,
+                    &format!("{family}/seed {seed}/batch {b}"),
+                );
+            }
+            // The journal carries every merge the batches caused.
+            let snap = service.snapshot();
+            assert_eq!(snap.epoch(), BATCHES as u64);
+            assert_eq!(snap.graph_size().1, edges.len());
+        }
+    }
+}
+
+#[test]
+fn budget_fallback_compacts_and_replays_inserts_mid_compaction() {
+    // A tiny budget forces a compaction almost immediately; inserts issued
+    // *while* the compaction rebuild runs must survive onto the new base.
+    // Whatever the interleaving, the final answers equal the oracle over
+    // every accepted edge.
+    const N: usize = 600;
+    let g = random_forest(N, 12, 0xC0);
+    let mut edges: Vec<(VertexId, VertexId)> = g.edges().collect();
+    let spec = PipelineSpec::default().with_seed(5).with_machines(4);
+    let service = ServiceBuilder::new(g)
+        .spec(spec)
+        .journal_budget(JournalBudget::new(4, usize::MAX))
+        .build()
+        .expect("build");
+
+    let mut compactions = 0usize;
+    for b in 0..10u64 {
+        let batch = edge_batch(N, 3, derive_seed(&[0xFA11, b]));
+        let report = service.insert_edges(&batch).expect("insert");
+        edges.extend_from_slice(&batch);
+        compactions += report.compaction_started as usize;
+    }
+    assert!(compactions > 0, "a 4-edge budget must have triggered compaction");
+
+    // Wait until no compaction is in flight: the epoch stops moving once
+    // the last background rebuild lands (we stopped inserting).
+    let deadline = std::time::Instant::now() + std::time::Duration::from_secs(60);
+    let mut last = service.current_epoch();
+    loop {
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        let now = service.current_epoch();
+        if now == last {
+            break;
+        }
+        last = now;
+        assert!(std::time::Instant::now() < deadline, "compactions never quiesced");
+    }
+    assert_matches_oracle(&service, N, &edges, "post-compaction");
+    // Edges accepted across all lineages are all accounted for.
+    assert_eq!(service.snapshot().graph_size().1, edges.len());
+}
+
+#[test]
+fn readers_stay_consistent_while_journal_epochs_publish() {
+    // Concurrent readers hammer snapshots while a writer streams insertion
+    // batches. Every snapshot must be internally consistent: its component
+    // count, ComponentOf partition, and TopKSize(1) all agree with *one*
+    // published journal state (answers are taken through one snapshot, so
+    // any torn state would show as a partition that sums wrong).
+    use std::sync::atomic::{AtomicBool, Ordering::SeqCst};
+    const N: usize = 400;
+    let g = random_forest(N, 8, 0xBEE);
+    let spec = PipelineSpec::default().with_seed(3).with_machines(2);
+    let service = ServiceBuilder::new(g)
+        .spec(spec)
+        .journal_budget(JournalBudget::unbounded())
+        .build()
+        .expect("build");
+
+    let stop = AtomicBool::new(false);
+    std::thread::scope(|s| {
+        for _ in 0..3 {
+            s.spawn(|| {
+                while !stop.load(SeqCst) {
+                    let snap = service.snapshot();
+                    let engine = snap.engine();
+                    let c = snap.num_components();
+                    // Partition check: component ids are dense in 0..c and
+                    // the sizes of the distinct ids sum to n.
+                    let mut size_of = vec![0u64; c];
+                    let mut total = 0u64;
+                    for v in 0..N as VertexId {
+                        let id = engine.answer(Query::ComponentOf(v)) as usize;
+                        assert!(id < c, "dense id {id} out of range for {c} components");
+                        let sz = engine.answer(Query::ComponentSize(v));
+                        if size_of[id] == 0 {
+                            size_of[id] = sz;
+                            total += sz;
+                        } else {
+                            assert_eq!(size_of[id], sz, "size disagreement within component");
+                        }
+                    }
+                    assert_eq!(total, N as u64, "component sizes must partition the graph");
+                    let max = *size_of.iter().max().unwrap();
+                    assert_eq!(engine.answer(Query::TopKSize(1)), max);
+                }
+            });
+        }
+        for b in 0..12u64 {
+            let batch = edge_batch(N, 6, derive_seed(&[0x5EED, b]));
+            service.insert_edges(&batch).expect("insert");
+        }
+        stop.store(true, SeqCst);
+    });
+    assert_eq!(service.current_epoch(), 12);
+}

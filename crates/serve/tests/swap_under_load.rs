@@ -239,6 +239,102 @@ fn driver_stays_per_thread_consistent_while_rebuilds_publish() {
 }
 
 #[test]
+fn shrinking_graph_rebuilds_answer_old_workloads_with_the_sentinel() {
+    // A query stream generated against a 400-vertex epoch keeps hammering
+    // the service across a rebuild down to 150 vertices. Out-of-range
+    // vertices must answer NO_ANSWER — never panic a reader (this used to
+    // kill the serving thread with an index-out-of-bounds).
+    use ampc_query::NO_ANSWER;
+    let queries = shared_workload();
+    let small = random_forest(150, 4, 0x5417);
+    let small_oracle = ComponentIndex::build(&reference_components(&small));
+    let spec = PipelineSpec::default().with_seed(91).with_machines(4);
+    let service = ServiceBuilder::new(epoch_graph(0)).spec(spec).build().expect("build");
+
+    let stop = AtomicBool::new(false);
+    let sentinel_seen = AtomicUsize::new(0);
+    std::thread::scope(|s| {
+        for _ in 0..READERS {
+            s.spawn(|| {
+                while !stop.load(SeqCst) {
+                    let snap = service.snapshot();
+                    let engine = snap.engine();
+                    for &q in &queries {
+                        // Must not panic; on the small epoch, out-of-range
+                        // vertices answer the sentinel.
+                        if engine.answer(q) == NO_ANSWER {
+                            assert_eq!(snap.epoch(), 1, "sentinel on the full-range epoch");
+                            sentinel_seen.fetch_add(1, SeqCst);
+                        }
+                    }
+                }
+            });
+        }
+        service.rebuild(small.clone()).wait().expect("shrinking rebuild");
+        // Run the workload on the small epoch from this thread too, so the
+        // sentinel assertion below doesn't depend on a reader re-snapshotting
+        // before `stop` lands.
+        let snap = service.snapshot();
+        assert_eq!(snap.epoch(), 1);
+        let engine = snap.engine();
+        for &q in &queries {
+            if engine.answer(q) == NO_ANSWER {
+                sentinel_seen.fetch_add(1, SeqCst);
+            }
+        }
+        stop.store(true, SeqCst);
+    });
+
+    let snap = service.snapshot();
+    assert_eq!(snap.epoch(), 1);
+    assert_eq!(snap.index(), &small_oracle);
+    // The shared workload names vertices ≥ 150, so the small epoch must
+    // have produced sentinels (otherwise this test exercised nothing).
+    assert!(sentinel_seen.load(SeqCst) > 0, "no out-of-range query reached the small epoch");
+    assert_eq!(snap.engine().try_answer(ampc_query::Query::ComponentOf(399)), None);
+}
+
+#[test]
+fn requested_order_wins_for_concurrent_rebuilds() {
+    // Request a slow rebuild (big graph) and then a fast one (tiny graph):
+    // the tiny one finishes its pipeline first, but publishes must respect
+    // request order, so the *last-requested* graph is the final epoch.
+    // Under completion-order publishing (the old bug) the big stale graph
+    // would overwrite the tiny one.
+    use ampc_graph::generators::erdos_renyi_gnm;
+    let big = erdos_renyi_gnm(60_000, 180_000, 0xB16);
+    let tiny = random_forest(64, 2, 0x717);
+    let tiny_oracle = ComponentIndex::build(&reference_components(&tiny));
+    let spec = PipelineSpec::default().with_seed(13).with_machines(4);
+    let service = ServiceBuilder::new(epoch_graph(0)).spec(spec).build().expect("build");
+
+    let first = service.rebuild(big);
+    let second = service.rebuild(tiny);
+    let e1 = first.wait().expect("big rebuild");
+    let e2 = second.wait().expect("tiny rebuild");
+    assert_eq!((e1, e2), (1, 2), "publishes must land in request order");
+    let snap = service.snapshot();
+    assert_eq!(snap.epoch(), 2);
+    assert_eq!(snap.index(), &tiny_oracle, "a stale slow rebuild overwrote a newer epoch");
+}
+
+#[test]
+fn dropped_rebuild_handles_still_publish_in_request_order() {
+    // Dropping a RebuildHandle must not detach-and-forget: the rebuild
+    // still runs, still publishes, and still respects request order (the
+    // drop joins the worker). The old code silently discarded the join
+    // handle *and* the error.
+    let spec = PipelineSpec::default().with_seed(47).with_machines(2);
+    let service = ServiceBuilder::new(epoch_graph(0)).spec(spec).build().expect("build");
+    for i in 1..=REBUILDS {
+        drop(service.rebuild(epoch_graph(i)));
+    }
+    assert_eq!(service.current_epoch() as usize, REBUILDS);
+    let final_oracle = ComponentIndex::build(&reference_components(&epoch_graph(REBUILDS)));
+    assert_eq!(service.snapshot().index(), &final_oracle);
+}
+
+#[test]
 fn retired_epochs_are_dropped_once_unpinned_under_load() {
     let spec = PipelineSpec::default().with_seed(55).with_machines(2);
     let service = ServiceBuilder::new(epoch_graph(0)).spec(spec).build().expect("build");

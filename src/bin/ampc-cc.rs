@@ -7,6 +7,7 @@
 //! ampc-cc query <file> [pipeline options as above]
 //!                [--mix uniform|zipf[:EXP]|cross] [--queries N] [--batch B]
 //!                [--threads T] [--query-file F] [--top K] [--json]
+//!                [--stream N] [--stream-batch E]
 //!
 //!   <file>       edge list ("u v" per line, optional "# nodes: N" header);
 //!                use "-" for stdin
@@ -40,6 +41,11 @@
 //!                 (lines: "connected U V" | "component V" | "size V" |
 //!                 "topk K"; '#' comments)
 //!   --top K       print the K largest components
+//!   --stream N    after the throughput passes, apply N random edge-insertion
+//!                 batches through the incremental journal-epoch path,
+//!                 validating the published answers against a from-scratch
+//!                 union-find oracle after every batch
+//!   --stream-batch E  edges per insertion batch (default 64)
 //! ```
 //!
 //! Example:
@@ -53,12 +59,13 @@ use std::io::Read;
 use std::process::ExitCode;
 use std::time::Instant;
 
+use adaptive_mpc_connectivity::ampc::rng::{derive_seed, SplitMix64};
 use adaptive_mpc_connectivity::ampc::{DhtBackend, RunStats};
 use adaptive_mpc_connectivity::cc::pipeline::{Algorithm, Pipeline as _, PipelineSpec};
 use adaptive_mpc_connectivity::graph::{
-    io as graph_io, metrics, reference_components, Graph, Labeling,
+    io as graph_io, metrics, reference_components, Graph, Labeling, VertexId,
 };
-use adaptive_mpc_connectivity::query::{workload, ComponentIndex, QueryEngine};
+use adaptive_mpc_connectivity::query::{workload, ComponentIndex, Query, QueryEngine};
 use adaptive_mpc_connectivity::serve::{driver, ServiceBuilder};
 
 struct RunArgs {
@@ -78,6 +85,8 @@ struct QueryArgs {
     threads: usize,
     query_file: Option<String>,
     top: usize,
+    stream: usize,
+    stream_batch: usize,
 }
 
 enum Cmd {
@@ -105,6 +114,8 @@ fn parse_args() -> Result<Cmd, String> {
     let mut threads = 1usize;
     let mut query_file: Option<String> = None;
     let mut top = 0usize;
+    let mut stream = 0usize;
+    let mut stream_batch = 64usize;
 
     let mut it = argv;
     while let Some(a) = it.next() {
@@ -151,6 +162,17 @@ fn parse_args() -> Result<Cmd, String> {
             "--top" if is_query => {
                 top = value("--top")?.parse().map_err(|e| format!("bad --top: {e}"))?
             }
+            "--stream" if is_query => {
+                stream = value("--stream")?.parse().map_err(|e| format!("bad --stream: {e}"))?
+            }
+            "--stream-batch" if is_query => {
+                stream_batch = value("--stream-batch")?
+                    .parse()
+                    .map_err(|e| format!("bad --stream-batch: {e}"))?;
+                if stream_batch == 0 {
+                    return Err("--stream-batch must be positive".into());
+                }
+            }
             "--help" | "-h" => return Err("usage".into()),
             other if run.file.is_empty() => run.file = other.to_string(),
             other => return Err(format!("unexpected argument: {other}")),
@@ -160,7 +182,17 @@ fn parse_args() -> Result<Cmd, String> {
         return Err("missing input file".into());
     }
     if is_query {
-        Ok(Cmd::Query(QueryArgs { run, mix, queries, batch, threads, query_file, top }))
+        Ok(Cmd::Query(QueryArgs {
+            run,
+            mix,
+            queries,
+            batch,
+            threads,
+            query_file,
+            top,
+            stream,
+            stream_batch,
+        }))
     } else {
         Ok(Cmd::Run(run))
     }
@@ -317,8 +349,11 @@ fn cmd_query(args: QueryArgs) -> Result<(), String> {
     let alg = announce(&args.run.spec, &g);
     let (n, m) = (g.n(), g.m());
     // The union-find truth is computed up front so the graph can be moved
-    // into the service (no second copy of a large input).
+    // into the service (no second copy of a large input). The streaming
+    // phase re-derives merged graphs, so it keeps the edge list around.
     let truth = reference_components(&g);
+    let base_edges: Vec<(VertexId, VertexId)> =
+        if args.stream > 0 { g.edges().collect() } else { Vec::new() };
 
     // The service owns the run→validate→index→serve lifecycle: it executes
     // the spec, refuses a labeling that fails validation against the
@@ -437,6 +472,89 @@ fn cmd_query(args: QueryArgs) -> Result<(), String> {
         }
     }
 
+    // Streaming phase: apply deterministic random edge batches through the
+    // incremental journal-epoch path, validating each published epoch
+    // against a from-scratch union-find oracle before timing counts.
+    struct StreamSummary {
+        batches: usize,
+        edges_per_batch: usize,
+        avg_publish_ms: f64,
+        max_publish_ms: f64,
+        final_epoch: u64,
+        final_components: usize,
+        journal_merges: usize,
+    }
+    let streaming: Option<StreamSummary> = if args.stream > 0 {
+        let mut all_edges = base_edges;
+        let mut rng = SplitMix64::new(derive_seed(&[0x57_AE, args.run.spec.seed]));
+        let mut publish_ms: Vec<f64> = Vec::with_capacity(args.stream);
+        let mut last_merges = 0usize;
+        for b in 0..args.stream {
+            let batch: Vec<(VertexId, VertexId)> = (0..args.stream_batch)
+                .map(|_| {
+                    (rng.next_below(n as u64) as VertexId, rng.next_below(n as u64) as VertexId)
+                })
+                .collect();
+            let t0 = Instant::now();
+            let report = service
+                .insert_edges(&batch)
+                .map_err(|e| format!("insert batch {b} failed: {e}"))?;
+            publish_ms.push(t0.elapsed().as_secs_f64() * 1e3);
+            last_merges = report.journal_merges;
+            all_edges.extend_from_slice(&batch);
+            // Oracle check: the journal-epoch must answer exactly like a
+            // fresh build over every edge accepted so far.
+            let oracle =
+                ComponentIndex::build(&reference_components(&Graph::from_edges(n, &all_edges)));
+            let live = service.snapshot();
+            let engine = live.engine();
+            if live.num_components() != oracle.num_components() {
+                return Err(format!(
+                    "stream batch {b}: {} components served, oracle has {}",
+                    live.num_components(),
+                    oracle.num_components()
+                ));
+            }
+            let mut probe = SplitMix64::new(derive_seed(&[0x0_5AC1E, b as u64]));
+            for _ in 0..2048.min(n) {
+                let v = probe.next_below(n as u64) as VertexId;
+                let want = oracle.component_of(v) as u64;
+                let got = engine.answer(Query::ComponentOf(v));
+                if got != want {
+                    return Err(format!(
+                        "stream batch {b}: ComponentOf({v}) answered {got}, oracle {want}"
+                    ));
+                }
+            }
+        }
+        let avg = publish_ms.iter().sum::<f64>() / publish_ms.len() as f64;
+        let max = publish_ms.iter().fold(0.0f64, |a, &b| a.max(b));
+        let live = service.snapshot();
+        let summary = StreamSummary {
+            batches: args.stream,
+            edges_per_batch: args.stream_batch,
+            avg_publish_ms: avg,
+            max_publish_ms: max,
+            final_epoch: live.epoch(),
+            final_components: live.num_components(),
+            journal_merges: last_merges,
+        };
+        eprintln!(
+            "streaming: {} batches × {} edges | journal publish avg {:.3} ms (max {:.3}) | \
+             epoch {} | {} components | {} journal merges | all answers match the oracle",
+            summary.batches,
+            summary.edges_per_batch,
+            summary.avg_publish_ms,
+            summary.max_publish_ms,
+            summary.final_epoch,
+            summary.final_components,
+            summary.journal_merges
+        );
+        Some(summary)
+    } else {
+        None
+    };
+
     if args.run.json {
         let mut s = String::new();
         s.push_str("{\n");
@@ -466,7 +584,24 @@ fn cmd_query(args: QueryArgs) -> Result<(), String> {
         let _ = writeln!(s, "  \"single_queries_per_sec\": {:.0},", report.aggregate_single_qps);
         let _ = writeln!(s, "  \"batch_queries_per_sec\": {:.0},", report.aggregate_batch_qps);
         let _ = writeln!(s, "  \"checksum\": {},", report.checksum);
-        let _ = writeln!(s, "  \"validated\": {}", queries.len());
+        if let Some(st) = &streaming {
+            let _ = writeln!(s, "  \"validated\": {},", queries.len());
+            let _ = writeln!(
+                s,
+                "  \"streaming\": {{ \"batches\": {}, \"edges_per_batch\": {}, \
+                 \"avg_journal_publish_ms\": {:.3}, \"max_journal_publish_ms\": {:.3}, \
+                 \"final_epoch\": {}, \"final_components\": {}, \"journal_merges\": {} }}",
+                st.batches,
+                st.edges_per_batch,
+                st.avg_publish_ms,
+                st.max_publish_ms,
+                st.final_epoch,
+                st.final_components,
+                st.journal_merges
+            );
+        } else {
+            let _ = writeln!(s, "  \"validated\": {}", queries.len());
+        }
         s.push_str("}\n");
         print!("{s}");
     } else if args.run.labels {
@@ -489,7 +624,7 @@ fn main() -> ExitCode {
                  \x20      ampc-cc query <file> [pipeline options]\n\
                  \x20                 [--mix uniform|zipf[:EXP]|cross] [--queries N]\n\
                  \x20                 [--batch B] [--threads T] [--query-file F] [--top K]\n\
-                 \x20                 [--json]"
+                 \x20                 [--stream N] [--stream-batch E] [--json]"
             );
             return ExitCode::from(2);
         }

@@ -223,6 +223,42 @@ fn cli_query_file_answers_are_reported() {
 }
 
 #[test]
+fn cli_query_stream_validates_journal_epochs() {
+    // --stream drives the incremental journal-epoch path: insertion batches
+    // published without a rebuild, each validated against a from-scratch
+    // union-find oracle.
+    let out = run_query(&[
+        "--seed",
+        "7",
+        "--queries",
+        "500",
+        "--stream",
+        "3",
+        "--stream-batch",
+        "8",
+        "--json",
+    ]);
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(out.status.success(), "--stream: exit {:?}\n{stderr}", out.status.code());
+    assert!(
+        stderr.contains("streaming: 3 batches × 8 edges"),
+        "missing streaming summary\n{stderr}"
+    );
+    assert!(stderr.contains("all answers match the oracle"), "missing oracle validation\n{stderr}");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("\"streaming\": {"), "missing streaming JSON\n{stdout}");
+    assert!(stdout.contains("\"final_epoch\": 3"), "3 batches must publish 3 epochs\n{stdout}");
+
+    // Grammar: malformed or misplaced stream flags are usage errors.
+    for bad in [&["--stream", "x"][..], &["--stream-batch", "0"], &["--stream-batch", "y"]] {
+        let out = run_query(bad);
+        assert_eq!(out.status.code(), Some(2), "query {bad:?} must exit 2");
+    }
+    let out = run(&["--stream", "2"]);
+    assert_eq!(out.status.code(), Some(2), "--stream without the query subcommand must exit 2");
+}
+
+#[test]
 fn cli_json_run_output_is_machine_readable() {
     let out = run(&["--general", "--seed", "7", "--json"]);
     assert!(out.status.success());
