@@ -20,6 +20,13 @@
 //! rows measure oversubscription, not scaling — the interesting numbers
 //! come from multi-core runs.
 //!
+//! The **snapshot** section measures the fan-out path: persist the
+//! published epoch (atomic rename), boot a fresh replica from the file
+//! (one bulk read + validation, sections reinterpreted in place), and
+//! cross-validate that the boot answers every mix byte-identically to the
+//! live-built service. The bench asserts the boot is ≥ 1000× faster than
+//! the pipeline build (≥ 10× in quick mode, where the build is small).
+//!
 //! The **streaming** section measures the incremental delta path: edge
 //! insertion batches published as journal-epochs interleaved with read
 //! passes, versus the full rebuild they replace. Every batch is validated
@@ -87,6 +94,7 @@ fn main() {
 
     let mut mix_sections = Vec::new();
     let mut scaling_rows = Vec::new();
+    let mut mix_checksums = Vec::new();
     for mix in Mix::STANDARD {
         let queries = workload::generate(snap.index(), mix, num_queries, SEED);
         let mut baseline_checksum = None;
@@ -127,7 +135,63 @@ fn main() {
                 ));
             }
         }
+        mix_checksums.push((mix, baseline_checksum.unwrap_or(0)));
     }
+
+    // ---- snapshot: persist the published epoch, boot a replica from the
+    // file (one bulk read + validation, zero per-element deserialization),
+    // and prove the boot answers every mix byte-identically to the
+    // live-built service it was persisted from.
+    let snap_path =
+        std::env::temp_dir().join(format!("ampc_query_throughput_{}.snap", std::process::id()));
+    let t0 = Instant::now();
+    let persist_report = service.persist(&snap_path).expect("persist");
+    let persist_ms = t0.elapsed().as_secs_f64() * 1e3;
+    let t0 = Instant::now();
+    let booted = ServiceBuilder::from_snapshot(&snap_path).expect("snapshot boot");
+    let boot_ms = t0.elapsed().as_secs_f64() * 1e3;
+    let bsnap = booted.snapshot();
+    assert!(bsnap.index().is_snapshot_backed(), "boot must reinterpret sections in place");
+    assert_eq!(bsnap.index(), snap.index(), "booted index must equal the live one byte for byte");
+    let mut post_boot_qps = 0.0f64;
+    for &(mix, expect) in &mix_checksums {
+        // Same index ⇒ same generated workload; the booted service must
+        // reproduce the live service's checksum exactly, on every mix.
+        let queries = workload::generate(bsnap.index(), mix, num_queries, SEED);
+        let r = driver::run(&booted, &queries, 1, BATCH);
+        assert_eq!(
+            r.checksum,
+            expect,
+            "mix {}: booted replica diverged from the live service",
+            mix.name()
+        );
+        post_boot_qps = post_boot_qps.max(r.aggregate_batch_qps);
+    }
+    let boot_speedup = build_ms / boot_ms;
+    let min_speedup = if quick() { 10.0 } else { 1000.0 };
+    println!(
+        "  snapshot: {} bytes | persist {persist_ms:.2} ms | boot {boot_ms:.2} ms \
+         ({boot_speedup:.0}× faster than the {build_ms:.1} ms build) | post-boot \
+         {post_boot_qps:.0} q/s | all {} mixes byte-identical",
+        persist_report.bytes,
+        mix_checksums.len()
+    );
+    assert!(
+        boot_speedup >= min_speedup,
+        "snapshot boot must be ≥ {min_speedup}× faster than the pipeline build \
+         (got {boot_speedup:.1}×)"
+    );
+    drop(bsnap);
+    drop(booted);
+    let _ = std::fs::remove_file(&snap_path);
+    let snapshot_section = format!(
+        "{{ \"file_bytes\": {}, \"persist_ms\": {persist_ms:.2}, \"boot_ms\": {boot_ms:.2}, \
+         \"boot_vs_build_speedup\": {boot_speedup:.0}, \
+         \"post_boot_batch_queries_per_sec\": {post_boot_qps:.0}, \
+         \"cross_validated_mixes\": {} }}",
+        persist_report.bytes,
+        mix_checksums.len()
+    );
 
     // ---- streaming: journal-epoch inserts vs. the rebuild they replace.
     let (batches, edges_per_batch) = if quick() { (8usize, 64usize) } else { (16usize, 64usize) };
@@ -204,10 +268,11 @@ fn main() {
         "{{\n  \"bench\": \"query_throughput\",\n  \"n\": {n},\n  \"components\": {},\n  \
          \"queries_per_mix\": {num_queries},\n  \"batch\": {BATCH},\n  \
          \"service_build_ms\": {build_ms:.1},\n  \"mixes\": {{ {} }},\n  \
-         \"thread_scaling\": [\n    {}\n  ],\n  \"streaming\": {}\n}}\n",
+         \"thread_scaling\": [\n    {}\n  ],\n  \"snapshot\": {},\n  \"streaming\": {}\n}}\n",
         components,
         mix_sections.join(", "),
         scaling_rows.join(",\n    "),
+        snapshot_section,
         streaming_section
     );
     let out_path = std::env::var("BENCH_QUERY_THROUGHPUT_OUT").unwrap_or_else(|_| {

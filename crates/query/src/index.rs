@@ -11,56 +11,232 @@
 //! Query-path layout (no hashing anywhere):
 //!
 //! ```text
-//! comp_of : Vec<u32>        vertex   → dense component id
-//! offsets : Vec<usize>      component → member-list slice bounds (CSR)
-//! members : Vec<VertexId>   concatenated member lists, sorted per component
-//! by_size : Vec<u32>        component ids, largest component first
+//! comp_of : [u32]        vertex   → dense component id
+//! offsets : [u64]        component → member-list slice bounds (CSR)
+//! members : [VertexId]   concatenated member lists, sorted per component
+//! by_size : [u32]        component ids, largest component first
 //! ```
+//!
+//! The four arrays are plain fixed-width words (`offsets` is `u64`, not
+//! `usize`, precisely so the in-memory layout *is* the on-disk layout of
+//! [`crate::snapshot`]) and can be **owned** (`Vec`s, the product of a live
+//! [`ComponentIndex::build`]) or **borrowed** in place from a loaded
+//! snapshot buffer. Either way the hot path reads through the same raw
+//! slices — no enum dispatch, no hashing, no deserialization.
 
-use std::collections::HashMap;
+use std::sync::Arc;
 
 use ampc_graph::{Graph, Labeling, VertexId};
+
+use crate::snapshot::SnapshotBuf;
 
 /// Dense component identifier in `0..num_components`.
 pub type ComponentId = u32;
 
+/// A borrowed fixed-width section: raw pointer + element count. The
+/// pointee is owned by the index's [`Storage`] (a `Vec`'s heap buffer or a
+/// shared snapshot buffer), both of which keep their allocation at a
+/// stable address for the index's whole lifetime, so the pointer stays
+/// valid even as the `ComponentIndex` value itself moves.
+struct RawSlice<T> {
+    ptr: *const T,
+    len: usize,
+}
+
+impl<T> Clone for RawSlice<T> {
+    fn clone(&self) -> Self {
+        *self
+    }
+}
+
+impl<T> Copy for RawSlice<T> {}
+
+impl<T> RawSlice<T> {
+    fn of(s: &[T]) -> Self {
+        RawSlice { ptr: s.as_ptr(), len: s.len() }
+    }
+
+    /// # Safety
+    /// The caller must guarantee the pointee outlives `'a` and is never
+    /// mutated — upheld by tying every call to `&self` of the owning
+    /// [`ComponentIndex`], whose `storage` keeps the buffer alive and
+    /// immutable.
+    #[inline]
+    unsafe fn get<'a>(&self) -> &'a [T] {
+        std::slice::from_raw_parts(self.ptr, self.len)
+    }
+}
+
+/// What owns the bytes behind the four sections.
+enum Storage {
+    /// A live build: the index owns its arrays.
+    Owned {
+        #[allow(dead_code)]
+        comp_of: Vec<ComponentId>,
+        #[allow(dead_code)]
+        offsets: Vec<u64>,
+        #[allow(dead_code)]
+        members: Vec<VertexId>,
+        #[allow(dead_code)]
+        by_size: Vec<ComponentId>,
+    },
+    /// A booted snapshot: the sections are views into one shared,
+    /// alignment-guaranteed buffer (zero per-element deserialization).
+    Snapshot(#[allow(dead_code)] Arc<SnapshotBuf>),
+}
+
 /// An immutable connectivity index over one labeling.
-#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct ComponentIndex {
-    comp_of: Vec<ComponentId>,
-    offsets: Vec<usize>,
-    members: Vec<VertexId>,
-    by_size: Vec<ComponentId>,
+    comp_of: RawSlice<ComponentId>,
+    offsets: RawSlice<u64>,
+    members: RawSlice<VertexId>,
+    by_size: RawSlice<ComponentId>,
+    storage: Storage,
+}
+
+// SAFETY: the raw slices point into `storage`, which is `Send + Sync`
+// (`Vec`s / `Arc<SnapshotBuf>` of plain words) and is never mutated after
+// construction; sharing immutable views of it across threads is sound.
+unsafe impl Send for ComponentIndex {}
+unsafe impl Sync for ComponentIndex {}
+
+/// Open-addressed `u64 label → ComponentId` table, sized from the labeling
+/// so the load factor never exceeds 1/2 and no resize ever happens.
+/// Replaces the `HashMap::entry` probe that dominated index builds: one
+/// multiply-xorshift mix plus linear probing over flat arrays.
+struct LabelInterner {
+    keys: Vec<u64>,
+    /// `ComponentId::MAX` marks an empty slot. A real id can never collide
+    /// with the sentinel: ids are `0..c` with `c ≤ n ≤ u32::MAX`, so the
+    /// largest assignable id is `u32::MAX - 1`.
+    vals: Vec<ComponentId>,
+    mask: usize,
+    len: ComponentId,
+}
+
+/// SplitMix64 finalizer — the same full-avalanche mix family the DHT's
+/// `PackedKeyHasher` uses, so adversarial label values cannot cluster.
+#[inline]
+fn mix64(mut x: u64) -> u64 {
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+impl LabelInterner {
+    fn sized_for(n: usize) -> Self {
+        // ≤ n distinct labels can occur, so 2n slots (next power of two)
+        // bound the load factor at 1/2 — probes stay O(1) expected.
+        let cap = (n.max(8) * 2).next_power_of_two();
+        LabelInterner {
+            keys: vec![0; cap],
+            vals: vec![ComponentId::MAX; cap],
+            mask: cap - 1,
+            len: 0,
+        }
+    }
+
+    /// Dense id of `label`, assigning the next id on first sight.
+    #[inline]
+    fn intern(&mut self, label: u64) -> ComponentId {
+        let mut i = (mix64(label) as usize) & self.mask;
+        loop {
+            let v = self.vals[i];
+            if v == ComponentId::MAX {
+                let id = self.len;
+                self.keys[i] = label;
+                self.vals[i] = id;
+                self.len += 1;
+                return id;
+            }
+            if self.keys[i] == label {
+                return v;
+            }
+            i = (i + 1) & self.mask;
+        }
+    }
 }
 
 impl ComponentIndex {
+    /// Builds an index that owns its arrays, wiring up the raw section
+    /// views. Moving a `Vec` moves only its (ptr, len, cap) triple — the
+    /// heap buffer the views point into stays put.
+    fn from_owned(
+        comp_of: Vec<ComponentId>,
+        offsets: Vec<u64>,
+        members: Vec<VertexId>,
+        by_size: Vec<ComponentId>,
+    ) -> Self {
+        ComponentIndex {
+            comp_of: RawSlice::of(&comp_of),
+            offsets: RawSlice::of(&offsets),
+            members: RawSlice::of(&members),
+            by_size: RawSlice::of(&by_size),
+            storage: Storage::Owned { comp_of, offsets, members, by_size },
+        }
+    }
+
+    /// Builds an index whose sections are in-place views of `buf` — the
+    /// zero-copy boot path. Each section is `(byte_offset, element_count)`
+    /// into the buffer.
+    ///
+    /// # Safety
+    /// Every section must lie within `buf`, be aligned for its element
+    /// type, and already be validated ([`crate::snapshot`] checks bounds,
+    /// alignment, checksums, and value ranges before calling this).
+    pub(crate) unsafe fn from_snapshot_buf(
+        buf: Arc<SnapshotBuf>,
+        comp_of: (usize, usize),
+        offsets: (usize, usize),
+        members: (usize, usize),
+        by_size: (usize, usize),
+    ) -> Self {
+        let base = buf.as_bytes().as_ptr();
+        let section = |(off, len): (usize, usize)| RawSlice {
+            // SAFETY: caller guarantees `off` is in bounds of the buffer.
+            ptr: unsafe { base.add(off) } as *const ComponentId,
+            len,
+        };
+        ComponentIndex {
+            comp_of: section(comp_of),
+            offsets: RawSlice {
+                // SAFETY: as above.
+                ptr: unsafe { base.add(offsets.0) } as *const u64,
+                len: offsets.1,
+            },
+            members: section(members),
+            by_size: section(by_size),
+            storage: Storage::Snapshot(buf),
+        }
+    }
+
     /// Builds the index from a labeling.
     ///
     /// Dense ids are assigned in order of first appearance scanning
     /// vertices `0..n`, i.e. components are numbered by their minimum
     /// member vertex — deterministic for any labeling of the same
-    /// partition. The only hashing happens here, once, at build time.
+    /// partition. The only hashing happens here, once, at build time, in
+    /// a flat open-addressed table sized from the labeling.
     pub fn build(labeling: &Labeling) -> Self {
         let n = labeling.len();
-        let mut dense: HashMap<u64, ComponentId> = HashMap::new();
+        let mut interner = LabelInterner::sized_for(n);
         let mut comp_of = Vec::with_capacity(n);
-        for (_, label) in labeling.iter() {
-            let next = dense.len() as ComponentId;
-            comp_of.push(*dense.entry(label).or_insert(next));
+        for &label in &labeling.0 {
+            comp_of.push(interner.intern(label));
         }
-        let c = dense.len();
+        let c = interner.len as usize;
 
         // Counting sort of vertices by component: offsets then fill. The
         // vertex scan is in increasing order, so each member list comes out
         // sorted without a per-component sort.
-        let mut offsets = vec![0usize; c + 1];
+        let mut offsets = vec![0u64; c + 1];
         for &comp in &comp_of {
             offsets[comp as usize + 1] += 1;
         }
         for i in 0..c {
             offsets[i + 1] += offsets[i];
         }
-        let mut cursor = offsets.clone();
+        let mut cursor: Vec<usize> = offsets.iter().map(|&o| o as usize).collect();
         let mut members = vec![0 as VertexId; n];
         for (v, &comp) in comp_of.iter().enumerate() {
             members[cursor[comp as usize]] = v as VertexId;
@@ -71,10 +247,10 @@ impl ComponentIndex {
         // Descending size; ties broken by ascending id — total order, so
         // the ranking is deterministic.
         by_size.sort_by_key(|&comp| {
-            (usize::MAX - (offsets[comp as usize + 1] - offsets[comp as usize]), comp)
+            (u64::MAX - (offsets[comp as usize + 1] - offsets[comp as usize]), comp)
         });
 
-        ComponentIndex { comp_of, offsets, members, by_size }
+        Self::from_owned(comp_of, offsets, members, by_size)
     }
 
     /// Builds the index from a pipeline run over `g`, refusing a labeling
@@ -95,16 +271,50 @@ impl ComponentIndex {
         Ok(Self::build(labeling))
     }
 
+    /// The `comp_of` section (vertex → dense component id).
+    #[inline]
+    pub(crate) fn comp_of_slice(&self) -> &[ComponentId] {
+        // SAFETY: `storage` owns the pointee and is immutable; see RawSlice.
+        unsafe { self.comp_of.get() }
+    }
+
+    /// The CSR `offsets` section (fixed-width, snapshot-identical layout).
+    #[inline]
+    pub(crate) fn offsets_slice(&self) -> &[u64] {
+        // SAFETY: as above.
+        unsafe { self.offsets.get() }
+    }
+
+    /// The `members` section (concatenated sorted member lists).
+    #[inline]
+    pub(crate) fn members_slice(&self) -> &[VertexId] {
+        // SAFETY: as above.
+        unsafe { self.members.get() }
+    }
+
+    /// The `by_size` ranking section.
+    #[inline]
+    pub(crate) fn by_size_slice(&self) -> &[ComponentId] {
+        // SAFETY: as above.
+        unsafe { self.by_size.get() }
+    }
+
+    /// True iff this index borrows its sections from a loaded snapshot
+    /// buffer rather than owning them.
+    pub fn is_snapshot_backed(&self) -> bool {
+        matches!(self.storage, Storage::Snapshot(_))
+    }
+
     /// Number of vertices indexed.
     #[inline]
     pub fn num_vertices(&self) -> usize {
-        self.comp_of.len()
+        self.comp_of.len
     }
 
     /// Number of connected components.
     #[inline]
     pub fn num_components(&self) -> usize {
-        self.offsets.len() - 1
+        self.offsets.len - 1
     }
 
     /// Dense component id of `v`. One array read.
@@ -114,7 +324,7 @@ impl ComponentIndex {
     /// unknown provenance use [`ComponentIndex::try_component_of`] instead.
     #[inline]
     pub fn component_of(&self, v: VertexId) -> ComponentId {
-        self.comp_of[v as usize]
+        self.comp_of_slice()[v as usize]
     }
 
     /// Checked [`ComponentIndex::component_of`]: `None` when `v` is not a
@@ -122,7 +332,7 @@ impl ComponentIndex {
     /// bounds-checks too, it just panics.
     #[inline]
     pub fn try_component_of(&self, v: VertexId) -> Option<ComponentId> {
-        self.comp_of.get(v as usize).copied()
+        self.comp_of_slice().get(v as usize).copied()
     }
 
     /// True iff `u` and `v` are in the same component. Two array reads.
@@ -132,7 +342,8 @@ impl ComponentIndex {
     /// [`ComponentIndex::try_connected`].
     #[inline]
     pub fn connected(&self, u: VertexId, v: VertexId) -> bool {
-        self.comp_of[u as usize] == self.comp_of[v as usize]
+        let comp_of = self.comp_of_slice();
+        comp_of[u as usize] == comp_of[v as usize]
     }
 
     /// Checked [`ComponentIndex::connected`]: `None` when either vertex is
@@ -145,7 +356,8 @@ impl ComponentIndex {
     /// Number of vertices in component `c`. Two array reads.
     #[inline]
     pub fn size_of(&self, c: ComponentId) -> usize {
-        self.offsets[c as usize + 1] - self.offsets[c as usize]
+        let offsets = self.offsets_slice();
+        (offsets[c as usize + 1] - offsets[c as usize]) as usize
     }
 
     /// Size of the component containing `v`. Three array reads.
@@ -155,7 +367,7 @@ impl ComponentIndex {
     /// [`ComponentIndex::try_component_size`].
     #[inline]
     pub fn component_size(&self, v: VertexId) -> usize {
-        self.size_of(self.comp_of[v as usize])
+        self.size_of(self.component_of(v))
     }
 
     /// Checked [`ComponentIndex::component_size`]: `None` when `v` is out
@@ -168,32 +380,76 @@ impl ComponentIndex {
     /// Sorted member vertices of component `c`. A slice borrow, no copy.
     #[inline]
     pub fn members(&self, c: ComponentId) -> &[VertexId] {
-        &self.members[self.offsets[c as usize]..self.offsets[c as usize + 1]]
+        let offsets = self.offsets_slice();
+        &self.members_slice()[offsets[c as usize] as usize..offsets[c as usize + 1] as usize]
     }
 
     /// The (at most) `k` largest components, largest first, ties by
     /// ascending component id. A slice borrow of the precomputed ranking.
     #[inline]
     pub fn top_k(&self, k: usize) -> &[ComponentId] {
-        &self.by_size[..k.min(self.by_size.len())]
+        let by_size = self.by_size_slice();
+        &by_size[..k.min(by_size.len())]
     }
 
     /// Size of the `rank`-th largest component (1-based), or 0 when there
     /// are fewer than `rank` components.
     #[inline]
     pub fn kth_largest_size(&self, rank: usize) -> usize {
-        if rank == 0 || rank > self.by_size.len() {
+        let by_size = self.by_size_slice();
+        if rank == 0 || rank > by_size.len() {
             return 0;
         }
-        self.size_of(self.by_size[rank - 1])
+        self.size_of(by_size[rank - 1])
     }
 
     /// Heap footprint of the index in bytes (the serving-capacity number).
+    /// For a snapshot-backed index this is the mapped portion of the
+    /// buffer the sections cover.
     pub fn heap_bytes(&self) -> usize {
-        self.comp_of.len() * std::mem::size_of::<ComponentId>()
-            + self.offsets.len() * std::mem::size_of::<usize>()
-            + self.members.len() * std::mem::size_of::<VertexId>()
-            + self.by_size.len() * std::mem::size_of::<ComponentId>()
+        self.comp_of.len * std::mem::size_of::<ComponentId>()
+            + self.offsets.len * std::mem::size_of::<u64>()
+            + self.members.len * std::mem::size_of::<VertexId>()
+            + self.by_size.len * std::mem::size_of::<ComponentId>()
+    }
+}
+
+impl Clone for ComponentIndex {
+    /// Cloning always produces an owning index (a snapshot-backed clone
+    /// deep-copies its sections out of the shared buffer).
+    fn clone(&self) -> Self {
+        Self::from_owned(
+            self.comp_of_slice().to_vec(),
+            self.offsets_slice().to_vec(),
+            self.members_slice().to_vec(),
+            self.by_size_slice().to_vec(),
+        )
+    }
+}
+
+impl PartialEq for ComponentIndex {
+    /// Section-wise equality: an owned index and a snapshot-backed one
+    /// loaded from its persisted form compare equal — the representation
+    /// is not part of the value.
+    fn eq(&self, other: &Self) -> bool {
+        self.comp_of_slice() == other.comp_of_slice()
+            && self.offsets_slice() == other.offsets_slice()
+            && self.members_slice() == other.members_slice()
+            && self.by_size_slice() == other.by_size_slice()
+    }
+}
+
+impl Eq for ComponentIndex {}
+
+impl std::fmt::Debug for ComponentIndex {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ComponentIndex")
+            .field("num_vertices", &self.num_vertices())
+            .field("num_components", &self.num_components())
+            .field("snapshot_backed", &self.is_snapshot_backed())
+            .field("comp_of", &self.comp_of_slice())
+            .field("by_size", &self.by_size_slice())
+            .finish()
     }
 }
 
@@ -307,5 +563,34 @@ mod tests {
             assert_eq!(idx.component_size(u), truth.component_sizes()[&truth.get(u)]);
         }
         assert!(idx.heap_bytes() > 0);
+    }
+
+    #[test]
+    fn clones_are_deep_and_equal() {
+        let idx = index_of(&[4, 4, 9, 9, 9, 1]);
+        let copy = idx.clone();
+        assert_eq!(idx, copy);
+        assert!(!copy.is_snapshot_backed());
+        drop(idx);
+        // The clone owns its arrays — still answers after the original dies.
+        assert_eq!(copy.component_of(5), 2);
+        assert_eq!(copy.members(1), &[2, 3, 4]);
+    }
+
+    #[test]
+    fn interner_survives_adversarial_labels() {
+        // Labels crafted to collide in the low bits: the mix must spread
+        // them, and ids must still follow first-appearance order.
+        let labels: Vec<u64> = (0..64u64).map(|i| i << 32).collect();
+        let idx = ComponentIndex::build(&Labeling(labels));
+        assert_eq!(idx.num_components(), 64);
+        for v in 0..64u32 {
+            assert_eq!(idx.component_of(v), v, "vertex {v} must open component {v}");
+        }
+        // Extreme values intern cleanly too.
+        let idx = index_of(&[u64::MAX, 0, u64::MAX, 0, 1]);
+        assert_eq!(idx.num_components(), 3);
+        assert_eq!(idx.component_of(2), 0);
+        assert_eq!(idx.component_of(3), 1);
     }
 }

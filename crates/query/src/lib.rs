@@ -23,6 +23,13 @@
 //!   serving layer's incremental journal-epochs: resolves base dense ids
 //!   to merged dense ids in one extra array read, byte-identical to a
 //!   from-scratch rebuild of the merged graph;
+//! * [`snapshot`] — versioned, checksummed on-disk persistence of an
+//!   index + labeling in the exact fixed-width layout the in-memory
+//!   arrays use, so a replica boot is one bulk read plus validation and
+//!   in-place reinterpretation — zero per-element deserialization
+//!   ([`ComponentIndex`] arrays are owned `Vec`s when built live, or
+//!   borrowed views over the snapshot buffer when booted from disk;
+//!   query code cannot tell the difference);
 //! * [`workload`] — deterministic SplitMix64-seeded query-mix generators
 //!   (uniform, Zipf-skewed, adversarial cross-component) in the same style
 //!   as the graph generators, plus a plain-text query-file format;
@@ -41,9 +48,11 @@
 mod engine;
 mod index;
 pub mod journal;
+pub mod snapshot;
 pub mod throughput;
 pub mod workload;
 
 pub use engine::{BatchLenError, Query, QueryEngine, NO_ANSWER};
 pub use index::{ComponentId, ComponentIndex};
 pub use journal::JournalView;
+pub use snapshot::{Snapshot, SnapshotError};

@@ -1,0 +1,888 @@
+//! Zero-deserialization snapshot persistence for [`ComponentIndex`].
+//!
+//! A snapshot is the finished product of a pipeline run — the four index
+//! arrays plus the labeling — written to disk in exactly the fixed-width
+//! layout the in-memory index uses, so a replica boot is one bulk read
+//! into an alignment-guaranteed buffer followed by header validation and
+//! in-place reinterpretation. No per-element decode, no allocation per
+//! section, no hashing: the same flat-array discipline that makes the
+//! dense DHT fast makes the boot path O(validate) instead of O(pipeline).
+//!
+//! # On-disk format (version 1, little-endian)
+//!
+//! ```text
+//! offset  size  field
+//!      0     8  magic  b"AMPCSNAP"
+//!      8     4  format version (u32, = 1)
+//!     12     4  endianness tag (u32, = 0x0DD0_EC0D stored little-endian)
+//!     16     8  graph_n (u64)
+//!     24     8  graph_m (u64)
+//!     32     1  algorithm (u8: 1 = forest, 2 = general)
+//!     33     7  zero padding
+//!     40   160  section table: 5 × { kind u64, byte_off u64,
+//!                                    byte_len u64, checksum u64 }
+//!    200     8  header checksum (fold hash of bytes [0, 200))
+//!    208   ...  sections, each 8-byte aligned, zero-padded between
+//! ```
+//!
+//! Sections appear in fixed order with fixed kinds:
+//!
+//! | kind | section    | element | count |
+//! |------|-----------|---------|-------|
+//! | 1    | `comp_of`  | u32     | n     |
+//! | 2    | `offsets`  | u64     | c + 1 |
+//! | 3    | `members`  | u32     | n     |
+//! | 4    | `by_size`  | u32     | c     |
+//! | 5    | `labeling` | u64     | n     |
+//!
+//! The endianness tag is compared with a **native** 4-byte read: a
+//! big-endian host sees the byte-swapped value and gets
+//! [`SnapshotError::EndiannessMismatch`] instead of silently misreading
+//! little-endian sections it would otherwise reinterpret in place. All
+//! checksums are the hand-rolled [`checksum`] fold hash (multiply-xorshift
+//! over 8-byte words, length folded into the seed) — no external crates.
+//!
+//! # Trust model
+//!
+//! The loader never trusts the file. Validation runs outside-in — size,
+//! magic, endianness, version, header checksum, section-table sanity
+//! (kinds, order, alignment, bounds, length consistency), per-section
+//! checksums, then semantic invariants (monotone offsets, in-range
+//! component ids, `by_size` a permutation, `comp_of` in first-appearance
+//! canonical form consistent with the labeling) — and every rejection is a
+//! typed [`SnapshotError`], never a panic and never undefined behaviour.
+
+use std::fmt;
+use std::fs::File;
+use std::io::{Read, Write};
+use std::path::Path;
+use std::sync::Arc;
+
+use ampc_graph::Labeling;
+
+use crate::index::{ComponentId, ComponentIndex};
+
+/// Leading magic bytes of every snapshot file.
+pub const MAGIC: [u8; 8] = *b"AMPCSNAP";
+/// Current format version; bump on any layout change (see DESIGN.md for
+/// the version-bump policy).
+pub const FORMAT_VERSION: u32 = 1;
+/// Asymmetric endianness probe constant (no byte appears twice, and the
+/// byte-swapped value differs from the value itself).
+const ENDIAN_TAG: u32 = 0x0DD0_EC0D;
+/// Size of the fixed header, including the trailing header checksum.
+pub const HEADER_LEN: usize = 208;
+/// Byte offset of the header checksum inside the file (tests re-sign
+/// crafted headers through this).
+pub const HEADER_CHECKSUM_OFFSET: usize = 200;
+/// Number of sections in a version-1 snapshot.
+pub const NUM_SECTIONS: usize = 5;
+
+const TABLE_OFFSET: usize = 40;
+const SECTION_NAMES: [&str; NUM_SECTIONS] =
+    ["comp_of", "offsets", "members", "by_size", "labeling"];
+
+/// Why a snapshot could not be written or loaded.
+///
+/// Every load-path failure is one of these — a corrupt or hostile file can
+/// never panic the replica or reinterpret out-of-bounds memory.
+#[derive(Debug)]
+pub enum SnapshotError {
+    /// The underlying filesystem operation failed.
+    Io(std::io::Error),
+    /// The file does not start with [`MAGIC`] — not a snapshot at all.
+    BadMagic,
+    /// The file was written on a host with different endianness than the
+    /// reader; its sections cannot be reinterpreted in place.
+    EndiannessMismatch,
+    /// The file's format version is not one this build understands.
+    UnsupportedVersion {
+        /// Version number found in the header.
+        found: u32,
+    },
+    /// The file ends before the advertised data does.
+    Truncated {
+        /// Bytes the header (or header parsing) requires.
+        need: usize,
+        /// Bytes actually present.
+        have: usize,
+    },
+    /// The fixed header is self-inconsistent (bad section table, bad
+    /// algorithm tag, failed header checksum, trailing bytes, ...).
+    HeaderCorrupt {
+        /// Human-readable diagnosis.
+        detail: String,
+    },
+    /// A section's payload does not match its recorded checksum.
+    ChecksumMismatch {
+        /// Name of the failing section.
+        section: &'static str,
+    },
+    /// A section passed its checksum but violates a semantic invariant —
+    /// the file was signed by a buggy or hostile writer.
+    Malformed {
+        /// Name of the offending section.
+        section: &'static str,
+        /// Human-readable diagnosis.
+        detail: String,
+    },
+}
+
+impl fmt::Display for SnapshotError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SnapshotError::Io(e) => write!(f, "snapshot i/o error: {e}"),
+            SnapshotError::BadMagic => write!(f, "not a snapshot file (bad magic)"),
+            SnapshotError::EndiannessMismatch => {
+                write!(f, "snapshot endianness does not match this host")
+            }
+            SnapshotError::UnsupportedVersion { found } => {
+                write!(f, "unsupported snapshot format version {found} (expected {FORMAT_VERSION})")
+            }
+            SnapshotError::Truncated { need, have } => {
+                write!(f, "snapshot truncated: need {need} bytes, have {have}")
+            }
+            SnapshotError::HeaderCorrupt { detail } => {
+                write!(f, "snapshot header corrupt: {detail}")
+            }
+            SnapshotError::ChecksumMismatch { section } => {
+                write!(f, "snapshot section `{section}` failed its checksum")
+            }
+            SnapshotError::Malformed { section, detail } => {
+                write!(f, "snapshot section `{section}` malformed: {detail}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SnapshotError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            SnapshotError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for SnapshotError {
+    fn from(e: std::io::Error) -> Self {
+        SnapshotError::Io(e)
+    }
+}
+
+/// Fold-hash checksum: four independent multiply-fold lanes over 8-byte
+/// little-endian words (one 32-byte stride per iteration), length folded
+/// into every lane's seed, trailing partial stride zero-extended, lanes
+/// combined through the SplitMix64 finalizer. The lanes exist for
+/// instruction-level parallelism: a single multiply-fold chain is latency
+/// bound near 1 GB/s, which would dominate the zero-deserialization boot;
+/// four interleaved chains run at memory speed, so checksumming every
+/// section at load costs well under a millisecond per 16 MB. Each lane
+/// step `l = (l ^ w) * M` (odd `M`) is injective in `w`, so any
+/// single-bit flip — including in the zero-extended tail — reaches the
+/// avalanching final combine.
+pub fn checksum(bytes: &[u8]) -> u64 {
+    #[inline]
+    fn mix64(mut x: u64) -> u64 {
+        x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        x ^ (x >> 31)
+    }
+    const M: u64 = 0x2545_F491_4F6C_DD1D;
+    let seed = 0x9E37_79B9_7F4A_7C15u64 ^ (bytes.len() as u64).wrapping_mul(0xA076_1D64_78BD_642F);
+    let (mut l0, mut l1) = (mix64(seed ^ 1), mix64(seed ^ 2));
+    let (mut l2, mut l3) = (mix64(seed ^ 3), mix64(seed ^ 4));
+    let word = |c: &[u8], o: usize| u64::from_le_bytes(c[o..o + 8].try_into().unwrap());
+    let mut chunks = bytes.chunks_exact(32);
+    for c in &mut chunks {
+        l0 = (l0 ^ word(c, 0)).wrapping_mul(M);
+        l1 = (l1 ^ word(c, 8)).wrapping_mul(M);
+        l2 = (l2 ^ word(c, 16)).wrapping_mul(M);
+        l3 = (l3 ^ word(c, 24)).wrapping_mul(M);
+    }
+    let rest = chunks.remainder();
+    if !rest.is_empty() {
+        let mut pad = [0u8; 32];
+        pad[..rest.len()].copy_from_slice(rest);
+        l0 = (l0 ^ word(&pad, 0)).wrapping_mul(M);
+        l1 = (l1 ^ word(&pad, 8)).wrapping_mul(M);
+        l2 = (l2 ^ word(&pad, 16)).wrapping_mul(M);
+        l3 = (l3 ^ word(&pad, 24)).wrapping_mul(M);
+    }
+    let mut h = seed;
+    h = mix64(h ^ l0).wrapping_mul(M);
+    h = mix64(h ^ l1).wrapping_mul(M);
+    h = mix64(h ^ l2).wrapping_mul(M);
+    h = mix64(h ^ l3).wrapping_mul(M);
+    mix64(h)
+}
+
+/// An 8-byte-aligned byte buffer holding one whole snapshot file.
+///
+/// Backing storage is a `Vec<u64>`, so the base address is always aligned
+/// for every section element type (`u32`/`u64`) and in-place
+/// reinterpretation of 8-byte-aligned section offsets is sound.
+pub struct SnapshotBuf {
+    words: Vec<u64>,
+    len: usize,
+}
+
+impl SnapshotBuf {
+    /// An all-zero buffer of `len` bytes.
+    pub fn with_len(len: usize) -> Self {
+        SnapshotBuf { words: vec![0u64; len.div_ceil(8)], len }
+    }
+
+    /// A buffer holding a copy of `bytes` (for decoding in-memory images).
+    pub fn copy_of(bytes: &[u8]) -> Self {
+        let mut buf = Self::with_len(bytes.len());
+        buf.as_bytes_mut().copy_from_slice(bytes);
+        buf
+    }
+
+    /// The buffer contents.
+    #[inline]
+    pub fn as_bytes(&self) -> &[u8] {
+        // SAFETY: `words` owns ≥ `len` initialized bytes at an 8-aligned
+        // base; u64 → u8 reinterpretation is always valid.
+        unsafe { std::slice::from_raw_parts(self.words.as_ptr() as *const u8, self.len) }
+    }
+
+    fn as_bytes_mut(&mut self) -> &mut [u8] {
+        // SAFETY: as `as_bytes`, and `&mut self` gives unique access.
+        unsafe { std::slice::from_raw_parts_mut(self.words.as_mut_ptr() as *mut u8, self.len) }
+    }
+
+    /// Length in bytes.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True iff the buffer is empty.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+}
+
+/// One row of a parsed section table (a test hook: the corruption-matrix
+/// tests use it to aim bit-flips and re-sign crafted files).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct SectionInfo {
+    /// Section name (`comp_of`, `offsets`, `members`, `by_size`,
+    /// `labeling`).
+    pub name: &'static str,
+    /// Byte offset of the section payload in the file.
+    pub byte_off: usize,
+    /// Exact payload length in bytes (padding excluded).
+    pub byte_len: usize,
+    /// Recorded payload checksum.
+    pub checksum: u64,
+    /// Byte offset *of the checksum field itself* inside the header.
+    pub checksum_slot: usize,
+}
+
+/// A loaded snapshot: the zero-copy index plus the owned labeling and the
+/// run metadata the header carries.
+pub struct Snapshot {
+    /// The component index, borrowing its sections from the snapshot
+    /// buffer ([`ComponentIndex::is_snapshot_backed`] is true).
+    pub index: ComponentIndex,
+    /// The run's labeling (copied out: `Labeling` owns a `Vec<u64>`).
+    pub labeling: Labeling,
+    /// Vertex count of the graph the run was over.
+    pub graph_n: u64,
+    /// Edge count of the graph the run was over.
+    pub graph_m: u64,
+    /// Pipeline algorithm tag (1 = forest, 2 = general).
+    pub algorithm: u8,
+    /// Total snapshot size in bytes.
+    pub file_bytes: usize,
+}
+
+fn u32_at(b: &[u8], off: usize) -> u32 {
+    u32::from_le_bytes(b[off..off + 4].try_into().unwrap())
+}
+
+fn u64_at(b: &[u8], off: usize) -> u64 {
+    u64::from_le_bytes(b[off..off + 8].try_into().unwrap())
+}
+
+fn align8(x: usize) -> usize {
+    x.div_ceil(8) * 8
+}
+
+fn push_u32s(out: &mut Vec<u8>, words: &[u32]) {
+    out.reserve(words.len() * 4);
+    for &w in words {
+        out.extend_from_slice(&w.to_le_bytes());
+    }
+}
+
+fn push_u64s(out: &mut Vec<u8>, words: &[u64]) {
+    out.reserve(words.len() * 8);
+    for &w in words {
+        out.extend_from_slice(&w.to_le_bytes());
+    }
+}
+
+/// Encodes an index + labeling into a complete snapshot image.
+///
+/// `graph_n`/`graph_m` describe the graph the labeling was computed over
+/// (`graph_n` must equal the number of indexed vertices); `algorithm` is
+/// the pipeline tag (1 = forest, 2 = general).
+///
+/// # Panics
+/// Panics if `labeling.len() != index.num_vertices()` or `graph_n`
+/// disagrees with it — the writer refuses to sign an inconsistent image.
+pub fn encode(
+    index: &ComponentIndex,
+    labeling: &Labeling,
+    graph_n: u64,
+    graph_m: u64,
+    algorithm: u8,
+) -> Vec<u8> {
+    let n = index.num_vertices();
+    assert_eq!(labeling.len(), n, "labeling and index cover different vertex counts");
+    assert_eq!(graph_n, n as u64, "graph_n disagrees with the index");
+    assert!(algorithm == 1 || algorithm == 2, "algorithm tag must be 1 (forest) or 2 (general)");
+
+    let comp_of = index.comp_of_slice();
+    let offsets = index.offsets_slice();
+    let members = index.members_slice();
+    let by_size = index.by_size_slice();
+
+    let lens = [
+        comp_of.len() * 4,
+        offsets.len() * 8,
+        members.len() * 4,
+        by_size.len() * 4,
+        labeling.len() * 8,
+    ];
+    let mut offs = [0usize; NUM_SECTIONS];
+    let mut cursor = HEADER_LEN;
+    for (slot, len) in offs.iter_mut().zip(lens) {
+        *slot = cursor;
+        cursor = align8(cursor + len);
+    }
+    let total = cursor;
+
+    let mut out = Vec::with_capacity(total);
+    out.extend_from_slice(&MAGIC);
+    out.extend_from_slice(&FORMAT_VERSION.to_le_bytes());
+    out.extend_from_slice(&ENDIAN_TAG.to_le_bytes());
+    out.extend_from_slice(&graph_n.to_le_bytes());
+    out.extend_from_slice(&graph_m.to_le_bytes());
+    out.push(algorithm);
+    out.extend_from_slice(&[0u8; 7]);
+    // Section table — checksums patched in after the payloads are laid
+    // down (they are computed over the exact payload bytes).
+    for (i, (&off, &len)) in offs.iter().zip(&lens).enumerate() {
+        out.extend_from_slice(&(i as u64 + 1).to_le_bytes());
+        out.extend_from_slice(&(off as u64).to_le_bytes());
+        out.extend_from_slice(&(len as u64).to_le_bytes());
+        out.extend_from_slice(&0u64.to_le_bytes());
+    }
+    out.extend_from_slice(&[0u8; 8]); // header checksum placeholder
+    debug_assert_eq!(out.len(), HEADER_LEN);
+
+    push_u32s(&mut out, comp_of);
+    out.resize(offs[1], 0);
+    push_u64s(&mut out, offsets);
+    out.resize(offs[2], 0);
+    push_u32s(&mut out, members);
+    out.resize(offs[3], 0);
+    push_u32s(&mut out, by_size);
+    out.resize(offs[4], 0);
+    labeling.write_le(&mut out);
+    out.resize(total, 0);
+
+    for (i, (&off, &len)) in offs.iter().zip(&lens).enumerate() {
+        let digest = checksum(&out[off..off + len]);
+        let slot = TABLE_OFFSET + i * 32 + 24;
+        out[slot..slot + 8].copy_from_slice(&digest.to_le_bytes());
+    }
+    let header_digest = checksum(&out[..HEADER_CHECKSUM_OFFSET]);
+    out[HEADER_CHECKSUM_OFFSET..HEADER_LEN].copy_from_slice(&header_digest.to_le_bytes());
+    out
+}
+
+/// Writes `bytes` to `path` atomically: write + fsync a sibling temp file,
+/// then rename over the destination. Readers either see the old file or
+/// the complete new one, never a torn write.
+pub fn write_atomic(path: &Path, bytes: &[u8]) -> Result<(), SnapshotError> {
+    let tmp = path.with_extension(format!("tmp.{}", std::process::id()));
+    let result = (|| -> std::io::Result<()> {
+        let mut f = File::create(&tmp)?;
+        f.write_all(bytes)?;
+        f.sync_all()?;
+        std::fs::rename(&tmp, path)
+    })();
+    if result.is_err() {
+        let _ = std::fs::remove_file(&tmp);
+    }
+    result.map_err(SnapshotError::Io)
+}
+
+/// Encodes and atomically persists a snapshot; returns the bytes written.
+pub fn persist(
+    path: &Path,
+    index: &ComponentIndex,
+    labeling: &Labeling,
+    graph_n: u64,
+    graph_m: u64,
+    algorithm: u8,
+) -> Result<u64, SnapshotError> {
+    let bytes = encode(index, labeling, graph_n, graph_m, algorithm);
+    write_atomic(path, &bytes)?;
+    Ok(bytes.len() as u64)
+}
+
+/// Validates the fixed header and returns the parsed section table.
+///
+/// Public as a test hook: the corruption-matrix tests parse a good file's
+/// table to aim precise bit-flips and truncations.
+pub fn section_table(bytes: &[u8]) -> Result<[SectionInfo; NUM_SECTIONS], SnapshotError> {
+    if bytes.len() < HEADER_LEN {
+        return Err(SnapshotError::Truncated { need: HEADER_LEN, have: bytes.len() });
+    }
+    if bytes[..8] != MAGIC {
+        return Err(SnapshotError::BadMagic);
+    }
+    // Native read on purpose: a byte-swapped tag means the file's sections
+    // cannot be reinterpreted on this host. Checked before the version so
+    // the version field itself is read with known byte order.
+    let tag = u32::from_ne_bytes(bytes[12..16].try_into().unwrap());
+    if tag != ENDIAN_TAG {
+        return Err(SnapshotError::EndiannessMismatch);
+    }
+    let version = u32_at(bytes, 8);
+    if version != FORMAT_VERSION {
+        return Err(SnapshotError::UnsupportedVersion { found: version });
+    }
+    let recorded = u64_at(bytes, HEADER_CHECKSUM_OFFSET);
+    if checksum(&bytes[..HEADER_CHECKSUM_OFFSET]) != recorded {
+        return Err(SnapshotError::HeaderCorrupt { detail: "header checksum mismatch".into() });
+    }
+
+    let mut table =
+        [SectionInfo { name: "", byte_off: 0, byte_len: 0, checksum: 0, checksum_slot: 0 };
+            NUM_SECTIONS];
+    let mut expected_off = HEADER_LEN;
+    for (i, slot) in table.iter_mut().enumerate() {
+        let row = TABLE_OFFSET + i * 32;
+        let kind = u64_at(bytes, row);
+        if kind != i as u64 + 1 {
+            return Err(SnapshotError::HeaderCorrupt {
+                detail: format!("section {i} has kind {kind}, expected {}", i + 1),
+            });
+        }
+        let byte_off = u64_at(bytes, row + 8);
+        let byte_len = u64_at(bytes, row + 16);
+        // Bounds before narrowing: a hostile 2^63 offset must not wrap.
+        if byte_off > usize::MAX as u64
+            || byte_len > usize::MAX as u64
+            || byte_off.checked_add(byte_len).is_none()
+        {
+            return Err(SnapshotError::HeaderCorrupt {
+                detail: format!("section `{}` extent overflows", SECTION_NAMES[i]),
+            });
+        }
+        let (byte_off, byte_len) = (byte_off as usize, byte_len as usize);
+        if byte_off % 8 != 0 {
+            return Err(SnapshotError::HeaderCorrupt {
+                detail: format!(
+                    "section `{}` offset {byte_off} not 8-byte aligned",
+                    SECTION_NAMES[i]
+                ),
+            });
+        }
+        if byte_off != expected_off {
+            return Err(SnapshotError::HeaderCorrupt {
+                detail: format!(
+                    "section `{}` at offset {byte_off}, expected {expected_off}",
+                    SECTION_NAMES[i]
+                ),
+            });
+        }
+        expected_off = align8(byte_off + byte_len);
+        *slot = SectionInfo {
+            name: SECTION_NAMES[i],
+            byte_off,
+            byte_len,
+            checksum: u64_at(bytes, row + 24),
+            checksum_slot: row + 24,
+        };
+    }
+    match bytes.len().cmp(&expected_off) {
+        std::cmp::Ordering::Less => {
+            return Err(SnapshotError::Truncated { need: expected_off, have: bytes.len() })
+        }
+        std::cmp::Ordering::Greater => {
+            return Err(SnapshotError::HeaderCorrupt {
+                detail: format!("{} trailing bytes after last section", bytes.len() - expected_off),
+            })
+        }
+        std::cmp::Ordering::Equal => {}
+    }
+    Ok(table)
+}
+
+/// Reinterprets `count` elements of `T` at `off` — bounds and alignment
+/// must already be validated.
+///
+/// # Safety
+/// `off` must be aligned for `T` and `off + count * size_of::<T>()` must
+/// be within `bytes`.
+unsafe fn view<T>(bytes: &[u8], off: usize, count: usize) -> &[T] {
+    unsafe { std::slice::from_raw_parts(bytes.as_ptr().add(off) as *const T, count) }
+}
+
+fn decode_buf(buf: Arc<SnapshotBuf>) -> Result<Snapshot, SnapshotError> {
+    let bytes = buf.as_bytes();
+    let table = section_table(bytes)?;
+
+    // Length consistency: section byte lengths must agree with each other
+    // and with the header's graph_n before any element is interpreted.
+    let [comp_of_s, offsets_s, members_s, by_size_s, labeling_s] = table;
+    if comp_of_s.byte_len % 4 != 0 {
+        return Err(SnapshotError::HeaderCorrupt {
+            detail: format!("comp_of byte length {} not a multiple of 4", comp_of_s.byte_len),
+        });
+    }
+    let n = comp_of_s.byte_len / 4;
+    let graph_n = u64_at(bytes, 16);
+    let graph_m = u64_at(bytes, 24);
+    if graph_n != n as u64 {
+        return Err(SnapshotError::HeaderCorrupt {
+            detail: format!("header graph_n {graph_n} disagrees with comp_of length {n}"),
+        });
+    }
+    if n as u64 > u32::MAX as u64 {
+        return Err(SnapshotError::HeaderCorrupt {
+            detail: format!("vertex count {n} exceeds u32 id space"),
+        });
+    }
+    if offsets_s.byte_len % 8 != 0 || offsets_s.byte_len == 0 {
+        return Err(SnapshotError::HeaderCorrupt {
+            detail: format!("offsets byte length {} invalid", offsets_s.byte_len),
+        });
+    }
+    let c = offsets_s.byte_len / 8 - 1;
+    if c > n {
+        return Err(SnapshotError::HeaderCorrupt {
+            detail: format!("{c} components over {n} vertices"),
+        });
+    }
+    if members_s.byte_len != n * 4 {
+        return Err(SnapshotError::HeaderCorrupt {
+            detail: format!("members byte length {} != 4·n = {}", members_s.byte_len, n * 4),
+        });
+    }
+    if by_size_s.byte_len != c * 4 {
+        return Err(SnapshotError::HeaderCorrupt {
+            detail: format!("by_size byte length {} != 4·c = {}", by_size_s.byte_len, c * 4),
+        });
+    }
+    if labeling_s.byte_len != n * 8 {
+        return Err(SnapshotError::HeaderCorrupt {
+            detail: format!("labeling byte length {} != 8·n = {}", labeling_s.byte_len, n * 8),
+        });
+    }
+    let algorithm = bytes[32];
+    if algorithm != 1 && algorithm != 2 {
+        return Err(SnapshotError::HeaderCorrupt {
+            detail: format!("unknown algorithm tag {algorithm}"),
+        });
+    }
+
+    for s in &table {
+        if checksum(&bytes[s.byte_off..s.byte_off + s.byte_len]) != s.checksum {
+            return Err(SnapshotError::ChecksumMismatch { section: s.name });
+        }
+    }
+
+    // SAFETY: every section's bounds and 8-byte alignment were validated
+    // by `section_table`, and the buffer base is 8-byte aligned.
+    let comp_of: &[u32] = unsafe { view(bytes, comp_of_s.byte_off, n) };
+    let offsets: &[u64] = unsafe { view(bytes, offsets_s.byte_off, c + 1) };
+    let members: &[u32] = unsafe { view(bytes, members_s.byte_off, n) };
+    let by_size: &[u32] = unsafe { view(bytes, by_size_s.byte_off, c) };
+    let labels: &[u64] = unsafe { view(bytes, labeling_s.byte_off, n) };
+
+    // Semantic invariants — checksummed garbage from a buggy or hostile
+    // writer still must not poison the replica.
+    if offsets[0] != 0 {
+        return Err(SnapshotError::Malformed {
+            section: "offsets",
+            detail: format!("offsets[0] = {}, expected 0", offsets[0]),
+        });
+    }
+    if let Some(w) = offsets.windows(2).position(|w| w[0] > w[1]) {
+        return Err(SnapshotError::Malformed {
+            section: "offsets",
+            detail: format!("non-monotone at index {w}: {} > {}", offsets[w], offsets[w + 1]),
+        });
+    }
+    if offsets[c] != n as u64 {
+        return Err(SnapshotError::Malformed {
+            section: "offsets",
+            detail: format!("offsets[{c}] = {}, expected n = {n}", offsets[c]),
+        });
+    }
+    if let Some(i) = members.iter().position(|&m| m as usize >= n) {
+        return Err(SnapshotError::Malformed {
+            section: "members",
+            detail: format!("member slot {i} names vertex {} of {n}", members[i]),
+        });
+    }
+    let mut seen = vec![false; c];
+    for (rank, &d) in by_size.iter().enumerate() {
+        if d as usize >= c || seen[d as usize] {
+            return Err(SnapshotError::Malformed {
+                section: "by_size",
+                detail: format!("rank {rank} entry {d} is out of range or repeated"),
+            });
+        }
+        seen[d as usize] = true;
+    }
+    // comp_of ids must be in range, in first-appearance canonical form,
+    // and agree with the labeling's partition classes (each dense id
+    // carries exactly one label value) — one fused pass over n.
+    let mut label_of = vec![0u64; c];
+    let mut opened = vec![false; c];
+    let mut next: ComponentId = 0;
+    for (v, (&d, &label)) in comp_of.iter().zip(labels).enumerate() {
+        if d as usize >= c {
+            return Err(SnapshotError::Malformed {
+                section: "comp_of",
+                detail: format!("vertex {v} names component {d} of {c}"),
+            });
+        }
+        if !opened[d as usize] {
+            if d != next {
+                return Err(SnapshotError::Malformed {
+                    section: "comp_of",
+                    detail: format!("vertex {v} opens component {d}, expected {next}"),
+                });
+            }
+            opened[d as usize] = true;
+            label_of[d as usize] = label;
+            next += 1;
+        } else if label_of[d as usize] != label {
+            return Err(SnapshotError::Malformed {
+                section: "labeling",
+                detail: format!("vertex {v} label disagrees with its component's"),
+            });
+        }
+    }
+    if (next as usize) != c {
+        return Err(SnapshotError::Malformed {
+            section: "comp_of",
+            detail: format!("only {next} of {c} components appear"),
+        });
+    }
+
+    // The endianness probe already guaranteed file order == native order,
+    // so the validated in-place view copies out as one memmove — no
+    // per-element decode on the boot path.
+    let labeling = Labeling(labels.to_vec());
+
+    let file_bytes = bytes.len();
+    let (co, of, me, bs) =
+        (comp_of_s.byte_off, offsets_s.byte_off, members_s.byte_off, by_size_s.byte_off);
+    // SAFETY: sections are in-bounds, aligned, and fully validated above;
+    // the Arc keeps the buffer alive for the index's lifetime.
+    let index = unsafe {
+        ComponentIndex::from_snapshot_buf(buf.clone(), (co, n), (of, c + 1), (me, n), (bs, c))
+    };
+    Ok(Snapshot { index, labeling, graph_n, graph_m, algorithm, file_bytes })
+}
+
+/// Decodes a snapshot from an in-memory image (copies once into an
+/// aligned buffer). Test and tooling entry point; the file path is
+/// [`load`].
+pub fn decode(bytes: &[u8]) -> Result<Snapshot, SnapshotError> {
+    decode_buf(Arc::new(SnapshotBuf::copy_of(bytes)))
+}
+
+/// Loads a snapshot from disk: one bulk read into an aligned buffer,
+/// header + checksum validation, in-place section reinterpretation.
+pub fn load(path: &Path) -> Result<Snapshot, SnapshotError> {
+    let mut f = File::open(path)?;
+    let len = f.metadata()?.len();
+    if len > usize::MAX as u64 {
+        return Err(SnapshotError::HeaderCorrupt {
+            detail: format!("file of {len} bytes cannot be addressed"),
+        });
+    }
+    let mut buf = SnapshotBuf::with_len(len as usize);
+    f.read_exact(buf.as_bytes_mut())?;
+    decode_buf(Arc::new(buf))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_index() -> (ComponentIndex, Labeling) {
+        let labeling = Labeling(vec![7, 9, 7, 3, 9, 7, 3, 11]);
+        (ComponentIndex::build(&labeling), labeling)
+    }
+
+    #[test]
+    fn checksum_is_length_and_content_sensitive() {
+        assert_ne!(checksum(b""), checksum(b"\0"));
+        assert_ne!(checksum(b"\0"), checksum(b"\0\0"));
+        assert_ne!(checksum(b"abcdefgh"), checksum(b"abcdefgi"));
+        // A flip in the zero-padded tail region still changes the digest.
+        assert_ne!(checksum(b"abc"), checksum(b"ab\x63\x01"));
+        assert_eq!(checksum(b"abcdefgh12345"), checksum(b"abcdefgh12345"));
+    }
+
+    #[test]
+    fn encode_decode_roundtrip_preserves_everything() {
+        let (index, labeling) = sample_index();
+        let bytes = encode(&index, &labeling, 8, 5, 2);
+        assert_eq!(bytes.len() % 8, 0);
+        let snap = decode(&bytes).expect("roundtrip");
+        assert!(snap.index.is_snapshot_backed());
+        assert_eq!(snap.index, index);
+        assert_eq!(snap.labeling, labeling);
+        assert_eq!(snap.graph_n, 8);
+        assert_eq!(snap.graph_m, 5);
+        assert_eq!(snap.algorithm, 2);
+        assert_eq!(snap.file_bytes, bytes.len());
+        // The booted index answers identically, including rankings.
+        assert_eq!(snap.index.top_k(4), index.top_k(4));
+        for v in 0..8 {
+            assert_eq!(snap.index.component_of(v), index.component_of(v));
+        }
+    }
+
+    #[test]
+    fn empty_index_roundtrips() {
+        let labeling = Labeling(vec![]);
+        let index = ComponentIndex::build(&labeling);
+        let bytes = encode(&index, &labeling, 0, 0, 1);
+        let snap = decode(&bytes).expect("empty roundtrip");
+        assert_eq!(snap.index.num_vertices(), 0);
+        assert_eq!(snap.index.num_components(), 0);
+        assert_eq!(snap.labeling.len(), 0);
+    }
+
+    #[test]
+    fn atomic_persist_and_load() {
+        let (index, labeling) = sample_index();
+        let dir = std::env::temp_dir();
+        let path = dir.join(format!("ampc_snap_test_{}.snap", std::process::id()));
+        let bytes = persist(&path, &index, &labeling, 8, 5, 1).expect("persist");
+        let snap = load(&path).expect("load");
+        assert_eq!(snap.file_bytes as u64, bytes);
+        assert_eq!(snap.index, index);
+        assert_eq!(snap.algorithm, 1);
+        std::fs::remove_file(&path).unwrap();
+        // Loading a missing file is an Io error, not a panic.
+        assert!(matches!(load(&path), Err(SnapshotError::Io(_))));
+    }
+
+    #[test]
+    fn rejects_foreign_and_damaged_headers() {
+        let (index, labeling) = sample_index();
+        let good = encode(&index, &labeling, 8, 5, 1);
+
+        assert!(matches!(decode(&good[..100]), Err(SnapshotError::Truncated { .. })));
+        assert!(matches!(decode(b"not a snapshot"), Err(SnapshotError::Truncated { .. })));
+
+        let mut bad = good.clone();
+        bad[0] ^= 0xFF;
+        assert!(matches!(decode(&bad), Err(SnapshotError::BadMagic)));
+
+        let mut bad = good.clone();
+        bad[12..16].copy_from_slice(&ENDIAN_TAG.to_be_bytes());
+        assert!(matches!(decode(&bad), Err(SnapshotError::EndiannessMismatch)));
+
+        let mut bad = good.clone();
+        bad[8..12].copy_from_slice(&99u32.to_le_bytes());
+        assert!(matches!(decode(&bad), Err(SnapshotError::UnsupportedVersion { found: 99 })));
+
+        // Any other header flip trips the header checksum.
+        let mut bad = good.clone();
+        bad[17] ^= 0x40; // graph_n
+        assert!(matches!(decode(&bad), Err(SnapshotError::HeaderCorrupt { .. })));
+
+        // Flip the header checksum itself.
+        let mut bad = good.clone();
+        bad[HEADER_CHECKSUM_OFFSET] ^= 1;
+        assert!(matches!(decode(&bad), Err(SnapshotError::HeaderCorrupt { .. })));
+
+        // Truncation inside the payload is Truncated, not a panic.
+        let bad = &good[..good.len() - 8];
+        assert!(matches!(decode(bad), Err(SnapshotError::Truncated { .. })));
+
+        // Trailing garbage is rejected too.
+        let mut bad = good.clone();
+        bad.extend_from_slice(&[0u8; 8]);
+        assert!(matches!(decode(&bad), Err(SnapshotError::HeaderCorrupt { .. })));
+    }
+
+    #[test]
+    fn payload_bit_flips_trip_section_checksums() {
+        let (index, labeling) = sample_index();
+        let good = encode(&index, &labeling, 8, 5, 1);
+        let table = section_table(&good).expect("good table");
+        for s in table {
+            if s.byte_len == 0 {
+                continue;
+            }
+            let mut bad = good.clone();
+            bad[s.byte_off] ^= 0x01;
+            match decode(&bad) {
+                Err(SnapshotError::ChecksumMismatch { section }) => assert_eq!(section, s.name),
+                other => panic!(
+                    "flip in `{}` gave {:?}, expected its checksum to trip",
+                    s.name,
+                    other.err().map(|e| e.to_string())
+                ),
+            }
+        }
+    }
+
+    #[test]
+    fn resigned_semantic_corruption_is_still_rejected() {
+        let (index, labeling) = sample_index();
+        let good = encode(&index, &labeling, 8, 5, 1);
+        let table = section_table(&good).expect("good table");
+        let [_, offsets_s, members_s, _, _] = table;
+
+        // Helper: overwrite bytes, recompute the touched section checksum
+        // and the header checksum — the file is then self-consistent and
+        // only semantic validation can catch it.
+        let resign = |bytes: &mut [u8], s: &SectionInfo| {
+            let digest = checksum(&bytes[s.byte_off..s.byte_off + s.byte_len]);
+            bytes[s.checksum_slot..s.checksum_slot + 8].copy_from_slice(&digest.to_le_bytes());
+            let h = checksum(&bytes[..HEADER_CHECKSUM_OFFSET]);
+            bytes[HEADER_CHECKSUM_OFFSET..HEADER_LEN].copy_from_slice(&h.to_le_bytes());
+        };
+
+        // Non-monotone offsets.
+        let mut bad = good.clone();
+        bad[offsets_s.byte_off + 8..offsets_s.byte_off + 16]
+            .copy_from_slice(&u64::MAX.to_le_bytes());
+        resign(&mut bad, &offsets_s);
+        assert!(
+            matches!(decode(&bad), Err(SnapshotError::Malformed { section: "offsets", .. })),
+            "non-monotone offsets must be rejected"
+        );
+
+        // Out-of-range member vertex.
+        let mut bad = good.clone();
+        bad[members_s.byte_off..members_s.byte_off + 4].copy_from_slice(&u32::MAX.to_le_bytes());
+        resign(&mut bad, &members_s);
+        assert!(
+            matches!(decode(&bad), Err(SnapshotError::Malformed { section: "members", .. })),
+            "out-of-range member must be rejected"
+        );
+    }
+}

@@ -24,6 +24,12 @@
 //!   base index, `O(components)` per publish), byte-identical to a full
 //!   rebuild of the merged graph; past a [`JournalBudget`] the service
 //!   compacts with a background rebuild and replays in-flight inserts.
+//! * [`ServiceHandle::persist`] / [`ServiceBuilder::from_snapshot`] — the
+//!   fan-out path: persist pins the published epoch and writes it as a
+//!   versioned, checksummed snapshot (`ampc_query::snapshot`, atomic
+//!   rename); boot is one bulk read plus validation, publishing epoch 0
+//!   with the index sections reinterpreted in place over the snapshot
+//!   buffer — zero per-element deserialization, no pipeline run.
 //! * [`driver`] — the multi-threaded workload driver: a deterministic
 //!   per-thread striping of one query stream (totals are seed-reproducible
 //!   at any thread count), per-thread and aggregate queries/sec, each
@@ -41,9 +47,9 @@ pub mod epoch;
 mod service;
 
 pub use ampc_cc::pipeline::PipelineSpec;
-pub use ampc_query::JournalView;
+pub use ampc_query::{JournalView, SnapshotError};
 pub use epoch::{EpochCell, EpochGuard};
 pub use service::{
-    IndexSnapshot, InsertReport, JournalBudget, PublishedIndex, RebuildHandle, ServeError,
-    ServiceBuilder, ServiceHandle,
+    IndexSnapshot, InsertReport, JournalBudget, PersistReport, PublishedIndex, RebuildHandle,
+    ServeError, ServiceBuilder, ServiceHandle,
 };

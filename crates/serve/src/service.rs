@@ -39,14 +39,16 @@
 //! byte-identically on every thread, machine, and backend.
 
 use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::Path;
 use std::sync::atomic::{AtomicU64, Ordering::SeqCst};
 use std::sync::{Arc, Condvar, Mutex, MutexGuard, Weak};
 use std::thread::JoinHandle;
+use std::time::Instant;
 
 use ampc::{AmpcError, RunStats};
-use ampc_cc::pipeline::{Pipeline as _, PipelineSpec, ResolvedAlgorithm};
+use ampc_cc::pipeline::{Algorithm, Pipeline as _, PipelineSpec, ResolvedAlgorithm};
 use ampc_graph::{Graph, Labeling, UnionFind, VertexId};
-use ampc_query::{ComponentIndex, JournalView, QueryEngine};
+use ampc_query::{snapshot, ComponentIndex, JournalView, QueryEngine, SnapshotError};
 
 use crate::epoch::{EpochCell, EpochGuard};
 
@@ -102,6 +104,13 @@ struct BaseIndex {
     algorithm: ResolvedAlgorithm,
     graph_n: usize,
     graph_m: usize,
+    /// Wall time of the pipeline run (+ validation) that produced the
+    /// labeling; 0 for a snapshot boot — nothing ran.
+    pipeline_ms: f64,
+    /// Wall time of freezing the labeling into the index; 0 for a
+    /// snapshot boot. Split out so boot-vs-build speedups have a clean
+    /// denominator.
+    index_ms: f64,
 }
 
 /// One published epoch: a shared base index plus, for journal-epochs, the
@@ -149,6 +158,18 @@ impl PublishedIndex {
     /// dedup against existing edges).
     pub fn graph_size(&self) -> (usize, usize) {
         (self.base.graph_n, self.base.graph_m + self.inserted_edges)
+    }
+
+    /// Wall-clock milliseconds the base epoch's pipeline run (plus
+    /// validation) took; 0 when the base was booted from a snapshot.
+    pub fn pipeline_ms(&self) -> f64 {
+        self.base.pipeline_ms
+    }
+
+    /// Wall-clock milliseconds freezing the base labeling into the index
+    /// took; 0 when the base was booted from a snapshot.
+    pub fn index_build_ms(&self) -> f64 {
+        self.base.index_ms
     }
 
     /// The merge journal riding on the base index, if this is a
@@ -286,6 +307,11 @@ struct StreamState {
     merges: usize,
     /// The base every journal-epoch publishes against.
     base: Arc<BaseIndex>,
+    /// False when the service was booted from a snapshot: `graph` is then
+    /// a vertex-only placeholder (a snapshot does not carry edges), so
+    /// budget-triggered compaction — which re-reads the base edges — must
+    /// not run until an explicit rebuild installs a real graph.
+    has_base_graph: bool,
     /// A compaction rebuild is in flight (don't start another).
     compacting: bool,
     /// Bumped by every full rebuild that lands; a compaction that started
@@ -350,8 +376,12 @@ fn lock_stream(stream: &Mutex<StreamState>) -> MutexGuard<'_, StreamState> {
 /// lifecycle: a labeling that does not validate against `g` is never
 /// published.
 fn build_base(spec: &PipelineSpec, g: &Graph) -> Result<BaseIndex, ServeError> {
+    let t0 = Instant::now();
     let run = spec.resolve(g).execute(g)?;
+    let pipeline_ms = t0.elapsed().as_secs_f64() * 1e3;
+    let t1 = Instant::now();
     let index = ComponentIndex::from_run(g, &run.labeling).map_err(ServeError::InvalidLabeling)?;
+    let index_ms = t1.elapsed().as_secs_f64() * 1e3;
     Ok(BaseIndex {
         index,
         labeling: run.labeling,
@@ -359,6 +389,8 @@ fn build_base(spec: &PipelineSpec, g: &Graph) -> Result<BaseIndex, ServeError> {
         algorithm: run.algorithm,
         graph_n: g.n(),
         graph_m: g.m(),
+        pipeline_ms,
+        index_ms,
     })
 }
 
@@ -407,26 +439,93 @@ impl ServiceBuilder {
     /// Runs the pipeline, validates, indexes, and publishes epoch 0.
     pub fn build(self) -> Result<ServiceHandle, ServeError> {
         let base = Arc::new(build_base(&self.spec, &self.graph)?);
-        let c = base.index.num_components();
-        let stream = StreamState {
-            graph: self.graph,
-            pending: Vec::new(),
-            uf: UnionFind::new(c),
-            merges: 0,
-            base: Arc::clone(&base),
-            compacting: false,
-            generation: 0,
-        };
-        let payload = PublishedIndex { epoch: 0, base, journal: None, inserted_edges: 0 };
-        let service = ConnectivityService {
-            cell: EpochCell::new(Arc::new(payload)),
-            spec: self.spec,
-            budget: self.budget,
-            stream: Mutex::new(stream),
-            tickets: RebuildTickets::new(),
-        };
-        Ok(ServiceHandle { service: Arc::new(service) })
+        Ok(publish_epoch_zero(self.graph, true, base, self.spec, self.budget))
     }
+
+    /// Boots a service from a snapshot on disk: one bulk read, header +
+    /// checksum validation, and epoch 0 is published with its index
+    /// sections reinterpreted **in place** over the snapshot buffer — no
+    /// pipeline run, no per-element deserialization. This is how one
+    /// pipeline run fans out to N serving replicas that boot in
+    /// milliseconds.
+    ///
+    /// The booted service answers queries and accepts
+    /// [`ServiceHandle::insert_edges`] (journal-epochs need only the index,
+    /// which the snapshot carries). A snapshot does not carry the base
+    /// graph's *edges*, so budget-triggered compaction stays disabled until
+    /// an explicit [`ServiceHandle::rebuild`] installs a real graph; the
+    /// journal simply keeps growing in the meantime. Rebuilds use a default
+    /// spec pinned to the snapshot's algorithm.
+    ///
+    /// # Errors
+    /// Any [`SnapshotError`]: i/o failure, foreign or damaged header,
+    /// checksum mismatch, or semantic corruption. A corrupt snapshot never
+    /// publishes anything.
+    pub fn from_snapshot(path: impl AsRef<Path>) -> Result<ServiceHandle, SnapshotError> {
+        let snap = snapshot::load(path.as_ref())?;
+        let (algorithm, algo) = match snap.algorithm {
+            1 => (ResolvedAlgorithm::Forest, Algorithm::Forest),
+            _ => (ResolvedAlgorithm::General, Algorithm::General),
+        };
+        let graph_n = snap.graph_n as usize;
+        let base = Arc::new(BaseIndex {
+            index: snap.index,
+            labeling: snap.labeling,
+            stats: RunStats::default(),
+            algorithm,
+            graph_n,
+            graph_m: snap.graph_m as usize,
+            pipeline_ms: 0.0,
+            index_ms: 0.0,
+        });
+        let spec = PipelineSpec::default().with_algorithm(algo);
+        Ok(publish_epoch_zero(Graph::empty(graph_n), false, base, spec, JournalBudget::default()))
+    }
+}
+
+/// Shared tail of [`ServiceBuilder::build`] and
+/// [`ServiceBuilder::from_snapshot`]: wraps a finished base into stream
+/// state and publishes it as epoch 0.
+fn publish_epoch_zero(
+    graph: Graph,
+    has_base_graph: bool,
+    base: Arc<BaseIndex>,
+    spec: PipelineSpec,
+    budget: JournalBudget,
+) -> ServiceHandle {
+    let c = base.index.num_components();
+    let stream = StreamState {
+        graph,
+        pending: Vec::new(),
+        uf: UnionFind::new(c),
+        merges: 0,
+        base: Arc::clone(&base),
+        has_base_graph,
+        compacting: false,
+        generation: 0,
+    };
+    let payload = PublishedIndex { epoch: 0, base, journal: None, inserted_edges: 0 };
+    let service = ConnectivityService {
+        cell: EpochCell::new(Arc::new(payload)),
+        spec,
+        budget,
+        stream: Mutex::new(stream),
+        tickets: RebuildTickets::new(),
+    };
+    ServiceHandle { service: Arc::new(service) }
+}
+
+/// What one [`ServiceHandle::persist`] call wrote.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PersistReport {
+    /// The epoch that was captured.
+    pub epoch: u64,
+    /// Snapshot size in bytes.
+    pub bytes: u64,
+    /// True iff the captured epoch carried journal merges (they were
+    /// materialized into the persisted index, which equals a full rebuild
+    /// of the merged graph byte for byte).
+    pub journal: bool,
 }
 
 /// What a sequenced background rebuild does once its pipeline run lands.
@@ -533,7 +632,7 @@ impl ServiceHandle {
         });
 
         let over_budget = service.budget.exceeded_by(st.pending.len(), st.merges);
-        let compaction_started = over_budget && !st.compacting;
+        let compaction_started = over_budget && !st.compacting && st.has_base_graph;
         if compaction_started {
             st.compacting = true;
             let consumed = st.pending.len();
@@ -590,6 +689,46 @@ impl ServiceHandle {
     pub fn rebuild_blocking(&self, graph: Graph) -> Result<u64, ServeError> {
         self.rebuild(graph).wait()
     }
+
+    /// Persists the **currently published epoch** to `path` as a snapshot
+    /// (write-to-temp + atomic rename: concurrent readers of the file see
+    /// the old snapshot or the new one, never a torn write).
+    ///
+    /// The epoch is pinned first — exactly one published epoch is
+    /// captured, even while insertions and rebuilds race this call. A
+    /// journal-epoch is materialized at persist time: the journal's merges
+    /// are folded into a fresh index that is byte-identical to a full
+    /// rebuild of the merged graph, so a replica booted from the snapshot
+    /// answers exactly like this epoch.
+    pub fn persist(&self, path: impl AsRef<Path>) -> Result<PersistReport, SnapshotError> {
+        let snap = self.snapshot();
+        let (n, m) = snap.graph_size();
+        let algorithm = snap.algorithm().number();
+        let bytes = match snap.journal() {
+            None => snapshot::persist(
+                path.as_ref(),
+                snap.index(),
+                snap.labeling(),
+                n as u64,
+                m as u64,
+                algorithm,
+            )?,
+            Some(journal) => {
+                let base = snap.index();
+                // Merged dense ids are themselves a labeling of the merged
+                // partition; building from it reproduces a full rebuild
+                // byte for byte (see `ampc_query::journal`).
+                let merged = Labeling(
+                    (0..n as VertexId)
+                        .map(|v| journal.resolve(base.component_of(v)) as u64)
+                        .collect(),
+                );
+                let index = ComponentIndex::build(&merged);
+                snapshot::persist(path.as_ref(), &index, &merged, n as u64, m as u64, algorithm)?
+            }
+        };
+        Ok(PersistReport { epoch: snap.epoch(), bytes, journal: snap.is_journal() })
+    }
 }
 
 /// Body of every sequenced background rebuild (explicit or compaction):
@@ -637,6 +776,9 @@ fn publish_rebuild(
             st.uf = UnionFind::new(base.index.num_components());
             st.merges = 0;
             st.base = Arc::clone(&base);
+            // A rebuild's graph is real ground truth — a snapshot-booted
+            // service regains compaction here.
+            st.has_base_graph = true;
             st.compacting = false;
             st.generation += 1;
             Ok(service.cell.publish_with(|epoch| {

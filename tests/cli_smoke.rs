@@ -259,6 +259,95 @@ fn cli_query_stream_validates_journal_epochs() {
 }
 
 #[test]
+fn cli_persist_then_boot_from_snapshot() {
+    let exe = env!("CARGO_BIN_EXE_ampc-cc");
+    let data = Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/data/smoke.txt");
+    let snap = std::env::temp_dir().join(format!("ampc_cli_smoke_{}.snap", std::process::id()));
+    let snap_str = snap.to_str().unwrap();
+
+    // run --persist writes the snapshot after verification.
+    let out = run(&["--general", "--seed", "7", "--persist", snap_str]);
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(out.status.success(), "--persist: exit {:?}\n{stderr}", out.status.code());
+    assert!(stderr.contains("persisted:"), "missing persist line\n{stderr}");
+    assert!(snap.exists(), "snapshot file must exist");
+
+    // A live query run fixes the reference checksum for this seed.
+    let live = run_query(&["--seed", "7", "--queries", "500", "--json"]);
+    assert!(live.status.success());
+    let checksum_line = |out: &std::process::Output| {
+        String::from_utf8_lossy(&out.stdout)
+            .lines()
+            .find(|l| l.contains("\"checksum\""))
+            .expect("checksum line")
+            .to_string()
+    };
+    let live_checksum = checksum_line(&live);
+
+    // Boot without the graph file: no pipeline, checksum-validated only,
+    // but byte-identical answers.
+    let out = Command::new(exe)
+        .args(["query", "--from-snapshot", snap_str, "--seed", "7", "--queries", "500", "--json"])
+        .output()
+        .expect("spawn");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(out.status.success(), "boot: exit {:?}\n{stderr}", out.status.code());
+    assert!(stderr.contains("booted from snapshot"), "missing boot line\n{stderr}");
+    assert!(stderr.contains("validation: skipped"), "missing skip notice\n{stderr}");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("\"from_snapshot\": true"), "missing snapshot marker\n{stdout}");
+    assert_eq!(checksum_line(&out), live_checksum, "booted answers must equal live answers");
+
+    // Boot *with* the graph file: full per-answer union-find validation.
+    let out = Command::new(exe)
+        .args(["query"])
+        .arg(&data)
+        .args(["--from-snapshot", snap_str, "--seed", "7", "--queries", "500", "--json"])
+        .output()
+        .expect("spawn");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(out.status.success(), "boot+file: exit {:?}\n{stderr}", out.status.code());
+    assert!(
+        stderr.contains("validated: 500/500 answers match the union-find reference"),
+        "boot+file must fully validate\n{stderr}"
+    );
+    assert_eq!(checksum_line(&out), live_checksum, "boot+file answers must equal live answers");
+
+    // A corrupted snapshot is a typed load error (exit 1, not a panic),
+    // and --stream needs the edge list a snapshot does not carry.
+    let mut bytes = std::fs::read(&snap).unwrap();
+    let last = bytes.len() - 1;
+    bytes[last] ^= 0x80;
+    std::fs::write(&snap, &bytes).unwrap();
+    let out = Command::new(exe)
+        .args(["query", "--from-snapshot", snap_str, "--queries", "10"])
+        .output()
+        .expect("spawn");
+    assert_eq!(out.status.code(), Some(1), "corrupt snapshot must exit 1");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("checksum"), "must blame a checksum\n{stderr}");
+    let out = Command::new(exe)
+        .args(["query", "--from-snapshot", snap_str, "--stream", "2"])
+        .output()
+        .expect("spawn");
+    assert_eq!(out.status.code(), Some(1), "--stream without a graph file must fail");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("--stream needs the graph file"), "wrong diagnosis\n{stderr}");
+    std::fs::remove_file(&snap).ok();
+
+    // Grammar: the flags are mode-specific.
+    let out = run(&["--from-snapshot", "x.snap"]);
+    assert_eq!(out.status.code(), Some(2), "--from-snapshot outside query must exit 2");
+    let out = run_query(&["--persist", "x.snap"]);
+    assert_eq!(out.status.code(), Some(2), "--persist under query must exit 2");
+    let out = Command::new(exe)
+        .args(["query", "--from-snapshot", "/definitely/missing.snap"])
+        .output()
+        .expect("spawn");
+    assert_eq!(out.status.code(), Some(1), "missing snapshot must exit 1");
+}
+
+#[test]
 fn cli_json_run_output_is_machine_readable() {
     let out = run(&["--general", "--seed", "7", "--json"]);
     assert!(out.status.success());
