@@ -56,11 +56,67 @@ use std::fmt;
 use std::fs::File;
 use std::io::{Read, Write};
 use std::path::Path;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 use ampc_graph::Labeling;
 
 use crate::index::{ComponentId, ComponentIndex};
+
+/// Fault-injection hook for the persist/boot seams.
+///
+/// This crate sits below the serving layer that owns the failpoint
+/// registry (`ampc_serve::fault`), so the crash-injection sites here are
+/// reached through one installable function pointer instead of a
+/// dependency cycle. When no hook is installed — every production
+/// deployment — a traversal is a single `Relaxed` atomic load of a null
+/// pointer; both seams (persist, boot) are cold paths anyway.
+///
+/// Site names are part of the public failpoint catalog (see
+/// `ampc_serve::fault` and DESIGN.md "Fault model"):
+/// `persist.pre-tmp`, `persist.pre-rename`, `persist.pre-dirsync`,
+/// `snapshot.load`.
+pub mod fail {
+    use std::sync::atomic::{AtomicPtr, Ordering};
+
+    /// The hook signature: given a site name, return `Ok(())` to pass or
+    /// an error to inject a detected failure (the hook may also panic to
+    /// simulate a crash).
+    pub type Hook = fn(&'static str) -> std::io::Result<()>;
+
+    static HOOK: AtomicPtr<()> = AtomicPtr::new(std::ptr::null_mut());
+
+    /// Snapshot write, before the temp file is created.
+    pub const PERSIST_PRE_TMP: &str = "persist.pre-tmp";
+    /// Snapshot write, after the temp file is written and fsynced,
+    /// before the rename.
+    pub const PERSIST_PRE_RENAME: &str = "persist.pre-rename";
+    /// Snapshot write, after the rename, before the parent-dir fsync.
+    pub const PERSIST_PRE_DIRSYNC: &str = "persist.pre-dirsync";
+    /// Snapshot boot, before the file is opened.
+    pub const SNAPSHOT_LOAD: &str = "snapshot.load";
+
+    /// Installs (or, with `None`, removes) the process-wide hook.
+    pub fn set_hook(hook: Option<Hook>) {
+        let ptr = match hook {
+            Some(f) => f as *mut (),
+            None => std::ptr::null_mut(),
+        };
+        HOOK.store(ptr, Ordering::Release);
+    }
+
+    #[inline]
+    pub(super) fn check(site: &'static str) -> std::io::Result<()> {
+        let ptr = HOOK.load(Ordering::Relaxed);
+        if ptr.is_null() {
+            return Ok(());
+        }
+        // SAFETY: the only non-null value ever stored is a `Hook` fn
+        // pointer (set_hook); fn pointers round-trip through `*mut ()`.
+        let hook: Hook = unsafe { std::mem::transmute::<*mut (), Hook>(ptr) };
+        hook(site)
+    }
+}
 
 /// Leading magic bytes of every snapshot file.
 pub const MAGIC: [u8; 8] = *b"AMPCSNAP";
@@ -408,18 +464,46 @@ pub fn encode(
     out
 }
 
-/// Writes `bytes` to `path` atomically: write + fsync a sibling temp file,
-/// then rename over the destination. Readers either see the old file or
-/// the complete new one, never a torn write.
+/// Writes `bytes` to `path` atomically and durably: write + fsync a
+/// sibling temp file, rename over the destination, then fsync the parent
+/// directory. Readers either see the old file or the complete new one,
+/// never a torn write — and once the call returns, a crash cannot un-do
+/// the rename (the directory entry itself is on disk).
+///
+/// Temp names are unique per call (`<stem>.tmp.<pid>.<counter>`), so two
+/// handles persisting the same path concurrently — even from one process —
+/// never clobber each other's temp file mid-write; the loser of the rename
+/// race simply publishes second. A temp file stranded by a crash is inert:
+/// nothing ever opens `*.tmp.*` again, and later persists pick fresh
+/// names.
 pub fn write_atomic(path: &Path, bytes: &[u8]) -> Result<(), SnapshotError> {
-    let tmp = path.with_extension(format!("tmp.{}", std::process::id()));
+    static TMP_SEQ: AtomicU64 = AtomicU64::new(0);
+    fail::check(fail::PERSIST_PRE_TMP)?;
+    let tmp = path.with_extension(format!(
+        "tmp.{}.{}",
+        std::process::id(),
+        TMP_SEQ.fetch_add(1, Ordering::Relaxed)
+    ));
     let result = (|| -> std::io::Result<()> {
         let mut f = File::create(&tmp)?;
         f.write_all(bytes)?;
         f.sync_all()?;
-        std::fs::rename(&tmp, path)
+        fail::check(fail::PERSIST_PRE_RENAME)?;
+        std::fs::rename(&tmp, path)?;
+        fail::check(fail::PERSIST_PRE_DIRSYNC)?;
+        // A rename is durable only once the *directory entry* is synced:
+        // without this, a crash after the rename can lose the new file
+        // entirely (the data blocks were synced, the name was not).
+        if let Some(parent) = path.parent().filter(|p| !p.as_os_str().is_empty()) {
+            File::open(parent)?.sync_all()?;
+        }
+        Ok(())
     })();
     if result.is_err() {
+        // Best-effort cleanup of a *detected* failure; after the rename
+        // this is a no-op (the temp name no longer exists). A crash-style
+        // failure (panic/kill) skips this, stranding the temp file — which
+        // the unique naming makes harmless.
         let _ = std::fs::remove_file(&tmp);
     }
     result.map_err(SnapshotError::Io)
@@ -710,6 +794,7 @@ pub fn decode(bytes: &[u8]) -> Result<Snapshot, SnapshotError> {
 /// Loads a snapshot from disk: one bulk read into an aligned buffer,
 /// header + checksum validation, in-place section reinterpretation.
 pub fn load(path: &Path) -> Result<Snapshot, SnapshotError> {
+    fail::check(fail::SNAPSHOT_LOAD)?;
     let mut f = File::open(path)?;
     let len = f.metadata()?.len();
     if len > usize::MAX as u64 {
@@ -785,6 +870,76 @@ mod tests {
         std::fs::remove_file(&path).unwrap();
         // Loading a missing file is an Io error, not a panic.
         assert!(matches!(load(&path), Err(SnapshotError::Io(_))));
+    }
+
+    #[test]
+    fn concurrent_persists_to_one_path_never_tear() {
+        // Temp names are unique per call, so two handles racing on the
+        // same destination from one process must each stage privately;
+        // whatever wins the rename race, the destination always loads as
+        // one complete snapshot. (The old `tmp.{pid}` scheme collided
+        // here: one thread's rename could steal the other's half-written
+        // temp file.)
+        let (index_a, labeling_a) = sample_index();
+        let labeling_b = Labeling(vec![1, 2, 1, 2, 1, 2, 1, 2]);
+        let index_b = ComponentIndex::build(&labeling_b);
+        let dir = std::env::temp_dir();
+        let path = dir.join(format!("ampc_snap_race_{}.snap", std::process::id()));
+        let (pa, pb) = (&path, &path);
+        let (ia, la) = (&index_a, &labeling_a);
+        let (ib, lb) = (&index_b, &labeling_b);
+        std::thread::scope(|s| {
+            let a = s.spawn(move || {
+                for _ in 0..20 {
+                    persist(pa, ia, la, 8, 5, 1).expect("persist a");
+                }
+            });
+            let b = s.spawn(move || {
+                for _ in 0..20 {
+                    persist(pb, ib, lb, 8, 4, 2).expect("persist b");
+                }
+            });
+            a.join().unwrap();
+            b.join().unwrap();
+        });
+        let snap = load(&path).expect("racing persists must leave a loadable file");
+        assert!(snap.index == index_a || snap.index == index_b);
+        // No temp litter left behind by clean completions.
+        let stem = path.file_stem().unwrap().to_string_lossy().into_owned();
+        let litter: Vec<_> = std::fs::read_dir(&dir)
+            .unwrap()
+            .filter_map(|e| e.ok())
+            .filter(|e| {
+                let n = e.file_name().to_string_lossy().into_owned();
+                n.starts_with(&stem) && n.contains(".tmp.")
+            })
+            .collect();
+        assert!(litter.is_empty(), "clean persists must not strand temp files: {litter:?}");
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn stale_tmp_litter_never_breaks_persist_or_load() {
+        let (index, labeling) = sample_index();
+        let dir = std::env::temp_dir();
+        let path = dir.join(format!("ampc_snap_litter_{}.snap", std::process::id()));
+        // Strand plausible-looking crash litter next to the destination,
+        // including one with the legacy fixed name.
+        let litter = [
+            path.with_extension(format!("tmp.{}", std::process::id())),
+            path.with_extension(format!("tmp.{}.0", std::process::id())),
+            path.with_extension("tmp.99999.7"),
+        ];
+        for l in &litter {
+            std::fs::write(l, b"torn half-written garbage").unwrap();
+        }
+        persist(&path, &index, &labeling, 8, 5, 1).expect("persist over litter");
+        let snap = load(&path).expect("load with litter present");
+        assert_eq!(snap.index, index);
+        for l in &litter {
+            let _ = std::fs::remove_file(l);
+        }
+        std::fs::remove_file(&path).unwrap();
     }
 
     #[test]

@@ -1,0 +1,418 @@
+//! Deterministic failpoints: named fault-injection sites threaded through
+//! the risky seams of the serving stack.
+//!
+//! The AMPC model assumes machines and storage that fail; a serving
+//! reproduction has to make every failure on its path *injectable*, or the
+//! recovery code is dead code with a green test suite. This module is a
+//! hand-rolled failpoint framework (no external crates — the workspace is
+//! offline) compiled in unconditionally but **free when disarmed**: a
+//! traversal of a disarmed site is one `Relaxed` atomic load and a
+//! predictable branch, nothing else — no counter bump, no lock, no
+//! allocation. Read-path code (`snapshot()`, `QueryEngine`) carries no
+//! sites at all.
+//!
+//! # Site catalog
+//!
+//! | site                  | seam                                            |
+//! |-----------------------|-------------------------------------------------|
+//! | `rebuild.pipeline`    | pipeline build inside every background rebuild  |
+//! | `compact.publish`     | compaction publish (after the build succeeded)  |
+//! | `journal.build`       | journal-epoch freeze on the insert path         |
+//! | `persist.pre-tmp`     | snapshot write, before the temp file exists     |
+//! | `persist.pre-rename`  | snapshot write, temp durable but not renamed    |
+//! | `persist.pre-dirsync` | snapshot write, renamed but parent not fsynced  |
+//! | `snapshot.load`       | snapshot boot, before the file is read          |
+//! | `test.probe`          | reserved for framework unit tests (no call site)|
+//!
+//! The `persist.*` / `snapshot.load` sites live in `ampc_query::snapshot`
+//! (a crate this one depends on), so they are reached through the tiny
+//! function-pointer hook `ampc_query::snapshot::fail` exports; arming any
+//! site installs this module's router there. The router is never
+//! uninstalled — after installation a disarmed traversal in `ampc_query`
+//! costs one extra `Relaxed` load plus a short `match`, still on cold
+//! (persist/boot) paths only.
+//!
+//! # Semantics
+//!
+//! A site is armed with an action, a *skip* count and a *fire* count:
+//! the first `skip` traversals pass through, the next `count` traversals
+//! fire the action, then the site disarms itself. All three are packed
+//! into one `AtomicU64` updated by CAS, so arming from a chaos controller
+//! thread races benignly with traversals — every traversal sees exactly
+//! one consistent state and the skip/fire budget is never over- or
+//! under-spent.
+//!
+//! Actions:
+//! * [`FaultAction::Error`] — the site returns [`InjectedFault`]; the
+//!   caller maps it into its own typed error (`ServeError::Injected`,
+//!   `SnapshotError::Io`) and takes its real failure path. This simulates
+//!   a *detected* failure: an I/O error, a lost race, a failed build.
+//! * [`FaultAction::Panic`] — the site panics. This simulates a *crash*:
+//!   a bug in a background thread, a process kill mid-persist (the panic
+//!   unwinds past cleanup code exactly like `kill -9` skips it).
+//!
+//! The registry is process-global (that is what lets the CLI arm a site
+//! from `--fail` and have it fire deep inside a background thread), so
+//! tests that arm sites must serialize among themselves — the chaos suite
+//! holds one mutex across every arming test.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// A named fault-injection site. The numeric value indexes the global
+/// registry; the name is the stable CLI / catalog identity.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[repr(usize)]
+pub enum Site {
+    /// Pipeline build inside every background rebuild (explicit rebuild
+    /// and budget-triggered compaction both pass through it).
+    RebuildPipeline = 0,
+    /// Compaction publish: fires after the compaction's pipeline build
+    /// succeeded, before any stream state is touched — a compaction that
+    /// "loses the race" at the last moment.
+    CompactPublish = 1,
+    /// Journal-epoch freeze on the insert path (caller-thread code).
+    JournalBuild = 2,
+    /// Snapshot write, before the temp file is created.
+    PersistPreTmp = 3,
+    /// Snapshot write, after the temp file is written and fsynced,
+    /// before the rename.
+    PersistPreRename = 4,
+    /// Snapshot write, after the rename, before the parent-directory
+    /// fsync.
+    PersistPreDirSync = 5,
+    /// Snapshot boot, before the file is opened.
+    SnapshotLoad = 6,
+    /// Reserved for framework unit tests; no production call site, so
+    /// arming it can never perturb concurrently running service tests.
+    TestProbe = 7,
+}
+
+/// Every site, in registry order (the CLI prints this as the catalog).
+pub const ALL_SITES: [Site; 8] = [
+    Site::RebuildPipeline,
+    Site::CompactPublish,
+    Site::JournalBuild,
+    Site::PersistPreTmp,
+    Site::PersistPreRename,
+    Site::PersistPreDirSync,
+    Site::SnapshotLoad,
+    Site::TestProbe,
+];
+
+impl Site {
+    /// The stable name used by the CLI grammar and the catalog.
+    pub fn name(self) -> &'static str {
+        match self {
+            Site::RebuildPipeline => "rebuild.pipeline",
+            Site::CompactPublish => "compact.publish",
+            Site::JournalBuild => "journal.build",
+            Site::PersistPreTmp => "persist.pre-tmp",
+            Site::PersistPreRename => "persist.pre-rename",
+            Site::PersistPreDirSync => "persist.pre-dirsync",
+            Site::SnapshotLoad => "snapshot.load",
+            Site::TestProbe => "test.probe",
+        }
+    }
+
+    /// Looks a site up by its stable name.
+    pub fn from_name(name: &str) -> Option<Site> {
+        ALL_SITES.into_iter().find(|s| s.name() == name)
+    }
+}
+
+/// What an armed site does when it fires.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FaultAction {
+    /// Return [`InjectedFault`] — a detected failure the caller converts
+    /// into its typed error path.
+    Error,
+    /// Panic — a crash. Unwinds past cleanup code, like a killed process.
+    Panic,
+}
+
+/// The typed value an [`FaultAction::Error`] site returns. Callers map it
+/// into their own error enum (`ServeError::Injected`, `SnapshotError::Io`).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct InjectedFault {
+    /// The site that fired.
+    pub site: Site,
+}
+
+impl std::fmt::Display for InjectedFault {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "injected fault at failpoint `{}`", self.site.name())
+    }
+}
+
+impl std::error::Error for InjectedFault {}
+
+// Packed per-site arm state, one AtomicU64:
+//
+//   bits  0..24  skip  — traversals to pass through before firing
+//   bits 24..48  count — traversals that fire, then the site disarms
+//   bits 48..50  action — 0 disarmed (whole word 0), 1 Error, 2 Panic
+//
+// The packing keeps arm/traverse lock-free: a traversal CAS-decrements
+// skip or count and acts on the value it won with, so concurrent
+// traversals split the budget exactly.
+const SKIP_SHIFT: u32 = 0;
+const COUNT_SHIFT: u32 = 24;
+const ACTION_SHIFT: u32 = 48;
+const FIELD_MASK: u64 = (1 << 24) - 1;
+
+/// Largest value accepted for `skip` and `count` (24-bit fields).
+pub const MAX_ARM_FIELD: u64 = FIELD_MASK;
+
+fn pack(action: FaultAction, skip: u64, count: u64) -> u64 {
+    let a = match action {
+        FaultAction::Error => 1u64,
+        FaultAction::Panic => 2u64,
+    };
+    debug_assert!(skip <= FIELD_MASK && count <= FIELD_MASK);
+    (a << ACTION_SHIFT)
+        | ((count & FIELD_MASK) << COUNT_SHIFT)
+        | ((skip & FIELD_MASK) << SKIP_SHIFT)
+}
+
+struct SiteState {
+    armed: AtomicU64,
+    /// Traversals that consulted an *armed* site (disarmed traversals are
+    /// deliberately uncounted — that is the zero-cost contract).
+    armed_hits: AtomicU64,
+    /// Times the site actually fired (either action).
+    fired: AtomicU64,
+}
+
+#[allow(clippy::declare_interior_mutable_const)]
+const SITE_INIT: SiteState =
+    SiteState { armed: AtomicU64::new(0), armed_hits: AtomicU64::new(0), fired: AtomicU64::new(0) };
+
+static REGISTRY: [SiteState; ALL_SITES.len()] = [SITE_INIT; ALL_SITES.len()];
+
+/// The traversal every call site runs. Disarmed cost: one `Relaxed` load.
+///
+/// # Panics
+/// Panics iff the site is armed with [`FaultAction::Panic`] and this
+/// traversal consumed one of its fires.
+#[inline]
+pub fn check(site: Site) -> Result<(), InjectedFault> {
+    let state = &REGISTRY[site as usize];
+    if state.armed.load(Ordering::Relaxed) == 0 {
+        return Ok(());
+    }
+    check_armed(site, state)
+}
+
+#[cold]
+fn check_armed(site: Site, state: &SiteState) -> Result<(), InjectedFault> {
+    state.armed_hits.fetch_add(1, Ordering::Relaxed);
+    let mut fire_action: Option<FaultAction> = None;
+    // CAS loop: consume one unit of skip or count from whatever state the
+    // site is in *now* (a controller may re-arm or disarm concurrently).
+    let update = state.armed.fetch_update(Ordering::Relaxed, Ordering::Relaxed, |cur| {
+        fire_action = None;
+        if cur == 0 {
+            return None; // disarmed under us — pass through
+        }
+        let skip = (cur >> SKIP_SHIFT) & FIELD_MASK;
+        let count = (cur >> COUNT_SHIFT) & FIELD_MASK;
+        if skip > 0 {
+            return Some(cur - (1 << SKIP_SHIFT));
+        }
+        if count == 0 {
+            return Some(0); // exhausted — self-disarm
+        }
+        fire_action =
+            Some(if (cur >> ACTION_SHIFT) == 2 { FaultAction::Panic } else { FaultAction::Error });
+        // Last fire clears the whole word (self-disarm), keeping the
+        // "disarmed == 0" fast-path invariant.
+        let next = cur - (1 << COUNT_SHIFT);
+        Some(if (next >> COUNT_SHIFT) & FIELD_MASK == 0 { 0 } else { next })
+    });
+    if update.is_err() {
+        return Ok(());
+    }
+    match fire_action {
+        None => Ok(()),
+        Some(action) => {
+            state.fired.fetch_add(1, Ordering::Relaxed);
+            match action {
+                FaultAction::Error => Err(InjectedFault { site }),
+                FaultAction::Panic => {
+                    panic!("failpoint `{}` fired (injected panic)", site.name())
+                }
+            }
+        }
+    }
+}
+
+/// Arms `site`: the next `skip` traversals pass, the following `count`
+/// traversals fire `action`, then the site disarms itself. Replaces any
+/// previous arming. `skip`/`count` are clamped to [`MAX_ARM_FIELD`];
+/// `count == 0` disarms.
+///
+/// Arming any site (idempotently) installs the router into
+/// `ampc_query::snapshot`'s hook so the `persist.*` / `snapshot.load`
+/// sites fire too.
+pub fn arm(site: Site, action: FaultAction, skip: u64, count: u64) {
+    install_query_hook();
+    let word =
+        if count == 0 { 0 } else { pack(action, skip.min(FIELD_MASK), count.min(FIELD_MASK)) };
+    REGISTRY[site as usize].armed.store(word, Ordering::Relaxed);
+}
+
+/// Disarms one site (its counters are kept; see [`reset_counters`]).
+pub fn disarm(site: Site) {
+    REGISTRY[site as usize].armed.store(0, Ordering::Relaxed);
+}
+
+/// Disarms every site.
+pub fn disarm_all() {
+    for s in ALL_SITES {
+        disarm(s);
+    }
+}
+
+/// Traversals that consulted `site` while it was armed.
+pub fn armed_hits(site: Site) -> u64 {
+    REGISTRY[site as usize].armed_hits.load(Ordering::Relaxed)
+}
+
+/// Times `site` actually fired (either action) since the last
+/// [`reset_counters`].
+pub fn fired(site: Site) -> u64 {
+    REGISTRY[site as usize].fired.load(Ordering::Relaxed)
+}
+
+/// Zeroes every site's counters (does not disarm).
+pub fn reset_counters() {
+    for s in ALL_SITES {
+        REGISTRY[s as usize].armed_hits.store(0, Ordering::Relaxed);
+        REGISTRY[s as usize].fired.store(0, Ordering::Relaxed);
+    }
+}
+
+/// Parses and arms one `--fail` spec: `SITE[:K][:panic]` — fire at the
+/// `K`-th traversal (default 1), once; `panic` selects
+/// [`FaultAction::Panic`] instead of the default error action. Returns
+/// the armed site.
+///
+/// ```text
+/// --fail journal.build            error on the next journal freeze
+/// --fail rebuild.pipeline:3       error on the 3rd rebuild build
+/// --fail persist.pre-rename:1:panic   crash mid-persist, tmp left behind
+/// ```
+pub fn arm_spec(spec: &str) -> Result<Site, String> {
+    let mut parts = spec.split(':');
+    let name = parts.next().unwrap_or("");
+    let site = Site::from_name(name).ok_or_else(|| {
+        let catalog: Vec<&str> = ALL_SITES.iter().map(|s| s.name()).collect();
+        format!("unknown failpoint `{name}` (sites: {})", catalog.join(", "))
+    })?;
+    let mut k = 1u64;
+    let mut action = FaultAction::Error;
+    for part in parts {
+        if part == "panic" {
+            action = FaultAction::Panic;
+        } else {
+            k = part
+                .parse::<u64>()
+                .ok()
+                .filter(|k| (1..=MAX_ARM_FIELD).contains(k))
+                .ok_or_else(|| format!("bad hit index `{part}` in failpoint spec `{spec}`"))?;
+        }
+    }
+    arm(site, action, k - 1, 1);
+    Ok(site)
+}
+
+/// Router installed into `ampc_query::snapshot`'s fault hook: maps the
+/// query crate's site names onto this registry. Unknown names pass
+/// through (forward compatibility over failing closed: a hook must never
+/// invent faults).
+fn query_router(site: &'static str) -> std::io::Result<()> {
+    let mapped = match site {
+        "persist.pre-tmp" => Site::PersistPreTmp,
+        "persist.pre-rename" => Site::PersistPreRename,
+        "persist.pre-dirsync" => Site::PersistPreDirSync,
+        "snapshot.load" => Site::SnapshotLoad,
+        _ => return Ok(()),
+    };
+    check(mapped).map_err(std::io::Error::other)
+}
+
+fn install_query_hook() {
+    ampc_query::snapshot::fail::set_hook(Some(query_router));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// All framework semantics in one sequential test: the registry is
+    /// process-global, and only `test.probe` (no production call site) is
+    /// armed, so concurrently running service tests are never perturbed.
+    #[test]
+    fn arm_skip_count_fire_and_disarm_semantics() {
+        let s = Site::TestProbe;
+        reset_counters();
+        assert_eq!(check(s), Ok(()), "disarmed site must pass");
+        assert_eq!(armed_hits(s), 0, "disarmed traversals are uncounted");
+
+        // skip 2, fire 2, then self-disarm.
+        arm(s, FaultAction::Error, 2, 2);
+        assert_eq!(check(s), Ok(()));
+        assert_eq!(check(s), Ok(()));
+        assert_eq!(check(s), Err(InjectedFault { site: s }));
+        assert_eq!(check(s), Err(InjectedFault { site: s }));
+        assert_eq!(check(s), Ok(()), "budget spent — site must self-disarm");
+        assert_eq!(fired(s), 2);
+        assert_eq!(armed_hits(s), 4, "the post-disarm traversal is uncounted");
+
+        // Re-arm replaces, disarm clears.
+        arm(s, FaultAction::Error, 0, 5);
+        disarm(s);
+        assert_eq!(check(s), Ok(()));
+
+        // Panic action panics and counts as fired.
+        arm(s, FaultAction::Panic, 0, 1);
+        let r = std::panic::catch_unwind(|| check(s));
+        assert!(r.is_err(), "panic action must panic");
+        assert_eq!(fired(s), 3);
+        assert_eq!(check(s), Ok(()), "one-shot panic disarmed itself");
+
+        // count == 0 means disarm.
+        arm(s, FaultAction::Error, 3, 0);
+        assert_eq!(check(s), Ok(()));
+
+        reset_counters();
+        assert_eq!((fired(s), armed_hits(s)), (0, 0));
+    }
+
+    #[test]
+    fn site_names_roundtrip_and_are_unique() {
+        for s in ALL_SITES {
+            assert_eq!(Site::from_name(s.name()), Some(s));
+        }
+        assert_eq!(Site::from_name("no.such.site"), None);
+        let mut names: Vec<&str> = ALL_SITES.iter().map(|s| s.name()).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), ALL_SITES.len());
+    }
+
+    #[test]
+    fn arm_spec_grammar() {
+        // Valid specs arm test.probe only (then immediately disarm).
+        assert_eq!(arm_spec("test.probe"), Ok(Site::TestProbe));
+        disarm(Site::TestProbe);
+        assert_eq!(arm_spec("test.probe:7"), Ok(Site::TestProbe));
+        disarm(Site::TestProbe);
+        assert_eq!(arm_spec("test.probe:2:panic"), Ok(Site::TestProbe));
+        disarm(Site::TestProbe);
+
+        assert!(arm_spec("bogus.site").unwrap_err().contains("unknown failpoint"));
+        assert!(arm_spec("test.probe:0").unwrap_err().contains("bad hit index"));
+        assert!(arm_spec("test.probe:x").unwrap_err().contains("bad hit index"));
+    }
+}

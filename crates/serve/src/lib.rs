@@ -34,6 +34,16 @@
 //!   per-thread striping of one query stream (totals are seed-reproducible
 //!   at any thread count), per-thread and aggregate queries/sec, each
 //!   thread answering through its own pinned snapshot.
+//! * [`fault`] + the degradation state machine — every risky seam
+//!   (pipeline build, compaction publish, journal freeze, snapshot
+//!   write/load) carries a named **failpoint** (compiled in always, one
+//!   relaxed atomic load when disarmed); failures no longer vanish with
+//!   their thread but land as typed incidents in a bounded log and drive
+//!   `Healthy → Degraded → ReadOnly` ([`HealthState`]) with bounded
+//!   deterministic retry-with-backoff ([`RetryPolicy`], injectable
+//!   [`Clock`]). Reads keep serving the last published epoch in every
+//!   state; [`ServiceBuilder::from_snapshot_or_rebuild`] gives boot the
+//!   same no-single-failure-kills-us treatment.
 //!
 //! Per-epoch determinism carries over from the layers below: a published
 //! index is a pure function of `(spec, graph)`, so every snapshot of one
@@ -44,12 +54,15 @@
 
 pub mod driver;
 pub mod epoch;
+pub mod fault;
 mod service;
 
 pub use ampc_cc::pipeline::PipelineSpec;
 pub use ampc_query::{JournalView, SnapshotError};
 pub use epoch::{EpochCell, EpochGuard};
+pub use fault::{FaultAction, InjectedFault, Site};
 pub use service::{
-    IndexSnapshot, InsertReport, JournalBudget, PersistReport, PublishedIndex, RebuildHandle,
-    ServeError, ServiceBuilder, ServiceHandle,
+    BootSource, Clock, HealthReport, HealthState, Incident, IncidentOp, IndexSnapshot,
+    InsertReport, JournalBudget, ManualClock, MonotonicClock, PersistReport, PublishedIndex,
+    RebuildHandle, RetryPolicy, ServeError, ServiceBuilder, ServiceHandle,
 };

@@ -38,6 +38,7 @@
 //! (base, inserted edges), so every snapshot of one epoch answers
 //! byte-identically on every thread, machine, and backend.
 
+use std::collections::VecDeque;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::Path;
 use std::sync::atomic::{AtomicU64, Ordering::SeqCst};
@@ -51,6 +52,7 @@ use ampc_graph::{Graph, Labeling, UnionFind, VertexId};
 use ampc_query::{snapshot, ComponentIndex, JournalView, QueryEngine, SnapshotError};
 
 use crate::epoch::{EpochCell, EpochGuard};
+use crate::fault::{self, InjectedFault, Site};
 
 /// Errors surfaced by the serving layer.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -70,6 +72,25 @@ pub enum ServeError {
         /// Vertex count of the current graph.
         n: usize,
     },
+    /// Freezing the insert batch's merges into a journal failed. The
+    /// batch was rolled back: nothing was applied or published (this used
+    /// to be a reachable `expect` on the caller's thread).
+    JournalBuild(String),
+    /// The service is in the [`HealthState::ReadOnly`] state after
+    /// repeated failures: inserts are refused, reads keep serving the
+    /// last published epoch, and a successful explicit
+    /// [`ServiceHandle::rebuild`] restores service.
+    ReadOnly,
+    /// A failpoint fired ([`crate::fault`]): the deterministic
+    /// fault-injection harness, never seen in production.
+    Injected {
+        /// Name of the failpoint site that fired.
+        site: &'static str,
+    },
+    /// Booting from a snapshot failed (the typed reason, stringified for
+    /// the incident log) — [`ServiceBuilder::from_snapshot_or_rebuild`]
+    /// records this before falling back to a pipeline build.
+    SnapshotBoot(String),
 }
 
 impl std::fmt::Display for ServeError {
@@ -81,6 +102,16 @@ impl std::fmt::Display for ServeError {
             ServeError::VertexOutOfRange { vertex, n } => {
                 write!(f, "inserted edge names vertex {vertex} but the graph has {n} vertices")
             }
+            ServeError::JournalBuild(msg) => write!(f, "journal build failed: {msg}"),
+            ServeError::ReadOnly => {
+                write!(
+                    f,
+                    "service is read-only after repeated failures \
+                     (reads keep serving; a successful rebuild restores inserts)"
+                )
+            }
+            ServeError::Injected { site } => write!(f, "injected fault at failpoint `{site}`"),
+            ServeError::SnapshotBoot(msg) => write!(f, "snapshot boot failed: {msg}"),
         }
     }
 }
@@ -90,6 +121,221 @@ impl std::error::Error for ServeError {}
 impl From<AmpcError> for ServeError {
     fn from(e: AmpcError) -> Self {
         ServeError::Pipeline(e)
+    }
+}
+
+impl From<InjectedFault> for ServeError {
+    fn from(f: InjectedFault) -> Self {
+        ServeError::Injected { site: f.site.name() }
+    }
+}
+
+/// The degradation state machine every [`ServiceHandle`] carries.
+///
+/// ```text
+///            failure                    failure (Nth consecutive)
+/// Healthy ───────────▶ Degraded ─────────────────────▶ ReadOnly
+///    ▲                    │  ▲                             │
+///    │   compaction /     │  │ failed retry                │
+///    │   rebuild success  │  │ (backoff doubles)           │
+///    └────────────────────┘  └─────────────────────────────┘
+///    ▲                                                     │
+///    └──────────── explicit rebuild succeeds ──────────────┘
+/// ```
+///
+/// * **Healthy** — the happy path of PRs 5–7.
+/// * **Degraded** — a rebuild/compaction/journal build failed. Reads are
+///   untouched; inserts keep landing as journal-epochs; the journal
+///   budget is suspended in favor of a bounded retry-with-backoff
+///   compaction schedule (deterministic under an injectable [`Clock`]).
+/// * **ReadOnly** — [`RetryPolicy::max_consecutive_failures`] failures in
+///   a row. Inserts return [`ServeError::ReadOnly`]; reads keep serving
+///   the last published epoch; only a successful explicit
+///   [`ServiceHandle::rebuild`] (new ground truth) restores `Healthy`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum HealthState {
+    /// Serving normally.
+    Healthy,
+    /// A failure was recorded; retrying compaction with backoff.
+    Degraded,
+    /// Too many consecutive failures; inserts refused until an explicit
+    /// rebuild succeeds.
+    ReadOnly,
+}
+
+impl HealthState {
+    /// Stable lowercase name (CLI/JSON).
+    pub fn name(self) -> &'static str {
+        match self {
+            HealthState::Healthy => "healthy",
+            HealthState::Degraded => "degraded",
+            HealthState::ReadOnly => "read-only",
+        }
+    }
+}
+
+/// Which operation an [`Incident`] was recorded against.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum IncidentOp {
+    /// An explicit [`ServiceHandle::rebuild`].
+    Rebuild,
+    /// A budget-triggered or retry compaction.
+    Compaction,
+    /// A journal-epoch freeze on the insert path.
+    JournalBuild,
+    /// A snapshot boot that fell back to a pipeline build.
+    Boot,
+}
+
+impl IncidentOp {
+    /// Stable lowercase name (CLI/JSON).
+    pub fn name(self) -> &'static str {
+        match self {
+            IncidentOp::Rebuild => "rebuild",
+            IncidentOp::Compaction => "compaction",
+            IncidentOp::JournalBuild => "journal-build",
+            IncidentOp::Boot => "boot",
+        }
+    }
+}
+
+/// One recorded failure. The log is bounded
+/// ([`RetryPolicy::max_incidents`]): `seq` keeps a global count even
+/// after old entries are evicted.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Incident {
+    /// 1-based global sequence number (total incidents ever recorded).
+    pub seq: u64,
+    /// [`Clock::now_ms`] when the incident was recorded.
+    pub at_ms: u64,
+    /// The operation that failed.
+    pub op: IncidentOp,
+    /// The typed failure.
+    pub error: ServeError,
+}
+
+/// Bounded retry-with-backoff policy for the degradation state machine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Consecutive failures before the service enters
+    /// [`HealthState::ReadOnly`].
+    pub max_consecutive_failures: u32,
+    /// Backoff before the first compaction retry.
+    pub base_backoff_ms: u64,
+    /// Backoff ceiling (the doubling stops here).
+    pub max_backoff_ms: u64,
+    /// Incident-log bound (oldest entries are evicted first).
+    pub max_incidents: usize,
+}
+
+impl RetryPolicy {
+    /// `min(base << (failures − 1), max)` — deterministic, no jitter: the
+    /// service is single-writer per lineage, so thundering herds are not
+    /// a concern and reproducibility (chaos schedules, incident replay)
+    /// is.
+    pub fn backoff_ms(&self, consecutive_failures: u32) -> u64 {
+        let doublings = consecutive_failures.saturating_sub(1).min(32);
+        self.base_backoff_ms.saturating_mul(1u64 << doublings).min(self.max_backoff_ms)
+    }
+}
+
+impl Default for RetryPolicy {
+    /// 5 strikes, 100 ms → 10 s backoff, 64 incidents retained.
+    fn default() -> Self {
+        RetryPolicy {
+            max_consecutive_failures: 5,
+            base_backoff_ms: 100,
+            max_backoff_ms: 10_000,
+            max_incidents: 64,
+        }
+    }
+}
+
+/// The time source the retry/backoff policy reads. Injectable so chaos
+/// tests (and incident replays) advance time deterministically instead of
+/// sleeping.
+pub trait Clock: Send + Sync + std::fmt::Debug {
+    /// Milliseconds since an arbitrary fixed origin; must be monotone.
+    fn now_ms(&self) -> u64;
+}
+
+/// The production clock: monotone milliseconds since service creation.
+#[derive(Debug)]
+pub struct MonotonicClock(Instant);
+
+impl Default for MonotonicClock {
+    fn default() -> Self {
+        MonotonicClock(Instant::now())
+    }
+}
+
+impl Clock for MonotonicClock {
+    fn now_ms(&self) -> u64 {
+        self.0.elapsed().as_millis() as u64
+    }
+}
+
+/// A hand-advanced test clock. Clones share the same time.
+#[derive(Debug, Clone, Default)]
+pub struct ManualClock(Arc<AtomicU64>);
+
+impl ManualClock {
+    /// A clock starting at 0 ms.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Advances the clock by `ms`.
+    pub fn advance_ms(&self, ms: u64) {
+        self.0.fetch_add(ms, SeqCst);
+    }
+}
+
+impl Clock for ManualClock {
+    fn now_ms(&self) -> u64 {
+        self.0.load(SeqCst)
+    }
+}
+
+/// A point-in-time copy of the service's health, via
+/// [`ServiceHandle::health`].
+#[derive(Debug, Clone)]
+pub struct HealthReport {
+    /// Current state of the degradation state machine.
+    pub state: HealthState,
+    /// Failures since the last successful rebuild/compaction.
+    pub consecutive_failures: u32,
+    /// Total incidents ever recorded (≥ `incidents.len()`).
+    pub total_incidents: u64,
+    /// The retained incident log, oldest first.
+    pub incidents: Vec<Incident>,
+    /// When [`HealthState::Degraded`]: milliseconds until the next
+    /// compaction retry is allowed (0 = due now).
+    pub retry_in_ms: Option<u64>,
+}
+
+/// Mutable half of the state machine, guarded by the stream lock (every
+/// transition happens on a path that already holds it).
+#[derive(Debug)]
+struct HealthInner {
+    state: HealthState,
+    consecutive_failures: u32,
+    /// Earliest [`Clock::now_ms`] at which a Degraded service retries
+    /// compaction.
+    retry_at_ms: u64,
+    incidents: VecDeque<Incident>,
+    total_incidents: u64,
+}
+
+impl HealthInner {
+    fn new() -> Self {
+        HealthInner {
+            state: HealthState::Healthy,
+            consecutive_failures: 0,
+            retry_at_ms: 0,
+            incidents: VecDeque::new(),
+            total_incidents: 0,
+        }
     }
 }
 
@@ -317,6 +563,10 @@ struct StreamState {
     /// Bumped by every full rebuild that lands; a compaction that started
     /// against an older generation abandons instead of clobbering.
     generation: u64,
+    /// Degradation state machine + bounded incident log. Guarded by the
+    /// stream lock like everything else here: every transition happens on
+    /// a path that already holds it.
+    health: HealthInner,
 }
 
 /// Ticket dispenser that forces rebuild publishes into request order:
@@ -359,8 +609,61 @@ struct ConnectivityService {
     cell: EpochCell<PublishedIndex>,
     spec: PipelineSpec,
     budget: JournalBudget,
+    policy: RetryPolicy,
+    clock: Arc<dyn Clock>,
     stream: Mutex<StreamState>,
     tickets: RebuildTickets,
+}
+
+/// Appends a typed failure to the bounded incident log without touching
+/// the state machine (boot-fallback incidents land in a Healthy service).
+fn record_incident(
+    service: &ConnectivityService,
+    st: &mut StreamState,
+    op: IncidentOp,
+    error: ServeError,
+) {
+    let h = &mut st.health;
+    h.total_incidents += 1;
+    h.incidents.push_back(Incident {
+        seq: h.total_incidents,
+        at_ms: service.clock.now_ms(),
+        op,
+        error,
+    });
+    while h.incidents.len() > service.policy.max_incidents {
+        h.incidents.pop_front();
+    }
+}
+
+/// Records a failure and advances the state machine: `Degraded` with a
+/// doubled backoff until [`RetryPolicy::max_consecutive_failures`], then
+/// `ReadOnly`.
+fn record_failure(
+    service: &ConnectivityService,
+    st: &mut StreamState,
+    op: IncidentOp,
+    error: ServeError,
+) {
+    record_incident(service, st, op, error);
+    let failures = st.health.consecutive_failures.saturating_add(1);
+    st.health.consecutive_failures = failures;
+    if failures >= service.policy.max_consecutive_failures {
+        st.health.state = HealthState::ReadOnly;
+        st.health.retry_at_ms = u64::MAX;
+    } else {
+        st.health.state = HealthState::Degraded;
+        st.health.retry_at_ms =
+            service.clock.now_ms().saturating_add(service.policy.backoff_ms(failures));
+    }
+}
+
+/// A compaction or rebuild landed: back to `Healthy`, failure streak
+/// cleared. The incident log is retained — it is history, not state.
+fn mark_recovered(h: &mut HealthInner) {
+    h.state = HealthState::Healthy;
+    h.consecutive_failures = 0;
+    h.retry_at_ms = 0;
 }
 
 /// Locks the stream state, recovering from poison: the guarded state is
@@ -394,18 +697,29 @@ fn build_base(spec: &PipelineSpec, g: &Graph) -> Result<BaseIndex, ServeError> {
     })
 }
 
-/// Freezes the stream's current union-find into a journal over `base`.
-/// `None` when there are no merges (the journal would be an identity map —
-/// publish the base view instead and skip the remap read on every query).
-fn freeze_journal(st: &mut StreamState, base: &BaseIndex) -> Option<JournalView> {
-    if st.merges == 0 {
-        return None;
+/// Freezes a union-find over `base`'s component ids into a journal.
+/// `Ok(None)` when there are no merges (the journal would be an identity
+/// map — publish the base view instead and skip the remap read on every
+/// query).
+///
+/// This used to `expect` — a reachable panic on the **caller's** insert
+/// thread. Union-find roots are base component ids, so the labeling is in
+/// range and the right length by construction, but "by construction"
+/// arguments belong in tests, not in a panic on the serving path: a
+/// violated invariant now surfaces as [`ServeError::JournalBuild`] and
+/// rolls the batch back. The [`Site::JournalBuild`] failpoint fires here.
+fn build_journal(
+    uf: &mut UnionFind,
+    merges: usize,
+    base: &BaseIndex,
+) -> Result<Option<JournalView>, ServeError> {
+    if merges == 0 {
+        return Ok(None);
     }
+    fault::check(Site::JournalBuild)?;
     let c = base.index.num_components();
-    let class_of: Vec<u32> = (0..c as u32).map(|id| st.uf.find(id)).collect();
-    // Union-find roots are base component ids, so the labeling is in range
-    // and the right length by construction.
-    Some(JournalView::build(&class_of, &base.index).expect("union-find roots form a valid journal"))
+    let class_of: Vec<u32> = (0..c as u32).map(|id| uf.find(id)).collect();
+    JournalView::build(&class_of, &base.index).map(Some).map_err(ServeError::JournalBuild)
 }
 
 /// Builder for a [`ServiceHandle`]: `ServiceBuilder::new(graph)
@@ -415,13 +729,32 @@ pub struct ServiceBuilder {
     graph: Graph,
     spec: PipelineSpec,
     budget: JournalBudget,
+    policy: RetryPolicy,
+    clock: Arc<dyn Clock>,
+}
+
+/// Where [`ServiceBuilder::from_snapshot_or_rebuild`] got its epoch 0.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BootSource {
+    /// The snapshot loaded and validated; epoch 0 reinterprets its buffer.
+    Snapshot,
+    /// The snapshot was missing/corrupt; epoch 0 came from a pipeline
+    /// build over the builder's graph, and the boot failure is the first
+    /// entry in the incident log.
+    RebuildFallback,
 }
 
 impl ServiceBuilder {
     /// Starts a builder over `graph` with the default [`PipelineSpec`] and
     /// [`JournalBudget`].
     pub fn new(graph: Graph) -> Self {
-        ServiceBuilder { graph, spec: PipelineSpec::default(), budget: JournalBudget::default() }
+        ServiceBuilder {
+            graph,
+            spec: PipelineSpec::default(),
+            budget: JournalBudget::default(),
+            policy: RetryPolicy::default(),
+            clock: Arc::new(MonotonicClock::default()),
+        }
     }
 
     /// Sets the pipeline spec used for the initial build and every rebuild.
@@ -436,10 +769,111 @@ impl ServiceBuilder {
         self
     }
 
+    /// Sets the retry/backoff policy of the degradation state machine.
+    pub fn retry_policy(mut self, policy: RetryPolicy) -> Self {
+        self.policy = policy;
+        self
+    }
+
+    /// Injects the time source the retry schedule reads (tests pass a
+    /// [`ManualClock`] and advance it deterministically).
+    pub fn clock(mut self, clock: Arc<dyn Clock>) -> Self {
+        self.clock = clock;
+        self
+    }
+
     /// Runs the pipeline, validates, indexes, and publishes epoch 0.
     pub fn build(self) -> Result<ServiceHandle, ServeError> {
         let base = Arc::new(build_base(&self.spec, &self.graph)?);
-        Ok(publish_epoch_zero(self.graph, true, base, self.spec, self.budget))
+        Ok(publish_epoch_zero(
+            self.graph,
+            true,
+            base,
+            self.spec,
+            self.budget,
+            self.policy,
+            self.clock,
+        ))
+    }
+
+    /// Boot fallback chain: try the snapshot first, and if it is missing,
+    /// truncated, or corrupt — any [`SnapshotError`] — fall back to a
+    /// pipeline build over the builder's graph instead of refusing to
+    /// start. The failure is not swallowed: it is recorded as a
+    /// [`IncidentOp::Boot`] incident (typed
+    /// [`ServeError::SnapshotBoot`]) in the otherwise-Healthy fallback
+    /// service, and the returned [`BootSource`] says which path won.
+    ///
+    /// On a successful snapshot boot the builder's graph is installed as
+    /// the base graph **when its vertex count matches the snapshot's**, so
+    /// budget-triggered compaction works immediately (plain
+    /// [`ServiceBuilder::from_snapshot`] has no edges and must disable
+    /// it). The caller asserts, by using this method, that the graph is
+    /// the one the snapshot captured. On a mismatch the snapshot still
+    /// boots, with compaction disabled exactly like `from_snapshot`.
+    ///
+    /// # Errors
+    /// Only if **both** paths fail: the snapshot error is in the incident
+    /// log's stead and the pipeline error is returned.
+    pub fn from_snapshot_or_rebuild(
+        self,
+        path: impl AsRef<Path>,
+    ) -> Result<(ServiceHandle, BootSource), ServeError> {
+        match snapshot::load(path.as_ref()) {
+            Ok(snap) => {
+                let (algorithm, _algo) = match snap.algorithm {
+                    1 => (ResolvedAlgorithm::Forest, Algorithm::Forest),
+                    _ => (ResolvedAlgorithm::General, Algorithm::General),
+                };
+                let graph_n = snap.graph_n as usize;
+                let base = Arc::new(BaseIndex {
+                    index: snap.index,
+                    labeling: snap.labeling,
+                    stats: RunStats::default(),
+                    algorithm,
+                    graph_n,
+                    graph_m: snap.graph_m as usize,
+                    pipeline_ms: 0.0,
+                    index_ms: 0.0,
+                });
+                let (graph, has_base_graph) = if self.graph.n() == graph_n {
+                    (self.graph, true)
+                } else {
+                    (Graph::empty(graph_n), false)
+                };
+                Ok((
+                    publish_epoch_zero(
+                        graph,
+                        has_base_graph,
+                        base,
+                        self.spec,
+                        self.budget,
+                        self.policy,
+                        self.clock,
+                    ),
+                    BootSource::Snapshot,
+                ))
+            }
+            Err(snap_err) => {
+                let boot_error = ServeError::SnapshotBoot(snap_err.to_string());
+                let base = Arc::new(build_base(&self.spec, &self.graph)?);
+                let handle = publish_epoch_zero(
+                    self.graph,
+                    true,
+                    base,
+                    self.spec,
+                    self.budget,
+                    self.policy,
+                    self.clock,
+                );
+                {
+                    let service = &handle.service;
+                    let mut st = lock_stream(&service.stream);
+                    record_incident(service, &mut st, IncidentOp::Boot, boot_error);
+                }
+                Ok((handle, BootSource::RebuildFallback))
+            }
+        }
     }
 
     /// Boots a service from a snapshot on disk: one bulk read, header +
@@ -479,7 +913,15 @@ impl ServiceBuilder {
             index_ms: 0.0,
         });
         let spec = PipelineSpec::default().with_algorithm(algo);
-        Ok(publish_epoch_zero(Graph::empty(graph_n), false, base, spec, JournalBudget::default()))
+        Ok(publish_epoch_zero(
+            Graph::empty(graph_n),
+            false,
+            base,
+            spec,
+            JournalBudget::default(),
+            RetryPolicy::default(),
+            Arc::new(MonotonicClock::default()),
+        ))
     }
 }
 
@@ -492,6 +934,8 @@ fn publish_epoch_zero(
     base: Arc<BaseIndex>,
     spec: PipelineSpec,
     budget: JournalBudget,
+    policy: RetryPolicy,
+    clock: Arc<dyn Clock>,
 ) -> ServiceHandle {
     let c = base.index.num_components();
     let stream = StreamState {
@@ -503,12 +947,15 @@ fn publish_epoch_zero(
         has_base_graph,
         compacting: false,
         generation: 0,
+        health: HealthInner::new(),
     };
     let payload = PublishedIndex { epoch: 0, base, journal: None, inserted_edges: 0 };
     let service = ConnectivityService {
         cell: EpochCell::new(Arc::new(payload)),
         spec,
         budget,
+        policy,
+        clock,
         stream: Mutex::new(stream),
         tickets: RebuildTickets::new(),
     };
@@ -577,6 +1024,47 @@ impl ServiceHandle {
         self.service.budget
     }
 
+    /// The retry/backoff policy of the degradation state machine.
+    pub fn retry_policy(&self) -> RetryPolicy {
+        self.service.policy
+    }
+
+    /// A point-in-time copy of the degradation state machine: current
+    /// [`HealthState`], failure streak, bounded incident log, and (when
+    /// `Degraded`) time until the next compaction retry.
+    pub fn health(&self) -> HealthReport {
+        let service = &self.service;
+        let st = lock_stream(&service.stream);
+        let h = &st.health;
+        let retry_in_ms = (h.state == HealthState::Degraded)
+            .then(|| h.retry_at_ms.saturating_sub(service.clock.now_ms()));
+        HealthReport {
+            state: h.state,
+            consecutive_failures: h.consecutive_failures,
+            total_incidents: h.total_incidents,
+            incidents: h.incidents.iter().cloned().collect(),
+            retry_in_ms,
+        }
+    }
+
+    /// Drives the retry schedule without an insert: if the service is
+    /// `Degraded`, the backoff has elapsed, and no compaction is in
+    /// flight, start one. Returns `true` iff a retry compaction was
+    /// started. Inserts drive the same schedule implicitly; call this
+    /// from a maintenance loop when the write path may go quiet.
+    pub fn tick(&self) -> bool {
+        let service = &self.service;
+        let mut st = lock_stream(&service.stream);
+        let due = st.health.state == HealthState::Degraded
+            && service.clock.now_ms() >= st.health.retry_at_ms
+            && !st.compacting
+            && st.has_base_graph;
+        if due {
+            start_compaction_locked(service, &mut st);
+        }
+        due
+    }
+
     /// Applies a batch of edge insertions to the current epoch and
     /// publishes the result as a **journal-epoch**: endpoint components
     /// are unioned over the base index's dense ids and the merged view is
@@ -591,11 +1079,17 @@ impl ServiceHandle {
     ///
     /// # Errors
     /// [`ServeError::VertexOutOfRange`] if any endpoint is `>= n` for the
-    /// current graph. The batch is atomic: nothing is applied or published
-    /// on error.
+    /// current graph, [`ServeError::ReadOnly`] when the state machine has
+    /// given up on the write path, [`ServeError::JournalBuild`] if
+    /// freezing the merges fails (the failure is also recorded in the
+    /// incident log). The batch is atomic in every case: nothing is
+    /// applied or published on error.
     pub fn insert_edges(&self, edges: &[(VertexId, VertexId)]) -> Result<InsertReport, ServeError> {
         let service = &self.service;
         let mut st = lock_stream(&service.stream);
+        if st.health.state == HealthState::ReadOnly {
+            return Err(ServeError::ReadOnly);
+        }
         let n = st.graph.n();
         for &(u, v) in edges {
             let bad = if (u as usize) >= n {
@@ -610,18 +1104,31 @@ impl ServiceHandle {
             }
         }
 
+        // Apply the batch to a *scratch* union-find and only commit it
+        // after the journal freezes — a failed freeze must roll the whole
+        // batch back, and the clone is `O(components)`, the same order as
+        // the freeze itself.
         let base = Arc::clone(&st.base);
+        let mut uf = st.uf.clone();
         let mut new_merges = 0usize;
         for &(u, v) in edges {
             let (cu, cv) = (base.index.component_of(u), base.index.component_of(v));
-            if st.uf.union(cu, cv) {
+            if uf.union(cu, cv) {
                 new_merges += 1;
             }
         }
-        st.merges += new_merges;
+        let merges = st.merges + new_merges;
+        let journal = match build_journal(&mut uf, merges, &base) {
+            Ok(j) => j,
+            Err(e) => {
+                record_failure(service, &mut st, IncidentOp::JournalBuild, e.clone());
+                return Err(e);
+            }
+        };
+        st.uf = uf;
+        st.merges = merges;
         st.pending.extend_from_slice(edges);
 
-        let journal = freeze_journal(&mut st, &base);
         let components = match &journal {
             Some(j) => j.num_components(),
             None => base.index.num_components(),
@@ -631,23 +1138,18 @@ impl ServiceHandle {
             Arc::new(PublishedIndex { epoch, base: Arc::clone(&base), journal, inserted_edges })
         });
 
-        let over_budget = service.budget.exceeded_by(st.pending.len(), st.merges);
-        let compaction_started = over_budget && !st.compacting && st.has_base_graph;
+        // Healthy: the journal budget decides. Degraded: the budget is
+        // suspended ("widened") — the deterministic retry schedule decides
+        // instead, so a failing compaction is re-attempted with backoff
+        // rather than on every over-budget batch.
+        let due = match st.health.state {
+            HealthState::Healthy => service.budget.exceeded_by(st.pending.len(), st.merges),
+            HealthState::Degraded => service.clock.now_ms() >= st.health.retry_at_ms,
+            HealthState::ReadOnly => false,
+        };
+        let compaction_started = due && !st.compacting && st.has_base_graph;
         if compaction_started {
-            st.compacting = true;
-            let consumed = st.pending.len();
-            let generation = st.generation;
-            let merged: Vec<(VertexId, VertexId)> =
-                st.graph.edges().chain(st.pending.iter().copied()).collect();
-            let graph = Graph::from_edges(n, &merged);
-            let ticket = service.tickets.take();
-            let service = Arc::clone(&self.service);
-            // Fire-and-forget by design: the compaction reports through the
-            // epoch cell (or clears `compacting` on failure so a later
-            // batch retries), not through a handle.
-            std::thread::spawn(move || {
-                run_rebuild(&service, graph, RebuildGoal::Compact { consumed, generation }, ticket)
-            });
+            start_compaction_locked(service, &mut st);
         }
 
         Ok(InsertReport {
@@ -731,25 +1233,64 @@ impl ServiceHandle {
     }
 }
 
+/// Kicks off a background compaction over the merged (base + pending)
+/// graph. Caller holds the stream lock and has decided the compaction is
+/// due. Fire-and-forget by design: the compaction reports through the
+/// epoch cell and the health state machine (success → `Healthy`, failure
+/// → incident + backoff), not through a handle.
+fn start_compaction_locked(service: &Arc<ConnectivityService>, st: &mut StreamState) {
+    st.compacting = true;
+    let consumed = st.pending.len();
+    let generation = st.generation;
+    let n = st.graph.n();
+    let merged: Vec<(VertexId, VertexId)> =
+        st.graph.edges().chain(st.pending.iter().copied()).collect();
+    let graph = Graph::from_edges(n, &merged);
+    let ticket = service.tickets.take();
+    let service = Arc::clone(service);
+    std::thread::spawn(move || {
+        run_rebuild(&service, graph, RebuildGoal::Compact { consumed, generation }, ticket)
+    });
+}
+
 /// Body of every sequenced background rebuild (explicit or compaction):
 /// run the pipeline (the expensive part, concurrent with everything), wait
 /// for this ticket's turn, then swap stream state + publish under the
 /// stream lock. The ticket is advanced on **every** path, including
-/// pipeline failure and panic, so one dead rebuild never wedges later ones.
+/// pipeline failure and panic, so one dead rebuild never wedges later
+/// ones; every failure (including a panic, via `catch_unwind`) is
+/// recorded in the incident log and advances the degradation state
+/// machine instead of disappearing with the thread.
 fn run_rebuild(
     service: &Arc<ConnectivityService>,
     graph: Graph,
     goal: RebuildGoal,
     ticket: u64,
 ) -> Result<u64, ServeError> {
-    let built = catch_unwind(AssertUnwindSafe(|| build_base(&service.spec, &graph)));
+    let built = catch_unwind(AssertUnwindSafe(|| {
+        fault::check(Site::RebuildPipeline)?;
+        build_base(&service.spec, &graph)
+    }));
     service.tickets.wait_for(ticket);
-    let result = publish_rebuild(service, graph, &goal, built);
-    if result.is_err() {
-        if let RebuildGoal::Compact { .. } = goal {
-            // Let a later insert batch start a fresh compaction.
-            lock_stream(&service.stream).compacting = false;
-        }
+    // The publish half is wrapped too: a panic mid-publish (injected or
+    // real) must still advance the ticket and record a failure, or every
+    // later rebuild wedges behind this one's turn. The stream mutations
+    // inside are ordered fallible-first, so an unwind leaves consistent
+    // state and `lock_stream` recovers the poisoned mutex.
+    let result = catch_unwind(AssertUnwindSafe(|| publish_rebuild(service, graph, &goal, built)))
+        .unwrap_or(Err(ServeError::RebuildPanicked));
+    if let Err(e) = &result {
+        let mut st = lock_stream(&service.stream);
+        let op = match goal {
+            RebuildGoal::Replace => IncidentOp::Rebuild,
+            RebuildGoal::Compact { .. } => {
+                // Let a later insert batch (or retry tick) start a fresh
+                // compaction.
+                st.compacting = false;
+                IncidentOp::Compaction
+            }
+        };
+        record_failure(service, &mut st, op, e.clone());
     }
     service.tickets.advance();
     result
@@ -777,10 +1318,13 @@ fn publish_rebuild(
             st.merges = 0;
             st.base = Arc::clone(&base);
             // A rebuild's graph is real ground truth — a snapshot-booted
-            // service regains compaction here.
+            // service regains compaction here, and a Degraded/ReadOnly
+            // service regains Healthy: the explicit rebuild is the
+            // operator's recovery lever.
             st.has_base_graph = true;
             st.compacting = false;
             st.generation += 1;
+            mark_recovered(&mut st.health);
             Ok(service.cell.publish_with(|epoch| {
                 Arc::new(PublishedIndex {
                     epoch,
@@ -795,26 +1339,33 @@ fn publish_rebuild(
                 // A Replace landed while we compacted: our base (and the
                 // pending edges we consumed) belong to a dead lineage.
                 // Publishing would clobber the newer graph — abandon.
+                // Not a failure and not a success: health is untouched.
                 st.compacting = false;
                 return Ok(service.cell.epoch());
             }
-            st.graph = graph;
-            st.pending.drain(..consumed);
+            // Compute the replay state *before* mutating anything, so a
+            // failure here (the `compact.publish` failpoint, or a journal
+            // freeze error) leaves the stream state exactly as it was —
+            // the in-flight journal lineage keeps serving.
+            fault::check(Site::CompactPublish)?;
             let c = base.index.num_components();
             let mut uf = UnionFind::new(c);
             let mut merges = 0usize;
-            for &(u, v) in &st.pending {
+            for &(u, v) in st.pending.iter().skip(consumed) {
                 // Replayed edges were validated at insert time and the
                 // compacted graph has the same vertex count.
                 if uf.union(base.index.component_of(u), base.index.component_of(v)) {
                     merges += 1;
                 }
             }
+            let journal = build_journal(&mut uf, merges, &base)?;
+            st.graph = graph;
+            st.pending.drain(..consumed);
             st.uf = uf;
             st.merges = merges;
             st.base = Arc::clone(&base);
             st.compacting = false;
-            let journal = freeze_journal(&mut st, &base);
+            mark_recovered(&mut st.health);
             let inserted_edges = st.pending.len();
             Ok(service.cell.publish_with(|epoch| {
                 Arc::new(PublishedIndex { epoch, base: Arc::clone(&base), journal, inserted_edges })
@@ -1089,5 +1640,98 @@ mod tests {
         // The journal lineage restarted: new inserts build on the new base.
         let r2 = service.insert_edges(&[(3, 396)]).unwrap();
         assert_eq!(r2.journal_edges, 1);
+    }
+
+    // Failpoint-driven state-machine coverage lives in tests/chaos.rs —
+    // the fault registry is process-global and lib tests run in parallel,
+    // so only failpoint-free behavior is exercised here.
+
+    #[test]
+    fn backoff_doubles_and_caps() {
+        let p = RetryPolicy {
+            max_consecutive_failures: 5,
+            base_backoff_ms: 100,
+            max_backoff_ms: 1000,
+            max_incidents: 8,
+        };
+        assert_eq!(p.backoff_ms(1), 100);
+        assert_eq!(p.backoff_ms(2), 200);
+        assert_eq!(p.backoff_ms(3), 400);
+        assert_eq!(p.backoff_ms(4), 800);
+        assert_eq!(p.backoff_ms(5), 1000, "capped");
+        assert_eq!(p.backoff_ms(60), 1000, "shift is clamped, no overflow");
+        assert_eq!(p.backoff_ms(0), 100, "defensive: streak 0 behaves like 1");
+    }
+
+    #[test]
+    fn manual_clock_is_shared_across_clones() {
+        let clock = ManualClock::new();
+        let alias = clock.clone();
+        assert_eq!(clock.now_ms(), 0);
+        alias.advance_ms(250);
+        assert_eq!(clock.now_ms(), 250);
+    }
+
+    #[test]
+    fn service_starts_healthy_with_an_empty_incident_log() {
+        let service = ServiceBuilder::new(random_forest(100, 2, 20)).spec(spec()).build().unwrap();
+        let health = service.health();
+        assert_eq!(health.state, HealthState::Healthy);
+        assert_eq!(health.consecutive_failures, 0);
+        assert_eq!(health.total_incidents, 0);
+        assert!(health.incidents.is_empty());
+        assert_eq!(health.retry_in_ms, None);
+        assert!(!service.tick(), "healthy services have nothing to retry");
+    }
+
+    #[test]
+    fn boot_fallback_builds_and_records_the_snapshot_failure() {
+        let path = std::env::temp_dir()
+            .join(format!("ampc_serve_no_such_snapshot_{}.snap", std::process::id()));
+        let g = random_forest(400, 7, 21);
+        let truth = reference_components(&g);
+        let (service, source) =
+            ServiceBuilder::new(g).spec(spec()).from_snapshot_or_rebuild(&path).expect("fallback");
+        assert_eq!(source, BootSource::RebuildFallback);
+        assert_eq!(*service.snapshot().index(), ComponentIndex::build(&truth));
+        let health = service.health();
+        // The failure is observable but the fallback service is healthy.
+        assert_eq!(health.state, HealthState::Healthy);
+        assert_eq!(health.total_incidents, 1);
+        assert_eq!(health.incidents[0].op, IncidentOp::Boot);
+        assert!(matches!(health.incidents[0].error, ServeError::SnapshotBoot(_)));
+    }
+
+    #[test]
+    fn boot_from_snapshot_with_matching_graph_keeps_compaction() {
+        let path =
+            std::env::temp_dir().join(format!("ampc_serve_boot_chain_{}.snap", std::process::id()));
+        let g = random_forest(300, 5, 22);
+        let origin = ServiceBuilder::new(g.clone()).spec(spec()).build().unwrap();
+        origin.persist(&path).expect("persist");
+
+        let (replica, source) = ServiceBuilder::new(g)
+            .spec(spec())
+            .journal_budget(JournalBudget::new(1, usize::MAX))
+            .from_snapshot_or_rebuild(&path)
+            .expect("boot");
+        assert_eq!(source, BootSource::Snapshot);
+        assert_eq!(replica.health().total_incidents, 0);
+        // The builder's graph became ground truth: over-budget inserts
+        // compact, which plain `from_snapshot` cannot do.
+        let report = replica.insert_edges(&[(0, 299), (1, 298)]).expect("insert");
+        assert!(report.compaction_started, "matching graph must re-enable compaction");
+
+        // A vertex-count mismatch falls back to the edge-less boot.
+        let (replica2, source2) = ServiceBuilder::new(random_forest(10, 1, 23))
+            .spec(spec())
+            .journal_budget(JournalBudget::new(1, usize::MAX))
+            .from_snapshot_or_rebuild(&path)
+            .expect("boot");
+        assert_eq!(source2, BootSource::Snapshot);
+        let report2 = replica2.insert_edges(&[(0, 299), (1, 298)]).expect("insert");
+        assert!(!report2.compaction_started, "mismatched graph must not become ground truth");
+
+        std::fs::remove_file(&path).ok();
     }
 }

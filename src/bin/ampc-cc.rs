@@ -3,11 +3,12 @@
 //! ```text
 //! ampc-cc <file> [--forest|--general|--auto] [--k K] [--seed S]
 //!                [--machines M] [--backend B] [--labels] [--trace]
-//!                [--metrics] [--json] [--persist PATH]
+//!                [--metrics] [--json] [--persist PATH] [--fail SPEC]
 //! ampc-cc query [<file>] [pipeline options as above]
 //!                [--mix uniform|zipf[:EXP]|cross] [--queries N] [--batch B]
 //!                [--threads T] [--query-file F] [--top K] [--json]
 //!                [--stream N] [--stream-batch E] [--from-snapshot PATH]
+//!                [--fail SPEC] [--chaos SEED]
 //!
 //!   <file>       edge list ("u v" per line, optional "# nodes: N" header);
 //!                use "-" for stdin
@@ -55,6 +56,19 @@
 //!                 place. The graph file becomes optional; give it anyway
 //!                 to cross-validate every answer against union-find (and
 //!                 it is required for --stream, which needs the edge list)
+//!   --fail SITE[:K][:panic]  arm a deterministic failpoint: the Kth
+//!                 traversal (default 1st) of the named site errors (or
+//!                 panics). Sites: rebuild.pipeline, compact.publish,
+//!                 journal.build, persist.pre-tmp, persist.pre-rename,
+//!                 persist.pre-dirsync, snapshot.load. Repeatable. Injected
+//!                 faults surface as typed errors and a nonzero exit —
+//!                 never as corruption
+//!   --chaos SEED  (query, with --stream) drive a seeded random failure
+//!                 schedule through the streaming phase: one-shot faults
+//!                 are armed on the insert/compaction path, rejected
+//!                 batches roll back, the oracle check runs every round,
+//!                 and the run converges back to healthy (reported in the
+//!                 summary and under "chaos" in --json)
 //! ```
 //!
 //! Example:
@@ -76,7 +90,9 @@ use adaptive_mpc_connectivity::graph::{
     io as graph_io, metrics, reference_components, Graph, Labeling, VertexId,
 };
 use adaptive_mpc_connectivity::query::{snapshot, workload, ComponentIndex, Query, QueryEngine};
-use adaptive_mpc_connectivity::serve::{driver, ServiceBuilder};
+use adaptive_mpc_connectivity::serve::{
+    driver, fault, FaultAction, HealthState, ServeError, ServiceBuilder,
+};
 
 struct RunArgs {
     file: String,
@@ -86,6 +102,7 @@ struct RunArgs {
     metrics: bool,
     json: bool,
     persist: Option<String>,
+    fail: Vec<String>,
 }
 
 struct QueryArgs {
@@ -99,6 +116,7 @@ struct QueryArgs {
     stream: usize,
     stream_batch: usize,
     from_snapshot: Option<String>,
+    chaos: Option<u64>,
 }
 
 enum Cmd {
@@ -115,6 +133,7 @@ fn parse_args() -> Result<Cmd, String> {
         metrics: false,
         json: false,
         persist: None,
+        fail: Vec::new(),
     };
     let mut argv = std::env::args().skip(1).peekable();
     let is_query = argv.peek().map(|a| a == "query").unwrap_or(false);
@@ -130,6 +149,7 @@ fn parse_args() -> Result<Cmd, String> {
     let mut stream = 0usize;
     let mut stream_batch = 64usize;
     let mut from_snapshot: Option<String> = None;
+    let mut chaos: Option<u64> = None;
 
     let mut it = argv;
     while let Some(a) = it.next() {
@@ -173,6 +193,10 @@ fn parse_args() -> Result<Cmd, String> {
                 }
             }
             "--persist" if !is_query => run.persist = Some(value("--persist")?),
+            "--fail" => run.fail.push(value("--fail")?),
+            "--chaos" if is_query => {
+                chaos = Some(value("--chaos")?.parse().map_err(|e| format!("bad --chaos: {e}"))?)
+            }
             "--from-snapshot" if is_query => from_snapshot = Some(value("--from-snapshot")?),
             "--query-file" if is_query => query_file = Some(value("--query-file")?),
             "--top" if is_query => {
@@ -197,6 +221,9 @@ fn parse_args() -> Result<Cmd, String> {
     if run.file.is_empty() && from_snapshot.is_none() {
         return Err("missing input file".into());
     }
+    if chaos.is_some() && stream == 0 {
+        return Err("--chaos needs --stream (it injects faults into the streaming phase)".into());
+    }
     if is_query {
         Ok(Cmd::Query(QueryArgs {
             run,
@@ -209,6 +236,7 @@ fn parse_args() -> Result<Cmd, String> {
             stream,
             stream_batch,
             from_snapshot,
+            chaos,
         }))
     } else {
         Ok(Cmd::Run(run))
@@ -310,7 +338,19 @@ fn run_json(g: &Graph, args: &RunArgs, labeling: &Labeling, stats: &RunStats, al
     s
 }
 
+/// Arms every `--fail SITE[:K][:panic]` spec before any work runs. The
+/// failpoints are compiled in always, so arming is just a registry write;
+/// an unknown site name lists the valid ones.
+fn arm_failpoints(specs: &[String]) -> Result<(), String> {
+    for spec in specs {
+        let site = fault::arm_spec(spec).map_err(|e| format!("--fail {spec}: {e}"))?;
+        eprintln!("failpoint armed: {}", site.name());
+    }
+    Ok(())
+}
+
 fn cmd_run(args: RunArgs) -> Result<(), String> {
+    arm_failpoints(&args.fail)?;
     let g = load(&args.file).map_err(|e| format!("error reading {}: {e}", args.file))?;
     eprintln!("loaded: n = {}, m = {}", g.n(), g.m());
 
@@ -376,6 +416,7 @@ fn print_labels(labeling: &Labeling) {
 }
 
 fn cmd_query(args: QueryArgs) -> Result<(), String> {
+    arm_failpoints(&args.run.fail)?;
     let has_file = !args.run.file.is_empty();
     if args.stream > 0 && !has_file {
         return Err("--stream needs the graph file (a snapshot carries no edge list)".into());
@@ -563,6 +604,13 @@ fn cmd_query(args: QueryArgs) -> Result<(), String> {
     // Streaming phase: apply deterministic random edge batches through the
     // incremental journal-epoch path, validating each published epoch
     // against a from-scratch union-find oracle before timing counts.
+    struct ChaosSummary {
+        seed: u64,
+        injected: u64,
+        rejected: usize,
+        recoveries: usize,
+        total_incidents: u64,
+    }
     struct StreamSummary {
         batches: usize,
         edges_per_batch: usize,
@@ -571,25 +619,64 @@ fn cmd_query(args: QueryArgs) -> Result<(), String> {
         final_epoch: u64,
         final_components: usize,
         journal_merges: usize,
+        chaos: Option<ChaosSummary>,
     }
     let streaming: Option<StreamSummary> = if args.stream > 0 {
         let mut all_edges = base_edges;
         let mut rng = SplitMix64::new(derive_seed(&[0x57_AE, args.run.spec.seed]));
         let mut publish_ms: Vec<f64> = Vec::with_capacity(args.stream);
         let mut last_merges = 0usize;
+        // Chaos mode: a seeded schedule arms one-shot faults on the
+        // insert/compaction path while the stream runs. Injected failures
+        // must surface as typed, rolled-back errors, never as corruption —
+        // the oracle check below holds whether or not a batch landed.
+        const CHAOS_SITES: [fault::Site; 3] =
+            [fault::Site::JournalBuild, fault::Site::CompactPublish, fault::Site::RebuildPipeline];
+        let mut chaos_rng = args.chaos.map(|seed| SplitMix64::new(derive_seed(&[0xC4A05, seed])));
+        if chaos_rng.is_some() {
+            fault::reset_counters();
+        }
+        let mut rejected = 0usize;
+        let mut recoveries = 0usize;
         for b in 0..args.stream {
+            if let Some(crng) = &mut chaos_rng {
+                if crng.next_below(2) == 0 {
+                    let site = CHAOS_SITES[crng.next_below(CHAOS_SITES.len() as u64) as usize];
+                    fault::arm(site, FaultAction::Error, 0, 1);
+                }
+            }
             let batch: Vec<(VertexId, VertexId)> = (0..args.stream_batch)
                 .map(|_| {
                     (rng.next_below(n as u64) as VertexId, rng.next_below(n as u64) as VertexId)
                 })
                 .collect();
             let t0 = Instant::now();
-            let report = service
-                .insert_edges(&batch)
-                .map_err(|e| format!("insert batch {b} failed: {e}"))?;
-            publish_ms.push(t0.elapsed().as_secs_f64() * 1e3);
-            last_merges = report.journal_merges;
-            all_edges.extend_from_slice(&batch);
+            match service.insert_edges(&batch) {
+                Ok(report) => {
+                    publish_ms.push(t0.elapsed().as_secs_f64() * 1e3);
+                    last_merges = report.journal_merges;
+                    all_edges.extend_from_slice(&batch);
+                }
+                Err(ServeError::ReadOnly) if args.chaos.is_some() => {
+                    // Too many consecutive failures: writes are refused
+                    // until an explicit rebuild succeeds. Play the operator.
+                    fault::disarm_all();
+                    service
+                        .rebuild_blocking(Graph::from_edges(n, &all_edges))
+                        .map_err(|e| format!("chaos: recovery rebuild failed: {e}"))?;
+                    recoveries += 1;
+                    rejected += 1;
+                    eprintln!("chaos: batch {b} refused (read-only); rebuilt to healthy");
+                }
+                Err(e) if args.chaos.is_some() => {
+                    rejected += 1;
+                    eprintln!(
+                        "chaos: batch {b} rejected ({e}); service {}",
+                        service.health().state.name()
+                    );
+                }
+                Err(e) => return Err(format!("insert batch {b} failed: {e}")),
+            }
             // Oracle check: the journal-epoch must answer exactly like a
             // fresh build over every edge accepted so far.
             let oracle =
@@ -615,7 +702,50 @@ fn cmd_query(args: QueryArgs) -> Result<(), String> {
                 }
             }
         }
-        let avg = publish_ms.iter().sum::<f64>() / publish_ms.len() as f64;
+        let chaos_summary = if let Some(seed) = args.chaos {
+            // Converge back to Healthy: an explicit successful rebuild is
+            // the operator's recovery lever from any degraded state. A
+            // background compaction may still be racing its own injected
+            // failure past the first rebuild, so retry a bounded number of
+            // times with the faults disarmed.
+            fault::disarm_all();
+            let mut tries = 0;
+            while service.health().state != HealthState::Healthy {
+                if tries >= 5 {
+                    return Err(format!(
+                        "chaos: service stuck {} after {tries} recovery rebuilds",
+                        service.health().state.name()
+                    ));
+                }
+                service
+                    .rebuild_blocking(Graph::from_edges(n, &all_edges))
+                    .map_err(|e| format!("chaos: final recovery rebuild failed: {e}"))?;
+                recoveries += 1;
+                tries += 1;
+            }
+            let h = service.health();
+            let injected: u64 = CHAOS_SITES.iter().map(|&s| fault::fired(s)).sum();
+            eprintln!(
+                "chaos: seed {seed} | {injected} faults injected | {rejected} batches \
+                 rejected | {recoveries} rebuild recoveries | {} incidents | final health {}",
+                h.total_incidents,
+                h.state.name()
+            );
+            Some(ChaosSummary {
+                seed,
+                injected,
+                rejected,
+                recoveries,
+                total_incidents: h.total_incidents,
+            })
+        } else {
+            None
+        };
+        let avg = if publish_ms.is_empty() {
+            0.0
+        } else {
+            publish_ms.iter().sum::<f64>() / publish_ms.len() as f64
+        };
         let max = publish_ms.iter().fold(0.0f64, |a, &b| a.max(b));
         let live = service.snapshot();
         let summary = StreamSummary {
@@ -626,6 +756,7 @@ fn cmd_query(args: QueryArgs) -> Result<(), String> {
             final_epoch: live.epoch(),
             final_components: live.num_components(),
             journal_merges: last_merges,
+            chaos: chaos_summary,
         };
         eprintln!(
             "streaming: {} batches × {} edges | journal publish avg {:.3} ms (max {:.3}) | \
@@ -657,6 +788,25 @@ fn cmd_query(args: QueryArgs) -> Result<(), String> {
         let _ = writeln!(s, "  \"pipeline_ms\": {:.3},", snap.pipeline_ms());
         let _ = writeln!(s, "  \"index_build_ms\": {:.3},", snap.index_build_ms());
         let _ = writeln!(s, "  \"from_snapshot\": {},", args.from_snapshot.is_some());
+        let health = service.health();
+        s.push_str("  \"health\": {\n");
+        let _ = writeln!(s, "    \"state\": \"{}\",", health.state.name());
+        let _ = writeln!(s, "    \"consecutive_failures\": {},", health.consecutive_failures);
+        let _ = writeln!(s, "    \"total_incidents\": {},", health.total_incidents);
+        s.push_str("    \"incidents\": [");
+        for (i, inc) in health.incidents.iter().enumerate() {
+            if i > 0 {
+                s.push_str(", ");
+            }
+            let _ = write!(
+                s,
+                "{{ \"seq\": {}, \"op\": \"{}\", \"error\": \"{}\" }}",
+                inc.seq,
+                inc.op.name(),
+                json_escape(&inc.error.to_string())
+            );
+        }
+        s.push_str("]\n  },\n");
         let _ = writeln!(s, "  \"workload\": \"{}\",", json_escape(&source));
         let _ = writeln!(s, "  \"queries\": {},", queries.len());
         let _ = writeln!(s, "  \"batch\": {},", args.batch);
@@ -678,11 +828,11 @@ fn cmd_query(args: QueryArgs) -> Result<(), String> {
         let validated = if reference.is_some() { queries.len() } else { 0 };
         if let Some(st) = &streaming {
             let _ = writeln!(s, "  \"validated\": {validated},");
-            let _ = writeln!(
+            let _ = write!(
                 s,
                 "  \"streaming\": {{ \"batches\": {}, \"edges_per_batch\": {}, \
                  \"avg_journal_publish_ms\": {:.3}, \"max_journal_publish_ms\": {:.3}, \
-                 \"final_epoch\": {}, \"final_components\": {}, \"journal_merges\": {} }}",
+                 \"final_epoch\": {}, \"final_components\": {}, \"journal_merges\": {}",
                 st.batches,
                 st.edges_per_batch,
                 st.avg_publish_ms,
@@ -691,6 +841,16 @@ fn cmd_query(args: QueryArgs) -> Result<(), String> {
                 st.final_components,
                 st.journal_merges
             );
+            if let Some(c) = &st.chaos {
+                let _ = write!(
+                    s,
+                    ", \"chaos\": {{ \"seed\": {}, \"injected_faults\": {}, \
+                     \"rejected_batches\": {}, \"recovery_rebuilds\": {}, \
+                     \"total_incidents\": {} }}",
+                    c.seed, c.injected, c.rejected, c.recoveries, c.total_incidents
+                );
+            }
+            s.push_str(" }\n");
         } else {
             let _ = writeln!(s, "  \"validated\": {validated}");
         }
@@ -713,11 +873,13 @@ fn main() -> ExitCode {
                 "usage: ampc-cc <file> [--forest|--general|--auto] [--k K] [--seed S]\n\
                  \x20                 [--machines M] [--backend flat|sharded[:N]|dense[:CAP]]\n\
                  \x20                 [--labels] [--trace] [--metrics] [--json] [--persist PATH]\n\
+                 \x20                 [--fail SITE[:K][:panic]]\n\
                  \x20      ampc-cc query [<file>] [pipeline options]\n\
                  \x20                 [--mix uniform|zipf[:EXP]|cross] [--queries N]\n\
                  \x20                 [--batch B] [--threads T] [--query-file F] [--top K]\n\
                  \x20                 [--stream N] [--stream-batch E] [--json]\n\
-                 \x20                 [--from-snapshot PATH]"
+                 \x20                 [--from-snapshot PATH] [--fail SITE[:K][:panic]]\n\
+                 \x20                 [--chaos SEED]"
             );
             return ExitCode::from(2);
         }
