@@ -24,6 +24,8 @@
 use std::borrow::Cow;
 use std::marker::PhantomData;
 
+use ampc_obs::{CounterId, HistId, Timer, TraceKind};
+
 use crate::dht::{DhtBackend, DhtStorage, FlatDht, WriteOp};
 use crate::error::{AmpcError, AmpcResult};
 use crate::key::Key;
@@ -197,6 +199,7 @@ impl<V: DhtValue, S: DhtStorage<V>> AmpcSystem<V, S> {
         R: Send,
         F: Fn(&mut MachineCtx<'_, V, S>, &I) -> Option<R> + Sync,
     {
+        let wall = Timer::start(ampc_obs::hist(HistId::RoundWallNs));
         let m = self.config.num_machines;
         let round_index = self.stats.executed_rounds();
         let chunk = items.len().div_ceil(m).max(1);
@@ -300,6 +303,7 @@ impl<V: DhtValue, S: DhtStorage<V>> AmpcSystem<V, S> {
             snapshot_entries: snapshot.len(),
             snapshot_words: snapshot.words(),
             total_space_words: 0,
+            bytes_shuffled: 0,
             violations: Vec::new(),
         };
         for mo in &mut machines {
@@ -315,6 +319,7 @@ impl<V: DhtValue, S: DhtStorage<V>> AmpcSystem<V, S> {
             }
         }
         stats.total_space_words = stats.snapshot_words + stats.read_words + stats.write_words;
+        stats.bytes_shuffled = 8 * (stats.writes + stats.write_words);
 
         let enforce = limits.map(|l| l.enforce).unwrap_or(false);
         if enforce {
@@ -375,6 +380,12 @@ impl<V: DhtValue, S: DhtStorage<V>> AmpcSystem<V, S> {
         } else {
             self.spare_shard_lists.extend(drained);
         }
+
+        ampc_obs::counter(CounterId::Rounds).inc();
+        ampc_obs::counter(CounterId::OpsApplied).add(stats.writes as u64);
+        ampc_obs::counter(CounterId::BytesShuffled).add(stats.bytes_shuffled as u64);
+        ampc_obs::trace(TraceKind::RoundCompleted, round_index as u64, stats.bytes_shuffled as u64);
+        wall.stop();
 
         let outcome = RoundOutcome { results, reads: stats.reads, write_words: stats.write_words };
         self.stats.push_round(stats);

@@ -41,6 +41,13 @@ pub struct RoundStats {
     /// total space usage is determined by the maximum amount of
     /// communication that happens in any round".
     pub total_space_words: usize,
+    /// Shuffle-cost model: bytes a real AMPC deployment would move over
+    /// the network at this round's barrier — every write op ships its
+    /// 8-byte packed key plus 8 bytes per value word to the machine
+    /// owning the key, i.e. `8 · (writes + write_words)`. Deterministic
+    /// (a pure function of the op stream, independent of backend and
+    /// thread count).
+    pub bytes_shuffled: usize,
     /// Budget violations observed (empty unless limits are configured).
     pub violations: Vec<LimitViolation>,
 }
@@ -99,6 +106,13 @@ impl RunStats {
         self.rounds.iter().map(|r| r.write_words).sum()
     }
 
+    /// Total modeled shuffle traffic across all executed rounds: what a
+    /// real deployment would pay in network bytes to route every round's
+    /// write ops to their owning machines.
+    pub fn total_bytes_shuffled(&self) -> usize {
+        self.rounds.iter().map(|r| r.bytes_shuffled).sum()
+    }
+
     /// Maximum per-round total space over the run (executed and charged).
     pub fn peak_total_space(&self) -> usize {
         self.rounds
@@ -136,25 +150,32 @@ impl RunStats {
         let mut s = String::new();
         let _ = writeln!(
             s,
-            "{:>4}  {:<22} {:>12} {:>12} {:>12} {:>14}",
-            "#", "round", "reads", "read words", "write words", "total space"
+            "{:>4}  {:<22} {:>12} {:>12} {:>12} {:>14} {:>14}",
+            "#", "round", "reads", "read words", "write words", "total space", "shuffle bytes"
         );
         for r in &self.rounds {
             let _ = writeln!(
                 s,
-                "{:>4}  {:<22} {:>12} {:>12} {:>12} {:>14}",
-                r.index, r.name, r.reads, r.read_words, r.write_words, r.total_space_words
+                "{:>4}  {:<22} {:>12} {:>12} {:>12} {:>14} {:>14}",
+                r.index,
+                r.name,
+                r.reads,
+                r.read_words,
+                r.write_words,
+                r.total_space_words,
+                r.bytes_shuffled
             );
         }
         if self.charged_rounds > 0 {
             let _ = writeln!(
                 s,
-                "   +  {:<22} {:>12} {:>12} {:>12} {:>14}",
+                "   +  {:<22} {:>12} {:>12} {:>12} {:>14} {:>14}",
                 format!("(charged x{})", self.charged_rounds),
                 self.charged_queries,
                 "-",
                 "-",
-                self.charged_space_peak
+                self.charged_space_peak,
+                "-"
             );
         }
         s
@@ -192,8 +213,21 @@ mod tests {
             snapshot_entries: 0,
             snapshot_words: space,
             total_space_words: space,
+            bytes_shuffled: 0,
             violations: Vec::new(),
         }
+    }
+
+    #[test]
+    fn bytes_shuffled_sums_across_rounds() {
+        let mut s = RunStats::new();
+        let mut a = round(1, 1);
+        a.bytes_shuffled = 100;
+        let mut b = round(2, 2);
+        b.bytes_shuffled = 250;
+        s.push_round(a);
+        s.push_round(b);
+        assert_eq!(s.total_bytes_shuffled(), 350);
     }
 
     #[test]

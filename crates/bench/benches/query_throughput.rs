@@ -15,8 +15,10 @@
 //! printed as a table and persisted to `BENCH_query_throughput.json` at
 //! the repository root (override with `BENCH_QUERY_THROUGHPUT_OUT`): the
 //! per-mix single-thread rows keep the serving-throughput trajectory
-//! started in PR 4, and the `thread_scaling` rows (≥2 thread counts) seed
-//! the read-scaling trajectory. On a single-core CI host the 4-thread
+//! started in PR 4, the `latency` rows record per-query quantiles
+//! (p50/p90/p99/p999/max ns per mix, from a separate instrumented pass so
+//! the q/s numbers stay clean), and the `thread_scaling` rows (≥2 thread
+//! counts) seed the read-scaling trajectory. On a single-core CI host the 4-thread
 //! rows measure oversubscription, not scaling — the interesting numbers
 //! come from multi-core runs.
 //!
@@ -94,6 +96,7 @@ fn main() {
 
     let mut mix_sections = Vec::new();
     let mut scaling_rows = Vec::new();
+    let mut latency_rows = Vec::new();
     let mut mix_checksums = Vec::new();
     for mix in Mix::STANDARD {
         let queries = workload::generate(snap.index(), mix, num_queries, SEED);
@@ -135,6 +138,42 @@ fn main() {
                 ));
             }
         }
+        // Per-query latency distribution: a separate instrumented pass
+        // (two clock reads per query) so the throughput numbers above stay
+        // clean. One thread — this measures the distribution, not scaling.
+        let lat = driver::run_latency(&service, &queries, 1);
+        assert_eq!(
+            Some(lat.checksum),
+            baseline_checksum,
+            "mix {}: latency pass diverged from the throughput passes",
+            mix.name()
+        );
+        assert!(
+            lat.p50_ns > 0 && lat.p99_ns > 0 && lat.p999_ns > 0,
+            "mix {}: latency quantiles must be nonzero",
+            mix.name()
+        );
+        println!(
+            "  {:<8} latency   | p50 {:>6} ns | p99 {:>6} ns | p999 {:>6} ns | max {:>8} ns \
+             | mean {:>6.0} ns",
+            mix.name(),
+            lat.p50_ns,
+            lat.p99_ns,
+            lat.p999_ns,
+            lat.max_ns,
+            lat.mean_ns
+        );
+        latency_rows.push(format!(
+            "\"{}\": {{ \"p50_ns\": {}, \"p90_ns\": {}, \"p99_ns\": {}, \"p999_ns\": {}, \
+             \"max_ns\": {}, \"mean_ns\": {:.1} }}",
+            mix.name(),
+            lat.p50_ns,
+            lat.p90_ns,
+            lat.p99_ns,
+            lat.p999_ns,
+            lat.max_ns,
+            lat.mean_ns
+        ));
         mix_checksums.push((mix, baseline_checksum.unwrap_or(0)));
     }
 
@@ -268,9 +307,11 @@ fn main() {
         "{{\n  \"bench\": \"query_throughput\",\n  \"n\": {n},\n  \"components\": {},\n  \
          \"queries_per_mix\": {num_queries},\n  \"batch\": {BATCH},\n  \
          \"service_build_ms\": {build_ms:.1},\n  \"mixes\": {{ {} }},\n  \
+         \"latency\": {{ {} }},\n  \
          \"thread_scaling\": [\n    {}\n  ],\n  \"snapshot\": {},\n  \"streaming\": {}\n}}\n",
         components,
         mix_sections.join(", "),
+        latency_rows.join(", "),
         scaling_rows.join(",\n    "),
         snapshot_section,
         streaming_section

@@ -1,0 +1,38 @@
+//! # ampc-obs — zero-dependency observability for the connectivity stack
+//!
+//! Lock-free metrics and tracing, hand-rolled in the same spirit as
+//! `EpochCell` and `serve::fault`: no external crates, no locks on any
+//! recording path, `const`-constructible primitives living in process-wide
+//! statics.
+//!
+//! - [`Counter`] / [`Gauge`] — one relaxed atomic RMW per event.
+//! - [`Histogram`] — log2-bucketed, sharded per thread; three relaxed RMWs
+//!   on a private shard per record; merged on read; reports
+//!   p50/p90/p99/p999/max with a within-one-bucket error bound.
+//! - [`Timer`] — latency spans over an injectable [`Clock`]
+//!   ([`MonotonicClock`] in production, [`ManualClock`] in tests).
+//! - [`TraceRing`] — bounded MPSC flight recorder of typed [`TraceEvent`]s
+//!   with exact sequence numbers.
+//! - [`registry`] — the static catalog ([`CounterId`] / [`GaugeId`] /
+//!   [`HistId`]) plus Prometheus-text ([`render_text`]) and human
+//!   ([`render_table`]) exposition.
+//!
+//! Recording sites call e.g.
+//! `obs::counter(CounterId::Rounds).inc()` — an index into a static array
+//! plus one relaxed `fetch_add`, the metric analogue of a disarmed
+//! failpoint.
+
+pub mod clock;
+pub mod metrics;
+pub mod registry;
+pub mod trace;
+
+pub use clock::{monotonic_ns, Clock, ManualClock, MonotonicClock};
+pub use metrics::{
+    bucket_of, bucket_upper, Counter, Gauge, HistSnapshot, Histogram, Timer, BUCKETS,
+};
+pub use registry::{
+    counter, gauge, hist, render_table, render_text, summary, trace, trace_last, trace_recorded,
+    CounterId, GaugeId, HistId,
+};
+pub use trace::{TraceEvent, TraceKind, TraceRing, TRACE_CAP};

@@ -1,0 +1,228 @@
+//! Bounded structured trace journal.
+//!
+//! [`TraceRing`] is a fixed-capacity MPSC ring of typed events. Writers
+//! claim a global sequence number with one relaxed `fetch_add`, then
+//! publish into the ring slot `seq % capacity` under a per-slot seqlock
+//! version. The ring never blocks and never allocates; old events are
+//! overwritten (a flight recorder, not a log).
+//!
+//! ## Loss semantics
+//!
+//! - An event older than the last `TRACE_CAP` records is gone — by design.
+//! - Slot versions advance by `fetch_max`, so a writer that stalls long
+//!   enough to be lapped *loses* its slot to the newer event rather than
+//!   resurrecting a stale one; its event is dropped.
+//! - The one unguarded window: a writer that stalls mid-payload for a full
+//!   lap can scribble over the lapping event's payload after it committed.
+//!   Readers double-check the version around payload reads, so this
+//!   requires the stale stores to land entirely inside the reader's
+//!   window too; each field is a single aligned atomic, so even then every
+//!   read field is a value some writer actually stored — never shearing
+//!   within a field. Acceptable for a diagnostic ring; sequence numbers
+//!   (derived from the version word itself) are always exact.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Ring capacity (power of two). 40 KiB of slots as a process-wide static.
+pub const TRACE_CAP: usize = 1024;
+
+/// Typed trace events emitted at the stack's structural seams.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(u64)]
+pub enum TraceKind {
+    /// A new epoch became visible to readers. `a` = epoch, `b` = kind
+    /// (0 = full rebuild/boot, 1 = journal epoch).
+    EpochPublished = 0,
+    /// A merge journal was built for streaming inserts. `a` = journal
+    /// entries, `b` = build nanoseconds.
+    JournalBuilt = 1,
+    /// Background compaction began. `a` = epoch it consumes through.
+    CompactionStarted = 2,
+    /// Compaction yielded to a queued full rebuild. `a` = epoch.
+    CompactionYielded = 3,
+    /// Compaction published. `a` = epoch, `b` = duration nanoseconds.
+    CompactionFinished = 4,
+    /// A fault was recorded in the incident log. `a` = incident seq,
+    /// `b` = operation discriminant.
+    IncidentRecorded = 5,
+    /// A snapshot was persisted. `a` = bytes written, `b` = nanoseconds.
+    SnapshotPersisted = 6,
+    /// A snapshot was booted from disk. `a` = bytes read, `b` = nanoseconds.
+    SnapshotBooted = 7,
+    /// An executor round completed. `a` = round index, `b` = bytes shuffled.
+    RoundCompleted = 8,
+}
+
+impl TraceKind {
+    pub const ALL: [TraceKind; 9] = [
+        TraceKind::EpochPublished,
+        TraceKind::JournalBuilt,
+        TraceKind::CompactionStarted,
+        TraceKind::CompactionYielded,
+        TraceKind::CompactionFinished,
+        TraceKind::IncidentRecorded,
+        TraceKind::SnapshotPersisted,
+        TraceKind::SnapshotBooted,
+        TraceKind::RoundCompleted,
+    ];
+
+    fn from_u64(v: u64) -> Option<TraceKind> {
+        Self::ALL.get(v as usize).copied()
+    }
+
+    /// Stable lowercase name for text/JSON exposition.
+    pub fn name(self) -> &'static str {
+        match self {
+            TraceKind::EpochPublished => "epoch_published",
+            TraceKind::JournalBuilt => "journal_built",
+            TraceKind::CompactionStarted => "compaction_started",
+            TraceKind::CompactionYielded => "compaction_yielded",
+            TraceKind::CompactionFinished => "compaction_finished",
+            TraceKind::IncidentRecorded => "incident_recorded",
+            TraceKind::SnapshotPersisted => "snapshot_persisted",
+            TraceKind::SnapshotBooted => "snapshot_booted",
+            TraceKind::RoundCompleted => "round_completed",
+        }
+    }
+}
+
+/// One recovered trace record. `a`/`b` are kind-specific payloads — see
+/// the [`TraceKind`] variant docs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceEvent {
+    pub seq: u64,
+    pub at_ns: u64,
+    pub kind: TraceKind,
+    pub a: u64,
+    pub b: u64,
+}
+
+struct Slot {
+    /// Seqlock word: `2·seq + 1` while the event `seq` is being written,
+    /// `2·seq + 2` once committed. Advances only by `fetch_max`.
+    version: AtomicU64,
+    kind: AtomicU64,
+    at_ns: AtomicU64,
+    a: AtomicU64,
+    b: AtomicU64,
+}
+
+impl Slot {
+    const fn new() -> Self {
+        Self {
+            version: AtomicU64::new(0),
+            kind: AtomicU64::new(0),
+            at_ns: AtomicU64::new(0),
+            a: AtomicU64::new(0),
+            b: AtomicU64::new(0),
+        }
+    }
+}
+
+/// Fixed-capacity multi-producer ring of [`TraceEvent`]s.
+pub struct TraceRing {
+    head: AtomicU64,
+    slots: [Slot; TRACE_CAP],
+}
+
+impl Default for TraceRing {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl TraceRing {
+    pub const fn new() -> Self {
+        Self { head: AtomicU64::new(0), slots: [const { Slot::new() }; TRACE_CAP] }
+    }
+
+    /// Records an event and returns its sequence number. Lock-free:
+    /// one `fetch_add` claim, one `fetch_max` open, four relaxed payload
+    /// stores, one `fetch_max` commit.
+    pub fn record(&self, at_ns: u64, kind: TraceKind, a: u64, b: u64) -> u64 {
+        let seq = self.head.fetch_add(1, Ordering::Relaxed);
+        let slot = &self.slots[seq as usize & (TRACE_CAP - 1)];
+        let writing = 2 * seq + 1;
+        let prev = slot.version.fetch_max(writing, Ordering::AcqRel);
+        if prev < writing {
+            slot.kind.store(kind as u64, Ordering::Relaxed);
+            slot.at_ns.store(at_ns, Ordering::Relaxed);
+            slot.a.store(a, Ordering::Relaxed);
+            slot.b.store(b, Ordering::Relaxed);
+            slot.version.fetch_max(writing + 1, Ordering::Release);
+        }
+        seq
+    }
+
+    /// Total events ever recorded (including overwritten ones).
+    pub fn recorded(&self) -> u64 {
+        self.head.load(Ordering::Acquire)
+    }
+
+    /// Returns up to the last `n` events, oldest first. Events still being
+    /// written or already lapped are silently skipped; returned seqs are
+    /// strictly increasing.
+    pub fn last(&self, n: usize) -> Vec<TraceEvent> {
+        let head = self.head.load(Ordering::Acquire);
+        let span = (n.min(TRACE_CAP) as u64).min(head);
+        let mut out = Vec::with_capacity(span as usize);
+        for seq in head - span..head {
+            let slot = &self.slots[seq as usize & (TRACE_CAP - 1)];
+            let committed = 2 * seq + 2;
+            if slot.version.load(Ordering::Acquire) != committed {
+                continue;
+            }
+            let kind = slot.kind.load(Ordering::Relaxed);
+            let at_ns = slot.at_ns.load(Ordering::Relaxed);
+            let a = slot.a.load(Ordering::Relaxed);
+            let b = slot.b.load(Ordering::Relaxed);
+            if slot.version.load(Ordering::Acquire) != committed {
+                continue;
+            }
+            let Some(kind) = TraceKind::from_u64(kind) else { continue };
+            out.push(TraceEvent { seq, at_ns, kind, a, b });
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_and_reads_back_in_order() {
+        let ring = TraceRing::new();
+        for i in 0..10u64 {
+            let seq = ring.record(i * 100, TraceKind::RoundCompleted, i, i * 8);
+            assert_eq!(seq, i);
+        }
+        let events = ring.last(4);
+        assert_eq!(events.len(), 4);
+        assert_eq!(events[0].seq, 6);
+        assert_eq!(events[3].seq, 9);
+        assert_eq!(events[3].a, 9);
+        assert_eq!(events[3].b, 72);
+        assert_eq!(events[3].at_ns, 900);
+        assert_eq!(events[3].kind, TraceKind::RoundCompleted);
+    }
+
+    #[test]
+    fn wraparound_keeps_only_the_newest_cap_events() {
+        let ring = TraceRing::new();
+        let total = (TRACE_CAP as u64) * 3 + 17;
+        for i in 0..total {
+            ring.record(i, TraceKind::EpochPublished, i, 0);
+        }
+        assert_eq!(ring.recorded(), total);
+        let events = ring.last(usize::MAX);
+        assert_eq!(events.len(), TRACE_CAP);
+        assert_eq!(events[0].seq, total - TRACE_CAP as u64);
+        for w in events.windows(2) {
+            assert!(w[0].seq < w[1].seq);
+        }
+        for e in &events {
+            assert_eq!(e.a, e.seq, "payload must match the surviving lap");
+        }
+    }
+}

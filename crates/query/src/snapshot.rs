@@ -518,9 +518,15 @@ pub fn persist(
     graph_m: u64,
     algorithm: u8,
 ) -> Result<u64, SnapshotError> {
+    let timer = ampc_obs::Timer::start(ampc_obs::hist(ampc_obs::HistId::SnapshotPersistNs));
     let bytes = encode(index, labeling, graph_n, graph_m, algorithm);
     write_atomic(path, &bytes)?;
-    Ok(bytes.len() as u64)
+    let written = bytes.len() as u64;
+    let elapsed = timer.stop();
+    ampc_obs::counter(ampc_obs::CounterId::SnapshotPersists).inc();
+    ampc_obs::counter(ampc_obs::CounterId::SnapshotPersistBytes).add(written);
+    ampc_obs::trace(ampc_obs::TraceKind::SnapshotPersisted, written, elapsed);
+    Ok(written)
 }
 
 /// Validates the fixed header and returns the parsed section table.
@@ -794,6 +800,7 @@ pub fn decode(bytes: &[u8]) -> Result<Snapshot, SnapshotError> {
 /// Loads a snapshot from disk: one bulk read into an aligned buffer,
 /// header + checksum validation, in-place section reinterpretation.
 pub fn load(path: &Path) -> Result<Snapshot, SnapshotError> {
+    let timer = ampc_obs::Timer::start(ampc_obs::hist(ampc_obs::HistId::SnapshotBootNs));
     fail::check(fail::SNAPSHOT_LOAD)?;
     let mut f = File::open(path)?;
     let len = f.metadata()?.len();
@@ -804,7 +811,12 @@ pub fn load(path: &Path) -> Result<Snapshot, SnapshotError> {
     }
     let mut buf = SnapshotBuf::with_len(len as usize);
     f.read_exact(buf.as_bytes_mut())?;
-    decode_buf(Arc::new(buf))
+    let snap = decode_buf(Arc::new(buf))?;
+    let elapsed = timer.stop();
+    ampc_obs::counter(ampc_obs::CounterId::SnapshotBoots).inc();
+    ampc_obs::counter(ampc_obs::CounterId::SnapshotBootBytes).add(len);
+    ampc_obs::trace(ampc_obs::TraceKind::SnapshotBooted, len, elapsed);
+    Ok(snap)
 }
 
 #[cfg(test)]

@@ -19,7 +19,29 @@ pub fn single_pass(engine: &QueryEngine, queries: &[Query]) -> (f64, u64) {
     for &q in queries {
         checksum = checksum.wrapping_add(engine.answer(q));
     }
+    ampc_obs::counter(ampc_obs::CounterId::QueriesServed).add(queries.len() as u64);
     (queries.len() as f64 / t0.elapsed().as_secs_f64(), checksum)
+}
+
+/// Times **each query individually** into `hist` (and the process-wide
+/// `query_latency_ns` histogram), returning the checksum. This is a
+/// separate pass from the throughput loops above on purpose: two clock
+/// reads per query put a floor of tens of nanoseconds under every sample,
+/// which would depress the q/s numbers if folded into the timed passes —
+/// distributions and throughput are measured by different loops over the
+/// same engine.
+pub fn latency_pass(engine: &QueryEngine, queries: &[Query], hist: &ampc_obs::Histogram) -> u64 {
+    let global = ampc_obs::hist(ampc_obs::HistId::QueryLatencyNs);
+    let mut checksum = 0u64;
+    for &q in queries {
+        let t0 = Instant::now();
+        checksum = checksum.wrapping_add(engine.answer(q));
+        let ns = t0.elapsed().as_nanos() as u64;
+        hist.record(ns);
+        global.record(ns);
+    }
+    ampc_obs::counter(ampc_obs::CounterId::QueriesServed).add(queries.len() as u64);
+    checksum
 }
 
 /// Times one pass of batched answering over `queries` in chunks of
@@ -43,6 +65,7 @@ pub fn batched_pass(
             checksum = checksum.wrapping_add(a);
         }
     }
+    ampc_obs::counter(ampc_obs::CounterId::QueriesServed).add(queries.len() as u64);
     (queries.len() as f64 / t0.elapsed().as_secs_f64(), checksum)
 }
 

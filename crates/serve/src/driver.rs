@@ -61,6 +61,31 @@ pub struct DriverReport {
     pub per_thread: Vec<ThreadReport>,
 }
 
+/// Per-query latency distribution from one dedicated timed pass (see
+/// [`run_latency`]). Quantiles are log2-bucket upper bounds clamped to the
+/// observed max — within one bucket of the exact order statistics.
+#[derive(Debug, Clone, Copy)]
+pub struct LatencyReport {
+    /// Thread count the pass used.
+    pub threads: usize,
+    /// Queries timed (the full stream, once).
+    pub queries: u64,
+    /// Median latency in nanoseconds.
+    pub p50_ns: u64,
+    /// 90th-percentile latency in nanoseconds.
+    pub p90_ns: u64,
+    /// 99th-percentile latency in nanoseconds.
+    pub p99_ns: u64,
+    /// 99.9th-percentile latency in nanoseconds.
+    pub p999_ns: u64,
+    /// Slowest observed query in nanoseconds (exact).
+    pub max_ns: u64,
+    /// Mean latency in nanoseconds (exact).
+    pub mean_ns: f64,
+    /// Wrapping sum of all answers — comparable to [`DriverReport`]'s.
+    pub checksum: u64,
+}
+
 /// The contiguous stripe of `len` items that thread `t` of `threads` owns:
 /// near-equal chunks, the first `len % threads` threads take one extra.
 /// Deterministic, covering, and disjoint — the partition behind the
@@ -163,6 +188,53 @@ pub fn run(
     }
 }
 
+/// Times every query of the stream **individually** into a latency
+/// histogram, on `threads` threads with the same deterministic striping as
+/// [`run`]. A separate pass from the throughput regions by design: the two
+/// clock reads around each query would depress q/s if folded into the
+/// timed throughput loops, so distributions and throughput come from
+/// different passes over the same engine (see
+/// `ampc_query::throughput::latency_pass`).
+///
+/// # Panics
+/// Panics if `threads` is zero.
+pub fn run_latency(service: &ServiceHandle, queries: &[Query], threads: usize) -> LatencyReport {
+    assert!(threads > 0, "driver needs at least one thread");
+    let hist = ampc_obs::Histogram::new();
+    let mut sums: Vec<u64> = vec![0; threads];
+    parallel_region(&mut sums, |t, sum| {
+        let snap = service.snapshot();
+        let stripe = &queries[stripe(queries.len(), threads, t)];
+        *sum = throughput::latency_pass(&snap.engine(), stripe, &hist);
+    });
+    let snap = hist.snapshot();
+    LatencyReport {
+        threads,
+        queries: snap.count,
+        p50_ns: snap.quantile(0.5),
+        p90_ns: snap.quantile(0.9),
+        p99_ns: snap.quantile(0.99),
+        p999_ns: snap.quantile(0.999),
+        max_ns: snap.max,
+        mean_ns: snap.mean(),
+        checksum: sums.iter().fold(0u64, |a, &b| a.wrapping_add(b)),
+    }
+}
+
+/// Convenience mirroring [`run_mix`]: deterministic workload from the
+/// current snapshot, then [`run_latency`] over it.
+pub fn run_latency_mix(
+    service: &ServiceHandle,
+    mix: Mix,
+    count: usize,
+    seed: u64,
+    threads: usize,
+) -> LatencyReport {
+    let snap = service.snapshot();
+    let queries = ampc_query::workload::generate(snap.index(), mix, count, seed);
+    run_latency(service, &queries, threads)
+}
+
 /// Spawns one scoped thread per slot, runs `body(t, slot)` on each, and
 /// returns the wall-clock seconds of the whole region.
 fn parallel_region<S: Send>(slots: &mut [S], body: impl Fn(usize, &mut S) + Sync) -> f64 {
@@ -254,6 +326,26 @@ mod tests {
             let again = run_mix(&service, mix, 4000, 7, 4, 32);
             assert_eq!(r.checksum, again.checksum, "mix {} checksum drifted", mix.name());
         }
+    }
+
+    #[test]
+    fn latency_pass_matches_throughput_checksum_with_ordered_quantiles() {
+        let service = service();
+        let snap = service.snapshot();
+        let queries = workload::generate(snap.index(), workload::Mix::Uniform, 10_000, 21);
+        let throughput = run(&service, &queries, 2, 256);
+        let lat = run_latency(&service, &queries, 2);
+        // Same stream, same engine: the answers (hence checksum) must
+        // match the throughput passes, at any thread count.
+        assert_eq!(lat.checksum, throughput.checksum);
+        assert_eq!(run_latency(&service, &queries, 4).checksum, throughput.checksum);
+        assert_eq!(lat.queries, 10_000);
+        assert!(lat.p50_ns > 0, "a timed query cannot take zero time");
+        assert!(lat.p50_ns <= lat.p90_ns);
+        assert!(lat.p90_ns <= lat.p99_ns);
+        assert!(lat.p99_ns <= lat.p999_ns);
+        assert!(lat.p999_ns <= lat.max_ns);
+        assert!(lat.mean_ns > 0.0);
     }
 
     #[test]

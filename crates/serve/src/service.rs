@@ -49,6 +49,7 @@ use std::time::Instant;
 use ampc::{AmpcError, RunStats};
 use ampc_cc::pipeline::{Algorithm, Pipeline as _, PipelineSpec, ResolvedAlgorithm};
 use ampc_graph::{Graph, Labeling, UnionFind, VertexId};
+use ampc_obs::{CounterId, GaugeId, HistId, TraceKind};
 use ampc_query::{snapshot, ComponentIndex, JournalView, QueryEngine, SnapshotError};
 
 use crate::epoch::{EpochCell, EpochGuard};
@@ -586,6 +587,7 @@ impl RebuildTickets {
     }
 
     fn take(&self) -> u64 {
+        ampc_obs::gauge(GaugeId::RebuildQueueDepth).add(1);
         self.next.fetch_add(1, SeqCst)
     }
 
@@ -597,6 +599,7 @@ impl RebuildTickets {
     }
 
     fn advance(&self) {
+        ampc_obs::gauge(GaugeId::RebuildQueueDepth).sub(1);
         let mut turn = self.turn.lock().unwrap_or_else(|p| p.into_inner());
         *turn += 1;
         self.done.notify_all();
@@ -634,6 +637,8 @@ fn record_incident(
     while h.incidents.len() > service.policy.max_incidents {
         h.incidents.pop_front();
     }
+    ampc_obs::counter(CounterId::Incidents).inc();
+    ampc_obs::trace(TraceKind::IncidentRecorded, h.total_incidents, op as u64);
 }
 
 /// Records a failure and advances the state machine: `Degraded` with a
@@ -646,12 +651,19 @@ fn record_failure(
     error: ServeError,
 ) {
     record_incident(service, st, op, error);
+    let prior = st.health.state;
     let failures = st.health.consecutive_failures.saturating_add(1);
     st.health.consecutive_failures = failures;
     if failures >= service.policy.max_consecutive_failures {
+        if prior != HealthState::ReadOnly {
+            ampc_obs::counter(CounterId::ReadOnlyTransitions).inc();
+        }
         st.health.state = HealthState::ReadOnly;
         st.health.retry_at_ms = u64::MAX;
     } else {
+        if prior != HealthState::Degraded {
+            ampc_obs::counter(CounterId::DegradedTransitions).inc();
+        }
         st.health.state = HealthState::Degraded;
         st.health.retry_at_ms =
             service.clock.now_ms().saturating_add(service.policy.backoff_ms(failures));
@@ -661,6 +673,9 @@ fn record_failure(
 /// A compaction or rebuild landed: back to `Healthy`, failure streak
 /// cleared. The incident log is retained — it is history, not state.
 fn mark_recovered(h: &mut HealthInner) {
+    if h.state != HealthState::Healthy {
+        ampc_obs::counter(CounterId::Recoveries).inc();
+    }
     h.state = HealthState::Healthy;
     h.consecutive_failures = 0;
     h.retry_at_ms = 0;
@@ -959,6 +974,8 @@ fn publish_epoch_zero(
         stream: Mutex::new(stream),
         tickets: RebuildTickets::new(),
     };
+    ampc_obs::counter(CounterId::EpochsPublished).inc();
+    ampc_obs::trace(TraceKind::EpochPublished, 0, 0);
     ServiceHandle { service: Arc::new(service) }
 }
 
@@ -1118,6 +1135,7 @@ impl ServiceHandle {
             }
         }
         let merges = st.merges + new_merges;
+        let journal_timer = ampc_obs::Timer::start(ampc_obs::hist(HistId::JournalBuildNs));
         let journal = match build_journal(&mut uf, merges, &base) {
             Ok(j) => j,
             Err(e) => {
@@ -1125,6 +1143,9 @@ impl ServiceHandle {
                 return Err(e);
             }
         };
+        let build_ns = journal_timer.stop();
+        ampc_obs::counter(CounterId::JournalBuilds).inc();
+        ampc_obs::trace(TraceKind::JournalBuilt, merges as u64, build_ns);
         st.uf = uf;
         st.merges = merges;
         st.pending.extend_from_slice(edges);
@@ -1134,9 +1155,15 @@ impl ServiceHandle {
             None => base.index.num_components(),
         };
         let inserted_edges = st.pending.len();
+        let is_journal = journal.is_some();
+        let publish_timer = ampc_obs::Timer::start(ampc_obs::hist(HistId::PublishNs));
         let epoch = service.cell.publish_with(|epoch| {
             Arc::new(PublishedIndex { epoch, base: Arc::clone(&base), journal, inserted_edges })
         });
+        publish_timer.stop();
+        ampc_obs::counter(CounterId::EpochsPublished).inc();
+        ampc_obs::trace(TraceKind::EpochPublished, epoch, is_journal as u64);
+        ampc_obs::gauge(GaugeId::JournalPendingEntries).set(inserted_edges as i64);
 
         // Healthy: the journal budget decides. Degraded: the budget is
         // suspended ("widened") — the deterministic retry schedule decides
@@ -1240,6 +1267,8 @@ impl ServiceHandle {
 /// → incident + backoff), not through a handle.
 fn start_compaction_locked(service: &Arc<ConnectivityService>, st: &mut StreamState) {
     st.compacting = true;
+    ampc_obs::counter(CounterId::CompactionsStarted).inc();
+    ampc_obs::trace(TraceKind::CompactionStarted, service.cell.epoch(), 0);
     let consumed = st.pending.len();
     let generation = st.generation;
     let n = st.graph.n();
@@ -1267,6 +1296,7 @@ fn run_rebuild(
     goal: RebuildGoal,
     ticket: u64,
 ) -> Result<u64, ServeError> {
+    let start_ns = ampc_obs::monotonic_ns();
     let built = catch_unwind(AssertUnwindSafe(|| {
         fault::check(Site::RebuildPipeline)?;
         build_base(&service.spec, &graph)
@@ -1277,8 +1307,9 @@ fn run_rebuild(
     // later rebuild wedges behind this one's turn. The stream mutations
     // inside are ordered fallible-first, so an unwind leaves consistent
     // state and `lock_stream` recovers the poisoned mutex.
-    let result = catch_unwind(AssertUnwindSafe(|| publish_rebuild(service, graph, &goal, built)))
-        .unwrap_or(Err(ServeError::RebuildPanicked));
+    let result =
+        catch_unwind(AssertUnwindSafe(|| publish_rebuild(service, graph, &goal, built, start_ns)))
+            .unwrap_or(Err(ServeError::RebuildPanicked));
     if let Err(e) = &result {
         let mut st = lock_stream(&service.stream);
         let op = match goal {
@@ -1303,6 +1334,7 @@ fn publish_rebuild(
     graph: Graph,
     goal: &RebuildGoal,
     built: std::thread::Result<Result<BaseIndex, ServeError>>,
+    start_ns: u64,
 ) -> Result<u64, ServeError> {
     let base = match built {
         Ok(Ok(base)) => Arc::new(base),
@@ -1325,14 +1357,18 @@ fn publish_rebuild(
             st.compacting = false;
             st.generation += 1;
             mark_recovered(&mut st.health);
-            Ok(service.cell.publish_with(|epoch| {
+            ampc_obs::gauge(GaugeId::JournalPendingEntries).set(0);
+            let epoch = service.cell.publish_with(|epoch| {
                 Arc::new(PublishedIndex {
                     epoch,
                     base: Arc::clone(&base),
                     journal: None,
                     inserted_edges: 0,
                 })
-            }))
+            });
+            ampc_obs::counter(CounterId::EpochsPublished).inc();
+            ampc_obs::trace(TraceKind::EpochPublished, epoch, 0);
+            Ok(epoch)
         }
         RebuildGoal::Compact { consumed, generation } => {
             if st.generation != generation {
@@ -1341,7 +1377,9 @@ fn publish_rebuild(
                 // Publishing would clobber the newer graph — abandon.
                 // Not a failure and not a success: health is untouched.
                 st.compacting = false;
-                return Ok(service.cell.epoch());
+                let epoch = service.cell.epoch();
+                ampc_obs::trace(TraceKind::CompactionYielded, epoch, 0);
+                return Ok(epoch);
             }
             // Compute the replay state *before* mutating anything, so a
             // failure here (the `compact.publish` failpoint, or a journal
@@ -1367,9 +1405,18 @@ fn publish_rebuild(
             st.compacting = false;
             mark_recovered(&mut st.health);
             let inserted_edges = st.pending.len();
-            Ok(service.cell.publish_with(|epoch| {
+            let is_journal = journal.is_some();
+            let epoch = service.cell.publish_with(|epoch| {
                 Arc::new(PublishedIndex { epoch, base: Arc::clone(&base), journal, inserted_edges })
-            }))
+            });
+            let duration_ns = ampc_obs::monotonic_ns().saturating_sub(start_ns);
+            ampc_obs::hist(HistId::CompactionNs).record(duration_ns);
+            ampc_obs::counter(CounterId::CompactionsFinished).inc();
+            ampc_obs::counter(CounterId::EpochsPublished).inc();
+            ampc_obs::gauge(GaugeId::JournalPendingEntries).set(inserted_edges as i64);
+            ampc_obs::trace(TraceKind::CompactionFinished, epoch, duration_ns);
+            ampc_obs::trace(TraceKind::EpochPublished, epoch, is_journal as u64);
+            Ok(epoch)
         }
     }
 }

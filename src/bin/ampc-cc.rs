@@ -21,8 +21,14 @@
 //!                across backends; sharded/dense merge round output in
 //!                parallel and dense reads skip hashing entirely
 //!   --labels     print "vertex component" lines to stdout
-//!   --trace      print the per-round cost ledger
-//!   --metrics    print structural metrics of the input first
+//!   --trace      print the per-round cost ledger; in query mode an
+//!                optional integer operand (`--trace N`) additionally dumps
+//!                the last N structured trace events (epoch publishes,
+//!                journal builds, compactions, incidents, snapshot
+//!                persists/boots, rounds) from the process trace ring
+//!   --metrics    print structural metrics of the input first, and the
+//!                process metrics table (counters, gauges, latency
+//!                quantiles) at the end
 //!   --json       emit one machine-readable JSON object on stdout (labels +
 //!                RunStats for runs; the throughput report for queries)
 //!
@@ -117,6 +123,7 @@ struct QueryArgs {
     stream_batch: usize,
     from_snapshot: Option<String>,
     chaos: Option<u64>,
+    trace_events: Option<usize>,
 }
 
 enum Cmd {
@@ -150,6 +157,7 @@ fn parse_args() -> Result<Cmd, String> {
     let mut stream_batch = 64usize;
     let mut from_snapshot: Option<String> = None;
     let mut chaos: Option<u64> = None;
+    let mut trace_events: Option<usize> = None;
 
     let mut it = argv;
     while let Some(a) = it.next() {
@@ -161,7 +169,18 @@ fn parse_args() -> Result<Cmd, String> {
             "--general" => run.spec.algorithm = Algorithm::General,
             "--auto" => run.spec.algorithm = Algorithm::Auto,
             "--labels" => run.labels = true,
-            "--trace" => run.trace = true,
+            "--trace" => {
+                run.trace = true;
+                // Query mode takes an optional integer operand: `--trace N`
+                // also dumps the last N structured trace events. A
+                // following flag (or nothing) keeps the bare behavior.
+                if is_query {
+                    if let Some(k) = it.peek().and_then(|next| next.parse::<usize>().ok()) {
+                        trace_events = Some(k);
+                        it.next();
+                    }
+                }
+            }
             "--metrics" => run.metrics = true,
             "--json" => run.json = true,
             "--k" => run.spec.k = value("--k")?.parse().map_err(|e| format!("bad --k: {e}"))?,
@@ -237,6 +256,7 @@ fn parse_args() -> Result<Cmd, String> {
             stream_batch,
             from_snapshot,
             chaos,
+            trace_events,
         }))
     } else {
         Ok(Cmd::Run(run))
@@ -307,6 +327,7 @@ fn run_json(g: &Graph, args: &RunArgs, labeling: &Labeling, stats: &RunStats, al
     let _ = writeln!(s, "  \"rounds\": {},", stats.rounds());
     let _ = writeln!(s, "  \"queries\": {},", stats.total_queries());
     let _ = writeln!(s, "  \"peak_space_words\": {},", stats.peak_total_space());
+    let _ = writeln!(s, "  \"bytes_shuffled\": {},", stats.total_bytes_shuffled());
     s.push_str("  \"per_round\": [\n");
     let per_round = stats.per_round();
     for (i, r) in per_round.iter().enumerate() {
@@ -314,7 +335,7 @@ fn run_json(g: &Graph, args: &RunArgs, labeling: &Labeling, stats: &RunStats, al
             s,
             "    {{ \"index\": {}, \"name\": \"{}\", \"reads\": {}, \"read_words\": {}, \
              \"writes\": {}, \"write_words\": {}, \"snapshot_words\": {}, \
-             \"total_space_words\": {} }}",
+             \"total_space_words\": {}, \"bytes_shuffled\": {} }}",
             r.index,
             json_escape(&r.name),
             r.reads,
@@ -322,11 +343,13 @@ fn run_json(g: &Graph, args: &RunArgs, labeling: &Labeling, stats: &RunStats, al
             r.writes,
             r.write_words,
             r.snapshot_words,
-            r.total_space_words
+            r.total_space_words,
+            r.bytes_shuffled
         );
         s.push_str(if i + 1 < per_round.len() { ",\n" } else { "\n" });
     }
     s.push_str("  ],\n");
+    s.push_str(&metrics_json_object());
     s.push_str("  \"labels\": [");
     for (v, l) in labeling.canonical().iter().enumerate() {
         if v > 0 {
@@ -336,6 +359,61 @@ fn run_json(g: &Graph, args: &RunArgs, labeling: &Labeling, stats: &RunStats, al
     }
     s.push_str("]\n}\n");
     s
+}
+
+/// Renders the process-wide metrics registry as one `"metrics": {…},`
+/// JSON member (trailing comma included) for splicing into either
+/// subcommand's `--json` object. Every catalog entry appears, zero or
+/// not, so the schema is stable across runs.
+fn metrics_json_object() -> String {
+    use ampc_obs::{counter, gauge, hist, summary, CounterId, GaugeId, HistId};
+    let mut s = String::new();
+    s.push_str("  \"metrics\": {\n    \"counters\": { ");
+    for (i, id) in CounterId::ALL.iter().enumerate() {
+        if i > 0 {
+            s.push_str(", ");
+        }
+        let _ = write!(s, "\"{}\": {}", id.name(), counter(*id).get());
+    }
+    s.push_str(" },\n    \"gauges\": { ");
+    for (i, id) in GaugeId::ALL.iter().enumerate() {
+        if i > 0 {
+            s.push_str(", ");
+        }
+        let _ = write!(s, "\"{}\": {}", id.name(), gauge(*id).get());
+    }
+    s.push_str(" },\n    \"histograms\": {\n");
+    for (i, id) in HistId::ALL.iter().enumerate() {
+        let snap = hist(*id).snapshot();
+        let _ = write!(s, "      \"{}\": {{ ", id.name());
+        for (j, (k, v)) in summary(&snap).iter().enumerate() {
+            if j > 0 {
+                s.push_str(", ");
+            }
+            let _ = write!(s, "\"{k}\": {v}");
+        }
+        s.push_str(" }");
+        s.push_str(if i + 1 < HistId::ALL.len() { ",\n" } else { "\n" });
+    }
+    s.push_str("    }\n  },\n");
+    s
+}
+
+/// Dumps the last `n` events from the process trace ring to stderr,
+/// oldest first — the `--trace N` flight-recorder view.
+fn dump_trace(n: usize) {
+    let events = ampc_obs::trace_last(n);
+    eprintln!("trace: last {} of {} events recorded", events.len(), ampc_obs::trace_recorded());
+    for e in &events {
+        eprintln!(
+            "  seq={:<6} t={:>12} ns  {:<20} a={} b={}",
+            e.seq,
+            e.at_ns,
+            e.kind.name(),
+            e.a,
+            e.b
+        );
+    }
 }
 
 /// Arms every `--fail SITE[:K][:panic]` spec before any work runs. The
@@ -367,11 +445,13 @@ fn cmd_run(args: RunArgs) -> Result<(), String> {
     }
 
     eprintln!(
-        "components = {} | AMPC rounds = {} | queries = {} | peak space = {} words",
+        "components = {} | AMPC rounds = {} | queries = {} | peak space = {} words | \
+         shuffle = {} bytes",
         run.labeling.num_components(),
         run.stats.rounds(),
         run.stats.total_queries(),
-        run.stats.peak_total_space()
+        run.stats.peak_total_space(),
+        run.stats.total_bytes_shuffled()
     );
     if args.trace {
         eprintln!("\n{}", run.stats.round_table());
@@ -395,6 +475,9 @@ fn cmd_run(args: RunArgs) -> Result<(), String> {
              write {:.2} ms",
             t1.elapsed().as_secs_f64() * 1e3
         );
+    }
+    if args.metrics && !args.json {
+        eprintln!("\nprocess metrics:\n{}", ampc_obs::render_table());
     }
     if args.json {
         print!("{}", run_json(&g, &args, &run.labeling, &run.stats, alg));
@@ -592,6 +675,26 @@ fn cmd_query(args: QueryArgs) -> Result<(), String> {
     eprintln!(
         "throughput: single = {:.0} q/s | batch = {:.0} q/s | checksum = {} | threads = {}",
         report.aggregate_single_qps, report.aggregate_batch_qps, report.checksum, report.threads
+    );
+
+    // Per-query latency distribution, measured by a separate instrumented
+    // pass so the clock reads never depress the throughput numbers above.
+    let latency = driver::run_latency(&service, &queries, args.threads);
+    if latency.checksum != expected_checksum {
+        return Err(
+            "internal error: latency pass checksum diverged from the validated answers".into()
+        );
+    }
+    eprintln!(
+        "latency: p50 = {} ns | p90 = {} ns | p99 = {} ns | p999 = {} ns | max = {} ns | \
+         mean = {:.0} ns ({} timed)",
+        latency.p50_ns,
+        latency.p90_ns,
+        latency.p99_ns,
+        latency.p999_ns,
+        latency.max_ns,
+        latency.mean_ns,
+        latency.queries
     );
 
     if args.top > 0 {
@@ -800,8 +903,9 @@ fn cmd_query(args: QueryArgs) -> Result<(), String> {
             }
             let _ = write!(
                 s,
-                "{{ \"seq\": {}, \"op\": \"{}\", \"error\": \"{}\" }}",
+                "{{ \"seq\": {}, \"at_ms\": {}, \"op\": \"{}\", \"error\": \"{}\" }}",
                 inc.seq,
+                inc.at_ms,
                 inc.op.name(),
                 json_escape(&inc.error.to_string())
             );
@@ -825,6 +929,36 @@ fn cmd_query(args: QueryArgs) -> Result<(), String> {
         let _ = writeln!(s, "  \"single_queries_per_sec\": {:.0},", report.aggregate_single_qps);
         let _ = writeln!(s, "  \"batch_queries_per_sec\": {:.0},", report.aggregate_batch_qps);
         let _ = writeln!(s, "  \"checksum\": {},", report.checksum);
+        let _ = writeln!(
+            s,
+            "  \"latency\": {{ \"queries\": {}, \"p50_ns\": {}, \"p90_ns\": {}, \
+             \"p99_ns\": {}, \"p999_ns\": {}, \"max_ns\": {}, \"mean_ns\": {:.1} }},",
+            latency.queries,
+            latency.p50_ns,
+            latency.p90_ns,
+            latency.p99_ns,
+            latency.p999_ns,
+            latency.max_ns,
+            latency.mean_ns
+        );
+        s.push_str(&metrics_json_object());
+        if let Some(k) = args.trace_events {
+            s.push_str("  \"trace\": [\n");
+            let events = ampc_obs::trace_last(k);
+            for (i, e) in events.iter().enumerate() {
+                let _ = write!(
+                    s,
+                    "    {{ \"seq\": {}, \"at_ns\": {}, \"kind\": \"{}\", \"a\": {}, \"b\": {} }}",
+                    e.seq,
+                    e.at_ns,
+                    e.kind.name(),
+                    e.a,
+                    e.b
+                );
+                s.push_str(if i + 1 < events.len() { ",\n" } else { "\n" });
+            }
+            s.push_str("  ],\n");
+        }
         let validated = if reference.is_some() { queries.len() } else { 0 };
         if let Some(st) = &streaming {
             let _ = writeln!(s, "  \"validated\": {validated},");
@@ -856,8 +990,16 @@ fn cmd_query(args: QueryArgs) -> Result<(), String> {
         }
         s.push_str("}\n");
         print!("{s}");
-    } else if args.run.labels {
-        print_labels(snap.labeling());
+    } else {
+        if let Some(k) = args.trace_events {
+            dump_trace(k);
+        }
+        if args.run.metrics {
+            eprintln!("\nprocess metrics:\n{}", ampc_obs::render_table());
+        }
+        if args.run.labels {
+            print_labels(snap.labeling());
+        }
     }
     Ok(())
 }
@@ -879,7 +1021,7 @@ fn main() -> ExitCode {
                  \x20                 [--batch B] [--threads T] [--query-file F] [--top K]\n\
                  \x20                 [--stream N] [--stream-batch E] [--json]\n\
                  \x20                 [--from-snapshot PATH] [--fail SITE[:K][:panic]]\n\
-                 \x20                 [--chaos SEED]"
+                 \x20                 [--chaos SEED] [--trace [N]]"
             );
             return ExitCode::from(2);
         }

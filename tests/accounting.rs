@@ -27,6 +27,9 @@ fn forest_round_stats_are_internally_consistent() {
         assert!(r.max_machine_write_words <= r.write_words);
         // Reads transfer at least one word each.
         assert!(r.read_words >= r.reads);
+        // The shuffle-cost model: 8 bytes of packed key per write plus
+        // 8 bytes per value word moved at the round barrier.
+        assert_eq!(r.bytes_shuffled, 8 * (r.writes + r.write_words));
     }
     // Total queries ≥ executed-round reads.
     let executed_reads: usize = stats.per_round().iter().map(|r| r.reads).sum();

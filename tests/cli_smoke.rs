@@ -348,6 +348,47 @@ fn cli_persist_then_boot_from_snapshot() {
 }
 
 #[test]
+fn cli_query_metrics_json_and_trace_grammar() {
+    // The --json metrics object has a stable schema: every catalog entry
+    // appears (counters, gauges, histogram summaries), and the pipeline +
+    // serving counters are live after a real run.
+    let out = run_query(&["--seed", "7", "--queries", "1000", "--json"]);
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(out.status.success(), "query --json: exit {:?}\n{stderr}", out.status.code());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    for field in [
+        "\"metrics\": {",
+        "\"counters\": {",
+        "\"gauges\": {",
+        "\"histograms\": {",
+        "\"ampc_rounds_total\":",
+        "\"serve_epochs_published_total\":",
+        "\"query_latency_ns\": { \"count\": 1000,",
+        "\"latency\": { \"queries\": 1000,",
+        "\"p999_ns\":",
+    ] {
+        assert!(stdout.contains(field), "missing {field}\n{stdout}");
+    }
+    assert!(!stdout.contains("\"trace\": ["), "trace array needs --trace N\n{stdout}");
+    assert!(stderr.contains("latency: p50 = "), "missing latency line\n{stderr}");
+
+    // --trace N dumps the last N trace events (JSON array / stderr text);
+    // bare --trace keeps the round-ledger behavior.
+    let out = run_query(&["--seed", "7", "--queries", "100", "--trace", "4", "--json"]);
+    assert!(out.status.success(), "--trace 4 --json failed");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("\"trace\": ["), "missing trace array\n{stdout}");
+    assert!(stdout.contains("\"kind\": \"epoch_published\""), "missing publish event\n{stdout}");
+    let out = run_query(&["--seed", "7", "--queries", "100", "--trace", "3", "--metrics"]);
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(out.status.success(), "--trace 3: exit {:?}\n{stderr}", out.status.code());
+    assert!(stderr.contains("trace: last "), "missing trace dump\n{stderr}");
+    assert!(stderr.contains("epoch_published"), "missing publish event\n{stderr}");
+    assert!(stderr.contains("process metrics:"), "missing metrics table\n{stderr}");
+    assert!(stderr.contains("query_latency_ns"), "missing latency row\n{stderr}");
+}
+
+#[test]
 fn cli_json_run_output_is_machine_readable() {
     let out = run(&["--general", "--seed", "7", "--json"]);
     assert!(out.status.success());
@@ -359,6 +400,9 @@ fn cli_json_run_output_is_machine_readable() {
         "\"algorithm\": 2",
         "\"components\": 3",
         "\"rounds\":",
+        "\"bytes_shuffled\":",
+        "\"metrics\": {",
+        "\"ampc_bytes_shuffled_total\":",
         "\"labels\": [",
     ] {
         assert!(stdout.contains(field), "missing {field}\n{stdout}");
