@@ -22,6 +22,13 @@
 //! rows measure oversubscription, not scaling — the interesting numbers
 //! come from multi-core runs.
 //!
+//! The **network** section replays each mix over loopback TCP through the
+//! closed-loop client harness (`ampc-net`): wire checksums must equal the
+//! in-process engine's, a same-graph rebuild publishes mid-flight under
+//! live connections, and an overload burst against a one-worker server
+//! proves deterministic typed shedding. Wire latency (client round-trip)
+//! and service latency (server-side per query) are reported separately.
+//!
 //! The **snapshot** section measures the fan-out path: persist the
 //! published epoch (atomic rename), boot a fresh replica from the file
 //! (one bulk read + validation, sections reinterpreted in place), and
@@ -177,6 +184,123 @@ fn main() {
         mix_checksums.push((mix, baseline_checksum.unwrap_or(0)));
     }
 
+    // ---- network: the TCP front-end over the same published epoch. Each
+    // mix replays over loopback through the closed-loop client harness
+    // and must reproduce the in-process engine's checksum byte for byte.
+    // A rebuild of the *same* graph publishes mid-flight during one mix
+    // (identical answers across epochs), exercising the worker-pinned
+    // snapshot swap under live connections; an overload burst against a
+    // deliberately tiny second server proves the admission queue sheds
+    // with the typed Overloaded reply and never grows past its bound.
+    let net_queries = num_queries / 8;
+    let listener = std::net::TcpListener::bind("127.0.0.1:0").expect("bind loopback");
+    let server = ampc_net::serve(
+        service.clone(),
+        listener,
+        ampc_net::ServerConfig { workers: 4, queue_depth: 64, max_payload: 1 << 20 },
+    )
+    .expect("net server");
+    let addr = server.local_addr();
+    let mut network_rows = Vec::new();
+    for (i, &(mix, _)) in mix_checksums.iter().enumerate() {
+        let queries = workload::generate(snap.index(), mix, net_queries, SEED ^ 0x4E7);
+        let engine = snap.engine();
+        let expected: u64 = queries.iter().fold(0u64, |acc, &q| acc.wrapping_add(engine.answer(q)));
+        let rebuild = (i == 1).then(|| service.rebuild(Graph::from_edges(n, &base_edges)));
+        let report = ampc_net::run_harness(
+            addr,
+            &queries,
+            ampc_net::HarnessConfig { connections: 2, batch: BATCH, retries: 0 },
+        )
+        .expect("network harness");
+        if let Some(h) = rebuild {
+            h.wait().expect("mid-flight rebuild");
+        }
+        assert_eq!(
+            report.checksum,
+            expected,
+            "mix {}: wire answers diverged from the in-process engine",
+            mix.name()
+        );
+        let (wp50, wp99, wp999) =
+            (report.wire.quantile(0.5), report.wire.quantile(0.99), report.wire.quantile(0.999));
+        assert!(wp50 > 0 && wp99 > 0 && wp999 > 0, "wire quantiles must be nonzero");
+        println!(
+            "  network  {:<8} | {:>12.0} q/s over the wire | wire p50 {:>8} ns p99 {:>8} ns \
+             | checksum matches",
+            mix.name(),
+            report.qps,
+            wp50,
+            wp99
+        );
+        network_rows.push(format!(
+            "\"{}\": {{ \"queries_per_sec\": {:.0}, \"wire_p50_ns\": {wp50}, \
+             \"wire_p99_ns\": {wp99}, \"wire_p999_ns\": {wp999}, \"wire_max_ns\": {}, \
+             \"checksum_matches_oracle\": true }}",
+            mix.name(),
+            report.qps,
+            report.wire.max
+        ));
+    }
+    let service_lat = server.service_latency();
+    assert!(
+        service_lat.count >= (net_queries * mix_checksums.len()) as u64,
+        "every wire query must land in the server-side service histogram"
+    );
+    assert!(service_lat.quantile(0.5) > 0, "service quantiles must be nonzero");
+    println!(
+        "  network  service   | p50 {:>6} ns | p99 {:>6} ns | p999 {:>6} ns ({} queries \
+         server-side)",
+        service_lat.quantile(0.5),
+        service_lat.quantile(0.99),
+        service_lat.quantile(0.999),
+        service_lat.count
+    );
+
+    // Overload burst: one worker, queue depth 1. A held connection pins
+    // the worker; one more fills the queue; the rest of the burst must be
+    // shed with the typed reply while the queue stays at its bound.
+    let tiny = ampc_net::serve(
+        service.clone(),
+        std::net::TcpListener::bind("127.0.0.1:0").expect("bind tiny"),
+        ampc_net::ServerConfig { workers: 1, queue_depth: 1, max_payload: 1 << 20 },
+    )
+    .expect("tiny server");
+    let mut held = ampc_net::Connection::connect(tiny.local_addr()).expect("hold worker");
+    held.query_batch(&[Query::TopKSize(1)]).expect("pin the only worker");
+    const BURST: usize = 8;
+    let burst: Vec<std::net::TcpStream> = (0..BURST)
+        .map(|_| std::net::TcpStream::connect(tiny.local_addr()).expect("burst connect"))
+        .collect();
+    let shed_deadline = Instant::now() + std::time::Duration::from_secs(10);
+    while tiny.connections_shed() < (BURST - 1) as u64 {
+        assert!(Instant::now() < shed_deadline, "overload shed did not complete");
+        std::thread::sleep(std::time::Duration::from_millis(2));
+    }
+    let shed = tiny.connections_shed();
+    assert_eq!(shed, (BURST - 1) as u64, "exactly one burst connection fits the queue");
+    assert!(tiny.queued() <= 1, "admission queue grew past its high-water mark");
+    println!(
+        "  network  overload  | burst {BURST} connections → {shed} shed (typed Overloaded), \
+         queue depth held at ≤ 1"
+    );
+    drop(burst);
+    drop(held);
+    drop(tiny);
+    let network_section = format!(
+        "{{ \"queries_per_mix\": {net_queries}, \"connections\": 2, \"batch\": {BATCH}, \
+         \"mixes\": {{ {} }}, \
+         \"service\": {{ \"queries\": {}, \"p50_ns\": {}, \"p99_ns\": {}, \"p999_ns\": {} }}, \
+         \"mid_flight_rebuild\": true, \
+         \"overload\": {{ \"burst\": {BURST}, \"shed\": {shed}, \"queue_depth\": 1 }} }}",
+        network_rows.join(", "),
+        service_lat.count,
+        service_lat.quantile(0.5),
+        service_lat.quantile(0.99),
+        service_lat.quantile(0.999)
+    );
+    drop(server);
+
     // ---- snapshot: persist the published epoch, boot a replica from the
     // file (one bulk read + validation, zero per-element deserialization),
     // and prove the boot answers every mix byte-identically to the
@@ -308,11 +432,13 @@ fn main() {
          \"queries_per_mix\": {num_queries},\n  \"batch\": {BATCH},\n  \
          \"service_build_ms\": {build_ms:.1},\n  \"mixes\": {{ {} }},\n  \
          \"latency\": {{ {} }},\n  \
-         \"thread_scaling\": [\n    {}\n  ],\n  \"snapshot\": {},\n  \"streaming\": {}\n}}\n",
+         \"thread_scaling\": [\n    {}\n  ],\n  \"network\": {},\n  \"snapshot\": {},\n  \
+         \"streaming\": {}\n}}\n",
         components,
         mix_sections.join(", "),
         latency_rows.join(", "),
         scaling_rows.join(",\n    "),
+        network_section,
         snapshot_section,
         streaming_section
     );

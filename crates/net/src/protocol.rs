@@ -1,0 +1,735 @@
+//! The wire protocol: a versioned length-prefixed binary framing plus the
+//! payload codecs for every opcode.
+//!
+//! # Frame layout
+//!
+//! Every message — request or response — is one frame: a fixed **16-byte
+//! header** followed by `payload_len` payload bytes. All integers are
+//! little-endian.
+//!
+//! ```text
+//! offset  size  field
+//!      0     4  magic        0x414D5043 ("AMPC")
+//!      4     1  version      1
+//!      5     1  opcode       Opcode discriminant
+//!      6     2  flags        reserved, must be zero
+//!      8     4  payload_len  bytes following the header
+//!     12     4  request_id   echoed verbatim in the response
+//! ```
+//!
+//! The header is fixed-size on purpose: a reader can validate magic,
+//! version and payload bound **before** allocating anything, so a hostile
+//! or corrupt peer can never make the server buffer an unbounded frame.
+//! Responses reuse the same header with response opcodes (high bit set);
+//! every error travels as a [`Opcode::RespError`] frame carrying a typed
+//! [`ErrorCode`] — the wire analogue of the typed `ServeError`s inside the
+//! process.
+//!
+//! # Version-bump policy
+//!
+//! `VERSION` changes whenever the header layout, an existing opcode's
+//! payload encoding, or an error code's meaning changes. Adding a *new*
+//! opcode is not a version bump: an old server answers it with a typed
+//! `UnknownOpcode` error and keeps the connection, which is exactly the
+//! negotiation a client needs. A reader that sees a foreign version
+//! refuses the frame before touching the payload (typed
+//! [`ProtocolError::BadVersion`]) — there is no cross-version parsing,
+//! matching the snapshot format's refuse-don't-guess policy.
+//!
+//! # Failpoints
+//!
+//! [`read_frame`] and [`write_frame`] traverse the `net.read` / `net.write`
+//! failpoints (one relaxed load when disarmed), so chaos schedules can cut
+//! either direction of the wire deterministically on both the server and
+//! the client side.
+
+use std::io::{Read, Write};
+
+use ampc_query::Query;
+use ampc_serve::fault::{self, Site};
+
+/// Frame magic: `"AMPC"` read as a big-endian u32, stored little-endian.
+pub const MAGIC: u32 = 0x414D_5043;
+/// Protocol version this build speaks (see the version-bump policy above).
+pub const VERSION: u8 = 1;
+/// Fixed frame-header size in bytes.
+pub const HEADER_LEN: usize = 16;
+/// Default cap a reader enforces on `payload_len` before allocating.
+pub const DEFAULT_MAX_PAYLOAD: u32 = 1 << 20;
+/// Bytes one encoded query occupies ([`encode_queries`]).
+pub const QUERY_WIRE_LEN: usize = 12;
+
+/// Frame opcodes. Requests have the high bit clear, responses set; the
+/// pairing is `request | 0x80` except for [`Opcode::RespError`], which can
+/// answer any request.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[repr(u8)]
+pub enum Opcode {
+    /// Batch of encoded queries → [`Opcode::RespAnswers`].
+    QueryBatch = 0x01,
+    /// Health probe (empty payload) → [`Opcode::RespHealth`].
+    Health = 0x02,
+    /// Prometheus metrics dump (empty payload) → [`Opcode::RespMetrics`].
+    Metrics = 0x03,
+    /// Edge-insert batch (write op; refused in ReadOnly) →
+    /// [`Opcode::RespInsert`].
+    InsertEdges = 0x04,
+    /// Orderly server shutdown (empty payload) → [`Opcode::RespShutdown`].
+    Shutdown = 0x05,
+    /// Answer array: one u64 per query, in request order.
+    RespAnswers = 0x81,
+    /// Encoded [`WireHealth`].
+    RespHealth = 0x82,
+    /// UTF-8 Prometheus text exposition.
+    RespMetrics = 0x83,
+    /// Encoded [`WireInsertReport`].
+    RespInsert = 0x84,
+    /// Empty acknowledgement; the server exits after sending it.
+    RespShutdown = 0x85,
+    /// Typed error: u16 [`ErrorCode`], u16 reserved, UTF-8 message.
+    RespError = 0xEE,
+}
+
+impl Opcode {
+    fn from_u8(b: u8) -> Option<Opcode> {
+        Some(match b {
+            0x01 => Opcode::QueryBatch,
+            0x02 => Opcode::Health,
+            0x03 => Opcode::Metrics,
+            0x04 => Opcode::InsertEdges,
+            0x05 => Opcode::Shutdown,
+            0x81 => Opcode::RespAnswers,
+            0x82 => Opcode::RespHealth,
+            0x83 => Opcode::RespMetrics,
+            0x84 => Opcode::RespInsert,
+            0x85 => Opcode::RespShutdown,
+            0xEE => Opcode::RespError,
+            _ => return None,
+        })
+    }
+}
+
+/// Typed error codes carried by [`Opcode::RespError`] frames.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[repr(u16)]
+pub enum ErrorCode {
+    /// Structurally invalid frame or payload (bad flags, ragged array,
+    /// unknown query tag, non-UTF-8 text…).
+    Malformed = 1,
+    /// Wrong frame magic.
+    BadMagic = 2,
+    /// Protocol version this peer does not speak.
+    BadVersion = 3,
+    /// `payload_len` above the reader's cap.
+    Oversized = 4,
+    /// Opcode this peer does not recognize.
+    UnknownOpcode = 5,
+    /// Admission queue at its high-water mark — deterministic load shed.
+    Overloaded = 6,
+    /// Write opcode refused because the service is ReadOnly.
+    ReadOnly = 7,
+    /// The request was valid but the service failed to execute it.
+    Internal = 8,
+}
+
+impl ErrorCode {
+    /// Decodes a wire error code.
+    pub fn from_u16(v: u16) -> Option<ErrorCode> {
+        Some(match v {
+            1 => ErrorCode::Malformed,
+            2 => ErrorCode::BadMagic,
+            3 => ErrorCode::BadVersion,
+            4 => ErrorCode::Oversized,
+            5 => ErrorCode::UnknownOpcode,
+            6 => ErrorCode::Overloaded,
+            7 => ErrorCode::ReadOnly,
+            8 => ErrorCode::Internal,
+            _ => return None,
+        })
+    }
+
+    /// Stable lower-case name (used in error text and JSON).
+    pub fn name(self) -> &'static str {
+        match self {
+            ErrorCode::Malformed => "malformed",
+            ErrorCode::BadMagic => "bad-magic",
+            ErrorCode::BadVersion => "bad-version",
+            ErrorCode::Oversized => "oversized",
+            ErrorCode::UnknownOpcode => "unknown-opcode",
+            ErrorCode::Overloaded => "overloaded",
+            ErrorCode::ReadOnly => "read-only",
+            ErrorCode::Internal => "internal",
+        }
+    }
+}
+
+/// A structurally invalid frame, detected before any payload is trusted.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ProtocolError {
+    /// Frame magic was not [`MAGIC`].
+    BadMagic(u32),
+    /// Frame version was not [`VERSION`].
+    BadVersion(u8),
+    /// `payload_len` exceeded the reader's cap.
+    Oversized {
+        /// Length the header claimed.
+        len: u32,
+        /// Cap the reader enforces.
+        max: u32,
+    },
+    /// The peer closed the connection mid-frame.
+    Truncated,
+    /// Opcode byte this peer does not recognize.
+    UnknownOpcode(u8),
+    /// Any other structural violation; the string says which.
+    Malformed(&'static str),
+}
+
+impl std::fmt::Display for ProtocolError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ProtocolError::BadMagic(m) => write!(f, "bad frame magic 0x{m:08x}"),
+            ProtocolError::BadVersion(v) => {
+                write!(f, "unsupported protocol version {v} (this build speaks {VERSION})")
+            }
+            ProtocolError::Oversized { len, max } => {
+                write!(f, "payload length {len} exceeds the {max}-byte cap")
+            }
+            ProtocolError::Truncated => write!(f, "connection closed mid-frame"),
+            ProtocolError::UnknownOpcode(b) => write!(f, "unknown opcode 0x{b:02x}"),
+            ProtocolError::Malformed(what) => write!(f, "malformed frame: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for ProtocolError {}
+
+impl ProtocolError {
+    /// The typed wire code + message a server replies with before closing.
+    pub fn wire_error(&self) -> (ErrorCode, String) {
+        let code = match self {
+            ProtocolError::BadMagic(_) => ErrorCode::BadMagic,
+            ProtocolError::BadVersion(_) => ErrorCode::BadVersion,
+            ProtocolError::Oversized { .. } => ErrorCode::Oversized,
+            ProtocolError::UnknownOpcode(_) => ErrorCode::UnknownOpcode,
+            ProtocolError::Truncated | ProtocolError::Malformed(_) => ErrorCode::Malformed,
+        };
+        (code, self.to_string())
+    }
+}
+
+/// Everything a frame exchange can fail with: the transport broke, or the
+/// bytes were structurally invalid.
+#[derive(Debug)]
+pub enum NetError {
+    /// Transport-level failure (includes injected `net.read`/`net.write`
+    /// faults, which surface as ordinary I/O errors).
+    Io(std::io::Error),
+    /// Structurally invalid frame.
+    Protocol(ProtocolError),
+}
+
+impl std::fmt::Display for NetError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            NetError::Io(e) => write!(f, "{e}"),
+            NetError::Protocol(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for NetError {}
+
+impl From<std::io::Error> for NetError {
+    fn from(e: std::io::Error) -> Self {
+        NetError::Io(e)
+    }
+}
+
+impl From<ProtocolError> for NetError {
+    fn from(e: ProtocolError) -> Self {
+        NetError::Protocol(e)
+    }
+}
+
+/// A decoded frame header.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Header {
+    /// The frame's opcode.
+    pub opcode: Opcode,
+    /// Payload bytes following the header.
+    pub payload_len: u32,
+    /// Correlation id, echoed verbatim by responses.
+    pub request_id: u32,
+}
+
+/// Encodes a header into its 16 wire bytes.
+pub fn encode_header(opcode: Opcode, payload_len: u32, request_id: u32) -> [u8; HEADER_LEN] {
+    let mut h = [0u8; HEADER_LEN];
+    h[0..4].copy_from_slice(&MAGIC.to_le_bytes());
+    h[4] = VERSION;
+    h[5] = opcode as u8;
+    // h[6..8] flags: reserved, zero.
+    h[8..12].copy_from_slice(&payload_len.to_le_bytes());
+    h[12..16].copy_from_slice(&request_id.to_le_bytes());
+    h
+}
+
+/// Decodes and validates 16 header bytes. `max_payload` bounds
+/// `payload_len` **before** the caller allocates a buffer for it.
+pub fn decode_header(bytes: &[u8; HEADER_LEN], max_payload: u32) -> Result<Header, ProtocolError> {
+    let magic = u32::from_le_bytes(bytes[0..4].try_into().unwrap());
+    if magic != MAGIC {
+        return Err(ProtocolError::BadMagic(magic));
+    }
+    if bytes[4] != VERSION {
+        return Err(ProtocolError::BadVersion(bytes[4]));
+    }
+    let opcode = Opcode::from_u8(bytes[5]).ok_or(ProtocolError::UnknownOpcode(bytes[5]))?;
+    if bytes[6] != 0 || bytes[7] != 0 {
+        return Err(ProtocolError::Malformed("reserved flags must be zero"));
+    }
+    let payload_len = u32::from_le_bytes(bytes[8..12].try_into().unwrap());
+    if payload_len > max_payload {
+        return Err(ProtocolError::Oversized { len: payload_len, max: max_payload });
+    }
+    let request_id = u32::from_le_bytes(bytes[12..16].try_into().unwrap());
+    Ok(Header { opcode, payload_len, request_id })
+}
+
+/// Writes one frame (header + payload). Traverses the `net.write`
+/// failpoint; an injected fault surfaces as an ordinary I/O error.
+pub fn write_frame(
+    w: &mut impl Write,
+    opcode: Opcode,
+    request_id: u32,
+    payload: &[u8],
+) -> std::io::Result<()> {
+    fault::check(Site::NetWrite).map_err(std::io::Error::other)?;
+    debug_assert!(payload.len() <= u32::MAX as usize);
+    w.write_all(&encode_header(opcode, payload.len() as u32, request_id))?;
+    w.write_all(payload)?;
+    w.flush()
+}
+
+/// Reads one frame. Returns `Ok(None)` on a clean close — EOF at a frame
+/// boundary, or `keep_waiting` turning false while blocked (the server's
+/// shutdown path; sockets there carry a read timeout, and `WouldBlock` /
+/// `TimedOut` re-polls `keep_waiting` instead of failing). EOF *inside* a
+/// frame is a typed [`ProtocolError::Truncated`]. Traverses the `net.read`
+/// failpoint once per frame.
+pub fn read_frame(
+    r: &mut impl Read,
+    max_payload: u32,
+    keep_waiting: impl Fn() -> bool,
+) -> Result<Option<(Header, Vec<u8>)>, NetError> {
+    fault::check(Site::NetRead).map_err(std::io::Error::other)?;
+    let mut header = [0u8; HEADER_LEN];
+    match read_full(r, &mut header, true, &keep_waiting)? {
+        ReadFull::Done => {}
+        ReadFull::CleanClose => return Ok(None),
+    }
+    let header = decode_header(&header, max_payload)?;
+    let mut payload = vec![0u8; header.payload_len as usize];
+    match read_full(r, &mut payload, false, &keep_waiting)? {
+        ReadFull::Done => Ok(Some((header, payload))),
+        ReadFull::CleanClose => unreachable!("mid-frame close maps to Truncated"),
+    }
+}
+
+enum ReadFull {
+    Done,
+    CleanClose,
+}
+
+/// Fills `buf` completely. A dribbling peer (one byte per write) is fine —
+/// the loop keeps reading; a peer that closes after 0 bytes is a clean
+/// close iff `at_boundary`, otherwise the frame is truncated.
+fn read_full(
+    r: &mut impl Read,
+    buf: &mut [u8],
+    at_boundary: bool,
+    keep_waiting: &impl Fn() -> bool,
+) -> Result<ReadFull, NetError> {
+    let mut filled = 0usize;
+    while filled < buf.len() {
+        match r.read(&mut buf[filled..]) {
+            Ok(0) => {
+                return if at_boundary && filled == 0 {
+                    Ok(ReadFull::CleanClose)
+                } else {
+                    Err(ProtocolError::Truncated.into())
+                };
+            }
+            Ok(n) => filled += n,
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+                ) =>
+            {
+                if !keep_waiting() {
+                    return Ok(ReadFull::CleanClose);
+                }
+            }
+            Err(e) => return Err(e.into()),
+        }
+    }
+    Ok(ReadFull::Done)
+}
+
+// ---- payload codecs ------------------------------------------------------
+
+/// Query tags on the wire (u32, little-endian).
+const TAG_CONNECTED: u32 = 0;
+const TAG_COMPONENT_OF: u32 = 1;
+const TAG_COMPONENT_SIZE: u32 = 2;
+const TAG_TOP_K_SIZE: u32 = 3;
+
+/// Encodes a query batch: [`QUERY_WIRE_LEN`] bytes per query — tag u32,
+/// operand `a` u32, operand `b` u32 (zero where unused).
+pub fn encode_queries(queries: &[Query]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(queries.len() * QUERY_WIRE_LEN);
+    for &q in queries {
+        let (tag, a, b) = match q {
+            Query::Connected(u, v) => (TAG_CONNECTED, u, v),
+            Query::ComponentOf(v) => (TAG_COMPONENT_OF, v, 0),
+            Query::ComponentSize(v) => (TAG_COMPONENT_SIZE, v, 0),
+            Query::TopKSize(k) => (TAG_TOP_K_SIZE, k, 0),
+        };
+        out.extend_from_slice(&tag.to_le_bytes());
+        out.extend_from_slice(&a.to_le_bytes());
+        out.extend_from_slice(&b.to_le_bytes());
+    }
+    out
+}
+
+/// Decodes a query batch payload; refuses ragged lengths and unknown tags.
+pub fn decode_queries(payload: &[u8]) -> Result<Vec<Query>, ProtocolError> {
+    if !payload.len().is_multiple_of(QUERY_WIRE_LEN) {
+        return Err(ProtocolError::Malformed("query batch length not a multiple of 12"));
+    }
+    let mut out = Vec::with_capacity(payload.len() / QUERY_WIRE_LEN);
+    for rec in payload.chunks_exact(QUERY_WIRE_LEN) {
+        let tag = u32::from_le_bytes(rec[0..4].try_into().unwrap());
+        let a = u32::from_le_bytes(rec[4..8].try_into().unwrap());
+        let b = u32::from_le_bytes(rec[8..12].try_into().unwrap());
+        out.push(match tag {
+            TAG_CONNECTED => Query::Connected(a, b),
+            TAG_COMPONENT_OF => Query::ComponentOf(a),
+            TAG_COMPONENT_SIZE => Query::ComponentSize(a),
+            TAG_TOP_K_SIZE => Query::TopKSize(a),
+            _ => return Err(ProtocolError::Malformed("unknown query tag")),
+        });
+    }
+    Ok(out)
+}
+
+/// Encodes an answer array: one u64 per query, request order.
+pub fn encode_answers(answers: &[u64]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(answers.len() * 8);
+    for &a in answers {
+        out.extend_from_slice(&a.to_le_bytes());
+    }
+    out
+}
+
+/// Decodes an answer array payload.
+pub fn decode_answers(payload: &[u8]) -> Result<Vec<u64>, ProtocolError> {
+    if !payload.len().is_multiple_of(8) {
+        return Err(ProtocolError::Malformed("answer array length not a multiple of 8"));
+    }
+    Ok(payload.chunks_exact(8).map(|c| u64::from_le_bytes(c.try_into().unwrap())).collect())
+}
+
+/// Encodes an edge-insert batch: pairs of u32 endpoints.
+pub fn encode_edges(edges: &[(u32, u32)]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(edges.len() * 8);
+    for &(u, v) in edges {
+        out.extend_from_slice(&u.to_le_bytes());
+        out.extend_from_slice(&v.to_le_bytes());
+    }
+    out
+}
+
+/// Decodes an edge-insert payload.
+pub fn decode_edges(payload: &[u8]) -> Result<Vec<(u32, u32)>, ProtocolError> {
+    if !payload.len().is_multiple_of(8) {
+        return Err(ProtocolError::Malformed("edge batch length not a multiple of 8"));
+    }
+    Ok(payload
+        .chunks_exact(8)
+        .map(|c| {
+            (
+                u32::from_le_bytes(c[0..4].try_into().unwrap()),
+                u32::from_le_bytes(c[4..8].try_into().unwrap()),
+            )
+        })
+        .collect())
+}
+
+/// Wire-visible service health: the [`Opcode::RespHealth`] payload
+/// (32 bytes).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct WireHealth {
+    /// 0 = healthy, 1 = degraded, 2 = read-only.
+    pub state: u8,
+    /// Consecutive write-path failures.
+    pub consecutive_failures: u32,
+    /// Total incidents ever recorded.
+    pub total_incidents: u64,
+    /// Epoch the server's current snapshot serves.
+    pub epoch: u64,
+    /// Connected components in that epoch.
+    pub components: u64,
+}
+
+impl WireHealth {
+    /// Stable state name, matching `HealthState::name()` on the server.
+    pub fn state_name(&self) -> &'static str {
+        match self.state {
+            0 => "healthy",
+            1 => "degraded",
+            2 => "read-only",
+            _ => "unknown",
+        }
+    }
+
+    /// Encodes the 32-byte payload.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(32);
+        out.push(self.state);
+        out.extend_from_slice(&[0u8; 3]);
+        out.extend_from_slice(&self.consecutive_failures.to_le_bytes());
+        out.extend_from_slice(&self.total_incidents.to_le_bytes());
+        out.extend_from_slice(&self.epoch.to_le_bytes());
+        out.extend_from_slice(&self.components.to_le_bytes());
+        out
+    }
+
+    /// Decodes the 32-byte payload.
+    pub fn decode(payload: &[u8]) -> Result<WireHealth, ProtocolError> {
+        if payload.len() != 32 {
+            return Err(ProtocolError::Malformed("health payload must be 32 bytes"));
+        }
+        Ok(WireHealth {
+            state: payload[0],
+            consecutive_failures: u32::from_le_bytes(payload[4..8].try_into().unwrap()),
+            total_incidents: u64::from_le_bytes(payload[8..16].try_into().unwrap()),
+            epoch: u64::from_le_bytes(payload[16..24].try_into().unwrap()),
+            components: u64::from_le_bytes(payload[24..32].try_into().unwrap()),
+        })
+    }
+}
+
+/// Wire-visible insert result: the [`Opcode::RespInsert`] payload
+/// (24 bytes).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct WireInsertReport {
+    /// Journal-epoch the batch published as.
+    pub epoch: u64,
+    /// Edges accepted.
+    pub applied: u64,
+    /// Connected components after the batch.
+    pub components: u64,
+}
+
+impl WireInsertReport {
+    /// Encodes the 24-byte payload.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(24);
+        out.extend_from_slice(&self.epoch.to_le_bytes());
+        out.extend_from_slice(&self.applied.to_le_bytes());
+        out.extend_from_slice(&self.components.to_le_bytes());
+        out
+    }
+
+    /// Decodes the 24-byte payload.
+    pub fn decode(payload: &[u8]) -> Result<WireInsertReport, ProtocolError> {
+        if payload.len() != 24 {
+            return Err(ProtocolError::Malformed("insert payload must be 24 bytes"));
+        }
+        Ok(WireInsertReport {
+            epoch: u64::from_le_bytes(payload[0..8].try_into().unwrap()),
+            applied: u64::from_le_bytes(payload[8..16].try_into().unwrap()),
+            components: u64::from_le_bytes(payload[16..24].try_into().unwrap()),
+        })
+    }
+}
+
+/// Encodes a [`Opcode::RespError`] payload: code u16, reserved u16, UTF-8
+/// message.
+pub fn encode_error(code: ErrorCode, message: &str) -> Vec<u8> {
+    let mut out = Vec::with_capacity(4 + message.len());
+    out.extend_from_slice(&(code as u16).to_le_bytes());
+    out.extend_from_slice(&[0u8; 2]);
+    out.extend_from_slice(message.as_bytes());
+    out
+}
+
+/// Decodes a [`Opcode::RespError`] payload.
+pub fn decode_error(payload: &[u8]) -> Result<(ErrorCode, String), ProtocolError> {
+    if payload.len() < 4 {
+        return Err(ProtocolError::Malformed("error payload shorter than 4 bytes"));
+    }
+    let raw = u16::from_le_bytes(payload[0..2].try_into().unwrap());
+    let code =
+        ErrorCode::from_u16(raw).ok_or(ProtocolError::Malformed("unknown wire error code"))?;
+    let message = std::str::from_utf8(&payload[4..])
+        .map_err(|_| ProtocolError::Malformed("error message is not UTF-8"))?
+        .to_string();
+    Ok((code, message))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn header_roundtrip_and_size() {
+        let bytes = encode_header(Opcode::QueryBatch, 1234, 77);
+        assert_eq!(bytes.len(), HEADER_LEN);
+        let h = decode_header(&bytes, DEFAULT_MAX_PAYLOAD).expect("valid header");
+        assert_eq!(h, Header { opcode: Opcode::QueryBatch, payload_len: 1234, request_id: 77 });
+    }
+
+    #[test]
+    fn header_rejections_are_typed() {
+        let good = encode_header(Opcode::Health, 0, 1);
+
+        let mut bad = good;
+        bad[0] ^= 0xFF;
+        assert!(matches!(
+            decode_header(&bad, DEFAULT_MAX_PAYLOAD),
+            Err(ProtocolError::BadMagic(_))
+        ));
+
+        let mut bad = good;
+        bad[4] = 99;
+        assert_eq!(decode_header(&bad, DEFAULT_MAX_PAYLOAD), Err(ProtocolError::BadVersion(99)));
+
+        let mut bad = good;
+        bad[5] = 0x7C;
+        assert_eq!(
+            decode_header(&bad, DEFAULT_MAX_PAYLOAD),
+            Err(ProtocolError::UnknownOpcode(0x7C))
+        );
+
+        let mut bad = good;
+        bad[6] = 1;
+        assert!(matches!(
+            decode_header(&bad, DEFAULT_MAX_PAYLOAD),
+            Err(ProtocolError::Malformed(_))
+        ));
+
+        let oversized = encode_header(Opcode::Health, 4096, 1);
+        assert_eq!(
+            decode_header(&oversized, 1024),
+            Err(ProtocolError::Oversized { len: 4096, max: 1024 })
+        );
+    }
+
+    #[test]
+    fn query_batch_roundtrip() {
+        let queries = vec![
+            Query::Connected(3, 9),
+            Query::ComponentOf(7),
+            Query::ComponentSize(0),
+            Query::TopKSize(4),
+        ];
+        let bytes = encode_queries(&queries);
+        assert_eq!(bytes.len(), queries.len() * QUERY_WIRE_LEN);
+        assert_eq!(decode_queries(&bytes).expect("roundtrip"), queries);
+
+        assert!(decode_queries(&bytes[..5]).is_err(), "ragged length must be refused");
+        let mut bad_tag = bytes.clone();
+        bad_tag[0] = 0x44;
+        assert!(decode_queries(&bad_tag).is_err(), "unknown tag must be refused");
+    }
+
+    #[test]
+    fn answer_edge_health_insert_error_roundtrips() {
+        let answers = vec![0u64, 1, u64::MAX, 42];
+        assert_eq!(decode_answers(&encode_answers(&answers)).expect("answers"), answers);
+        assert!(decode_answers(&[0u8; 7]).is_err());
+
+        let edges = vec![(0u32, 1u32), (7, 7), (u32::MAX, 0)];
+        assert_eq!(decode_edges(&encode_edges(&edges)).expect("edges"), edges);
+        assert!(decode_edges(&[0u8; 9]).is_err());
+
+        let health = WireHealth {
+            state: 1,
+            consecutive_failures: 2,
+            total_incidents: 3,
+            epoch: 4,
+            components: 5,
+        };
+        assert_eq!(WireHealth::decode(&health.encode()).expect("health"), health);
+        assert_eq!(health.state_name(), "degraded");
+        assert!(WireHealth::decode(&[0u8; 31]).is_err());
+
+        let report = WireInsertReport { epoch: 9, applied: 64, components: 1000 };
+        assert_eq!(WireInsertReport::decode(&report.encode()).expect("insert"), report);
+
+        let (code, msg) =
+            decode_error(&encode_error(ErrorCode::Overloaded, "queue full")).expect("error");
+        assert_eq!((code, msg.as_str()), (ErrorCode::Overloaded, "queue full"));
+        assert!(decode_error(&[1]).is_err());
+        assert!(decode_error(&[0xFF, 0xFF, 0, 0]).is_err(), "unknown code must be refused");
+    }
+
+    #[test]
+    fn frame_io_roundtrip_over_a_buffer() {
+        let mut wire = Vec::new();
+        write_frame(&mut wire, Opcode::QueryBatch, 5, b"payload").expect("write");
+        let mut cursor = &wire[..];
+        let (h, payload) =
+            read_frame(&mut cursor, DEFAULT_MAX_PAYLOAD, || true).expect("read").expect("frame");
+        assert_eq!(h.opcode, Opcode::QueryBatch);
+        assert_eq!(h.request_id, 5);
+        assert_eq!(payload, b"payload");
+        // The stream is exhausted at a frame boundary: clean close.
+        assert!(read_frame(&mut cursor, DEFAULT_MAX_PAYLOAD, || true).expect("eof").is_none());
+    }
+
+    #[test]
+    fn truncated_frame_is_typed() {
+        let mut wire = Vec::new();
+        write_frame(&mut wire, Opcode::Health, 1, b"12345678").expect("write");
+        // Chop the payload short.
+        let mut cursor = &wire[..HEADER_LEN + 3];
+        match read_frame(&mut cursor, DEFAULT_MAX_PAYLOAD, || true) {
+            Err(NetError::Protocol(ProtocolError::Truncated)) => {}
+            other => panic!("expected Truncated, got {other:?}"),
+        }
+        // Chop the header short.
+        let mut cursor = &wire[..7];
+        match read_frame(&mut cursor, DEFAULT_MAX_PAYLOAD, || true) {
+            Err(NetError::Protocol(ProtocolError::Truncated)) => {}
+            other => panic!("expected Truncated, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn error_codes_roundtrip_with_unique_names() {
+        let all = [
+            ErrorCode::Malformed,
+            ErrorCode::BadMagic,
+            ErrorCode::BadVersion,
+            ErrorCode::Oversized,
+            ErrorCode::UnknownOpcode,
+            ErrorCode::Overloaded,
+            ErrorCode::ReadOnly,
+            ErrorCode::Internal,
+        ];
+        let mut names: Vec<&str> = all.iter().map(|c| c.name()).collect();
+        for c in all {
+            assert_eq!(ErrorCode::from_u16(c as u16), Some(c));
+        }
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), all.len());
+        assert_eq!(ErrorCode::from_u16(0), None);
+    }
+}

@@ -1,0 +1,410 @@
+//! The TCP server: a fixed worker pool over a bounded admission queue,
+//! serving the binary protocol against a [`ServiceHandle`]'s lock-free
+//! epoch snapshots.
+//!
+//! # Admission control and backpressure
+//!
+//! One accept thread pulls connections off the listener and pushes them
+//! onto a bounded queue; `workers` threads pop and serve them until the
+//! peer closes. When the queue is at its high-water mark
+//! ([`ServerConfig::queue_depth`]), the accept thread **sheds**: it writes
+//! one typed `Overloaded` error frame and drops the connection. The queue
+//! therefore never grows beyond `queue_depth`, the shed decision is
+//! deterministic (a pure depth comparison, no timing heuristics), and a
+//! shed client gets a machine-readable signal to back off rather than a
+//! hang or a reset.
+//!
+//! # Worker-pinned snapshots
+//!
+//! A worker takes `service.snapshot()` **once per query-batch frame** and
+//! answers the whole batch against it. Epoch publication is an atomic
+//! pointer swap on the service side, so a rebuild or compaction landing
+//! mid-batch never tears a batch: every frame's answers are wholly from
+//! one epoch, and the next frame simply observes the newer one. The
+//! snapshot is dropped when the frame is answered, so workers never pin
+//! an old epoch for longer than one batch.
+
+use std::collections::VecDeque;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use ampc_obs::{counter, gauge, hist, CounterId, GaugeId, HistId, Histogram};
+use ampc_query::throughput::timed_pass;
+use ampc_serve::fault::{self, Site};
+use ampc_serve::{HealthState, ServeError, ServiceHandle};
+
+use crate::protocol::{
+    decode_edges, decode_queries, encode_answers, encode_error, write_frame, ErrorCode, Header,
+    NetError, Opcode, ProtocolError, WireHealth, WireInsertReport, DEFAULT_MAX_PAYLOAD,
+};
+
+/// Tunables for [`serve`].
+#[derive(Clone, Copy, Debug)]
+pub struct ServerConfig {
+    /// Worker threads serving admitted connections.
+    pub workers: usize,
+    /// Admission-queue high-water mark; connections arriving with the
+    /// queue at this depth are shed with a typed `Overloaded` reply.
+    pub queue_depth: usize,
+    /// Per-frame payload cap enforced before any allocation.
+    pub max_payload: u32,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig { workers: 4, queue_depth: 64, max_payload: DEFAULT_MAX_PAYLOAD }
+    }
+}
+
+/// How often a blocked worker re-checks the shutdown flag. Long enough to
+/// be invisible in latency histograms, short enough that `shutdown()`
+/// completes promptly.
+const POLL_INTERVAL: Duration = Duration::from_millis(50);
+
+struct Shared {
+    service: ServiceHandle,
+    config: ServerConfig,
+    shutdown: AtomicBool,
+    queue: Mutex<VecDeque<TcpStream>>,
+    queue_signal: Condvar,
+    /// Server-side service latency (satellite: split from wire latency).
+    service_hist: Histogram,
+    connections_served: AtomicU64,
+    connections_shed: AtomicU64,
+}
+
+impl Shared {
+    fn running(&self) -> bool {
+        !self.shutdown.load(Ordering::Acquire)
+    }
+}
+
+/// A running server; dropping it shuts the server down and joins every
+/// thread.
+pub struct ServerHandle {
+    shared: Arc<Shared>,
+    addr: SocketAddr,
+    accept_thread: Option<JoinHandle<()>>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+/// Starts serving `service` on `listener` with a fixed worker pool.
+///
+/// Returns as soon as the accept thread and workers are spawned; use the
+/// returned [`ServerHandle`] to query the bound address (ephemeral ports),
+/// wait for an orderly shutdown, or force one.
+pub fn serve(
+    service: ServiceHandle,
+    listener: TcpListener,
+    config: ServerConfig,
+) -> std::io::Result<ServerHandle> {
+    assert!(config.workers > 0, "server needs at least one worker");
+    assert!(config.queue_depth > 0, "admission queue needs capacity");
+    let addr = listener.local_addr()?;
+    let shared = Arc::new(Shared {
+        service,
+        config,
+        shutdown: AtomicBool::new(false),
+        queue: Mutex::new(VecDeque::new()),
+        queue_signal: Condvar::new(),
+        service_hist: Histogram::new(),
+        connections_served: AtomicU64::new(0),
+        connections_shed: AtomicU64::new(0),
+    });
+
+    let mut workers = Vec::with_capacity(config.workers);
+    for _ in 0..config.workers {
+        let shared = Arc::clone(&shared);
+        workers.push(std::thread::spawn(move || worker_loop(&shared)));
+    }
+    let accept_shared = Arc::clone(&shared);
+    let accept_thread = std::thread::spawn(move || accept_loop(&accept_shared, &listener));
+
+    Ok(ServerHandle { shared, addr, accept_thread: Some(accept_thread), workers })
+}
+
+impl ServerHandle {
+    /// The address the server is listening on (resolved ephemeral port).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Connections currently waiting in the admission queue.
+    pub fn queued(&self) -> usize {
+        self.shared.queue.lock().expect("queue lock").len()
+    }
+
+    /// Connections a worker has finished serving.
+    pub fn connections_served(&self) -> u64 {
+        self.shared.connections_served.load(Ordering::Relaxed)
+    }
+
+    /// Connections shed at admission with a typed `Overloaded` reply.
+    pub fn connections_shed(&self) -> u64 {
+        self.shared.connections_shed.load(Ordering::Relaxed)
+    }
+
+    /// Snapshot of the per-server service-latency histogram (server-side
+    /// time per query, excluding the wire).
+    pub fn service_latency(&self) -> ampc_obs::HistSnapshot {
+        self.shared.service_hist.snapshot()
+    }
+
+    /// Asks the server to stop: no new connections are admitted, workers
+    /// drain and exit. Does not block; pair with [`ServerHandle::wait`].
+    pub fn request_shutdown(&self) {
+        request_shutdown(&self.shared, self.addr);
+    }
+
+    /// Blocks until every server thread has exited. Call after
+    /// [`ServerHandle::request_shutdown`], or let a client's `Shutdown`
+    /// frame trigger it remotely.
+    pub fn wait(&mut self) {
+        if let Some(t) = self.accept_thread.take() {
+            let _ = t.join();
+        }
+        for t in self.workers.drain(..) {
+            let _ = t.join();
+        }
+    }
+
+    /// [`ServerHandle::request_shutdown`] + [`ServerHandle::wait`].
+    pub fn shutdown(&mut self) {
+        self.request_shutdown();
+        self.wait();
+    }
+}
+
+impl Drop for ServerHandle {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+fn request_shutdown(shared: &Shared, addr: SocketAddr) {
+    if shared.shutdown.swap(true, Ordering::AcqRel) {
+        return; // already shutting down
+    }
+    shared.queue_signal.notify_all();
+    // The accept thread is parked in `accept()`; poke it awake with a
+    // throwaway connection so it observes the flag. An unspecified bind
+    // address (0.0.0.0) is not connectable, so aim at loopback instead.
+    let mut wake = addr;
+    if wake.ip().is_unspecified() {
+        wake.set_ip(std::net::IpAddr::V4(std::net::Ipv4Addr::LOCALHOST));
+    }
+    let _ = TcpStream::connect_timeout(&wake, Duration::from_millis(500));
+}
+
+fn accept_loop(shared: &Shared, listener: &TcpListener) {
+    while shared.running() {
+        let stream = match listener.accept() {
+            Ok((stream, _)) => stream,
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+            Err(_) => continue,
+        };
+        if !shared.running() {
+            break; // the shutdown wake-up connection lands here
+        }
+        // Failpoint `net.accept`: firing drops the connection on the
+        // floor, as if the accept had failed at the OS level.
+        if fault::check(Site::NetAccept).is_err() {
+            drop(stream);
+            continue;
+        }
+        counter(CounterId::NetConnsAccepted).add(1);
+
+        let mut queue = shared.queue.lock().expect("queue lock");
+        if queue.len() >= shared.config.queue_depth {
+            drop(queue);
+            // Deterministic shed: typed Overloaded reply, then close.
+            counter(CounterId::NetConnsShed).add(1);
+            shared.connections_shed.fetch_add(1, Ordering::Relaxed);
+            let mut stream = stream;
+            let payload = encode_error(ErrorCode::Overloaded, "admission queue full");
+            let _ = write_frame(&mut stream, Opcode::RespError, 0, &payload);
+            let _ = stream.shutdown(std::net::Shutdown::Both);
+            continue;
+        }
+        queue.push_back(stream);
+        gauge(GaugeId::NetAdmissionQueueDepth).set(queue.len() as i64);
+        drop(queue);
+        shared.queue_signal.notify_one();
+    }
+    // Unblock every worker waiting on the queue.
+    shared.queue_signal.notify_all();
+}
+
+fn worker_loop(shared: &Shared) {
+    loop {
+        let stream = {
+            let mut queue = shared.queue.lock().expect("queue lock");
+            loop {
+                if let Some(stream) = queue.pop_front() {
+                    gauge(GaugeId::NetAdmissionQueueDepth).set(queue.len() as i64);
+                    break Some(stream);
+                }
+                if !shared.running() {
+                    break None;
+                }
+                let (q, _) =
+                    shared.queue_signal.wait_timeout(queue, POLL_INTERVAL).expect("queue lock");
+                queue = q;
+            }
+        };
+        let Some(stream) = stream else { return };
+        serve_connection(shared, stream);
+        shared.connections_served.fetch_add(1, Ordering::Relaxed);
+    }
+}
+
+/// Serves one connection until the peer closes, a protocol error forces a
+/// close, or shutdown is requested. Application-level failures (ReadOnly,
+/// Internal) answer with a typed error and keep the connection open;
+/// structural protocol violations answer and close — a peer that framed
+/// bytes wrong once cannot be trusted to frame the next ones right.
+fn serve_connection(shared: &Shared, mut stream: TcpStream) {
+    // A read timeout turns a blocked worker into one that polls the
+    // shutdown flag via `keep_waiting` below.
+    let _ = stream.set_read_timeout(Some(POLL_INTERVAL));
+    let _ = stream.set_nodelay(true);
+
+    loop {
+        let frame = crate::protocol::read_frame(&mut stream, shared.config.max_payload, || {
+            shared.running()
+        });
+        let (header, payload) = match frame {
+            Ok(Some(f)) => f,
+            Ok(None) => return, // clean close or shutdown
+            Err(NetError::Protocol(e)) => {
+                counter(CounterId::NetProtocolErrors).add(1);
+                let (code, message) = e.wire_error();
+                let _ =
+                    write_frame(&mut stream, Opcode::RespError, 0, &encode_error(code, &message));
+                let _ = stream.shutdown(std::net::Shutdown::Both);
+                return;
+            }
+            Err(NetError::Io(_)) => return,
+        };
+        counter(CounterId::NetRequests).add(1);
+        match dispatch(shared, &mut stream, header, &payload) {
+            Ok(ConnState::Keep) => {}
+            Ok(ConnState::Close) => return,
+            Err(_) => return, // write side failed; nothing left to say
+        }
+    }
+}
+
+enum ConnState {
+    Keep,
+    Close,
+}
+
+fn dispatch(
+    shared: &Shared,
+    stream: &mut TcpStream,
+    header: Header,
+    payload: &[u8],
+) -> std::io::Result<ConnState> {
+    let id = header.request_id;
+    match header.opcode {
+        Opcode::QueryBatch => {
+            let queries = match decode_queries(payload) {
+                Ok(q) => q,
+                Err(e) => return protocol_reject(stream, id, &e),
+            };
+            // Pin one snapshot for the whole frame: every answer in this
+            // batch comes from one epoch, whatever publishes meanwhile.
+            let snapshot = shared.service.snapshot();
+            let engine = snapshot.engine();
+            let mut answers = Vec::with_capacity(queries.len());
+            timed_pass(&engine, &queries, &shared.service_hist, hist(HistId::NetServiceNs), |a| {
+                answers.push(a)
+            });
+            write_frame(stream, Opcode::RespAnswers, id, &encode_answers(&answers))?;
+            Ok(ConnState::Keep)
+        }
+        Opcode::Health => {
+            let report = shared.service.health();
+            let snapshot = shared.service.snapshot();
+            let wire = WireHealth {
+                state: match report.state {
+                    HealthState::Healthy => 0,
+                    HealthState::Degraded => 1,
+                    HealthState::ReadOnly => 2,
+                },
+                consecutive_failures: report.consecutive_failures,
+                total_incidents: report.total_incidents,
+                epoch: snapshot.epoch(),
+                components: snapshot.num_components() as u64,
+            };
+            write_frame(stream, Opcode::RespHealth, id, &wire.encode())?;
+            Ok(ConnState::Keep)
+        }
+        Opcode::Metrics => {
+            write_frame(stream, Opcode::RespMetrics, id, ampc_obs::render_text().as_bytes())?;
+            Ok(ConnState::Keep)
+        }
+        Opcode::InsertEdges => {
+            let edges = match decode_edges(payload) {
+                Ok(e) => e,
+                Err(e) => return protocol_reject(stream, id, &e),
+            };
+            match shared.service.insert_edges(&edges) {
+                Ok(report) => {
+                    let wire = WireInsertReport {
+                        epoch: report.epoch,
+                        applied: report.applied as u64,
+                        components: report.components as u64,
+                    };
+                    write_frame(stream, Opcode::RespInsert, id, &wire.encode())?;
+                }
+                Err(ServeError::ReadOnly) => {
+                    // Typed refusal; the connection stays usable for reads.
+                    let payload =
+                        encode_error(ErrorCode::ReadOnly, "service is read-only; writes refused");
+                    write_frame(stream, Opcode::RespError, id, &payload)?;
+                }
+                Err(e) => {
+                    let payload = encode_error(ErrorCode::Internal, &e.to_string());
+                    write_frame(stream, Opcode::RespError, id, &payload)?;
+                }
+            }
+            Ok(ConnState::Keep)
+        }
+        Opcode::Shutdown => {
+            write_frame(stream, Opcode::RespShutdown, id, &[])?;
+            let addr = stream
+                .local_addr()
+                .unwrap_or_else(|_| SocketAddr::from((std::net::Ipv4Addr::LOCALHOST, 0)));
+            request_shutdown(shared, addr);
+            Ok(ConnState::Close)
+        }
+        // Response opcodes arriving at the server are a peer bug.
+        Opcode::RespAnswers
+        | Opcode::RespHealth
+        | Opcode::RespMetrics
+        | Opcode::RespInsert
+        | Opcode::RespShutdown
+        | Opcode::RespError => protocol_reject(
+            stream,
+            id,
+            &ProtocolError::Malformed("response opcode sent as request"),
+        ),
+    }
+}
+
+fn protocol_reject(
+    stream: &mut TcpStream,
+    id: u32,
+    e: &ProtocolError,
+) -> std::io::Result<ConnState> {
+    counter(CounterId::NetProtocolErrors).add(1);
+    let (code, message) = e.wire_error();
+    let _ = write_frame(stream, Opcode::RespError, id, &encode_error(code, &message));
+    let _ = stream.shutdown(std::net::Shutdown::Both);
+    Ok(ConnState::Close)
+}

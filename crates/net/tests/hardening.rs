@@ -1,0 +1,194 @@
+//! Protocol hardening: hostile or broken peers get typed error frames and
+//! a closed connection — never a panic, a hang, or a leaked worker.
+//!
+//! Each case sends crafted bytes at a live server, asserts the typed
+//! reply, and then proves the server is still healthy by completing a
+//! normal exchange on a fresh connection. The final `wait()`-after-
+//! shutdown in `server_survives_every_attack` is the leak check: a worker
+//! stuck on a hostile connection would hang the join.
+
+use std::io::{Read, Write};
+use std::net::{TcpListener, TcpStream};
+
+use ampc_graph::generators::random_forest;
+use ampc_net::protocol::{decode_error, encode_header, encode_queries, HEADER_LEN, MAGIC, VERSION};
+use ampc_net::{Connection, ErrorCode, Opcode, ServerConfig};
+use ampc_query::Query;
+use ampc_serve::ServiceBuilder;
+
+const N: usize = 200;
+
+fn start_server() -> ampc_net::ServerHandle {
+    let service = ServiceBuilder::new(random_forest(N, 4, 0xBAD)).build().expect("service");
+    let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
+    ampc_net::serve(
+        service,
+        listener,
+        ServerConfig { workers: 2, queue_depth: 8, max_payload: 4096 },
+    )
+    .expect("serve")
+}
+
+/// Sends raw bytes, expects one typed error frame with `code`, then EOF
+/// (the server must close after a protocol violation).
+fn expect_typed_close(addr: std::net::SocketAddr, bytes: &[u8], code: ErrorCode) {
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    stream.write_all(bytes).expect("send attack bytes");
+    stream.flush().expect("flush");
+    let frame = read_one_frame(&mut stream).expect("typed error frame due");
+    assert_eq!(frame.0, Opcode::RespError as u8, "expected an error frame");
+    let (got, msg) = decode_error(&frame.1).expect("typed error payload");
+    assert_eq!(got, code, "wrong error code (message: {msg})");
+    // After the error the server must close: next read sees EOF.
+    let mut buf = [0u8; 1];
+    let n = stream.read(&mut buf).expect("read after error");
+    assert_eq!(n, 0, "server must close the connection after a protocol violation");
+}
+
+/// Minimal raw frame reader for the attack side (no validation — the
+/// attacker wants the server's bytes verbatim).
+fn read_one_frame(stream: &mut TcpStream) -> std::io::Result<(u8, Vec<u8>)> {
+    let mut header = [0u8; HEADER_LEN];
+    stream.read_exact(&mut header)?;
+    assert_eq!(u32::from_le_bytes(header[0..4].try_into().unwrap()), MAGIC);
+    assert_eq!(header[4], VERSION);
+    let len = u32::from_le_bytes(header[8..12].try_into().unwrap()) as usize;
+    let mut payload = vec![0u8; len];
+    stream.read_exact(&mut payload)?;
+    Ok((header[5], payload))
+}
+
+/// A normal exchange succeeds — the server survived whatever preceded it.
+fn assert_server_alive(addr: std::net::SocketAddr) {
+    let mut conn = Connection::connect(addr).expect("fresh connect");
+    let answers = conn.query_batch(&[Query::TopKSize(1)]).expect("normal exchange");
+    assert_eq!(answers.len(), 1);
+    assert!(answers[0] > 0, "largest component must be nonempty");
+}
+
+#[test]
+fn server_survives_every_attack() {
+    let mut server = start_server();
+    let addr = server.local_addr();
+
+    // Bad magic.
+    let mut frame = encode_header(Opcode::Health, 0, 1).to_vec();
+    frame[0] ^= 0xFF;
+    expect_typed_close(addr, &frame, ErrorCode::BadMagic);
+    assert_server_alive(addr);
+
+    // Foreign version.
+    let mut frame = encode_header(Opcode::Health, 0, 1).to_vec();
+    frame[4] = 42;
+    expect_typed_close(addr, &frame, ErrorCode::BadVersion);
+    assert_server_alive(addr);
+
+    // Oversized payload length: rejected from the header alone, before
+    // any allocation — no payload bytes are ever sent.
+    let frame = encode_header(Opcode::QueryBatch, 1 << 30, 1);
+    expect_typed_close(addr, &frame, ErrorCode::Oversized);
+    assert_server_alive(addr);
+
+    // Unknown opcode.
+    let mut frame = encode_header(Opcode::Health, 0, 1).to_vec();
+    frame[5] = 0x7C;
+    expect_typed_close(addr, &frame, ErrorCode::UnknownOpcode);
+    assert_server_alive(addr);
+
+    // Nonzero reserved flags.
+    let mut frame = encode_header(Opcode::Health, 0, 1).to_vec();
+    frame[6] = 1;
+    expect_typed_close(addr, &frame, ErrorCode::Malformed);
+    assert_server_alive(addr);
+
+    // Response opcode sent as a request.
+    let frame = encode_header(Opcode::RespAnswers, 0, 1);
+    expect_typed_close(addr, &frame, ErrorCode::Malformed);
+    assert_server_alive(addr);
+
+    // Ragged query batch (payload not a multiple of the record size).
+    let mut frame = encode_header(Opcode::QueryBatch, 5, 1).to_vec();
+    frame.extend_from_slice(&[0u8; 5]);
+    expect_typed_close(addr, &frame, ErrorCode::Malformed);
+    assert_server_alive(addr);
+
+    // Unknown query tag inside a well-framed batch.
+    let mut payload = encode_queries(&[Query::TopKSize(1)]);
+    payload[0] = 0x99;
+    let mut frame = encode_header(Opcode::QueryBatch, payload.len() as u32, 1).to_vec();
+    frame.extend_from_slice(&payload);
+    expect_typed_close(addr, &frame, ErrorCode::Malformed);
+    assert_server_alive(addr);
+
+    // Leak check: shutdown must join every worker even after the attacks.
+    server.shutdown();
+}
+
+/// A peer that dribbles one byte at a time is slow, not malformed: the
+/// server waits out the dribble and answers correctly.
+#[test]
+fn one_byte_dribble_is_served() {
+    let server = start_server();
+    let addr = server.local_addr();
+
+    let queries = [Query::TopKSize(1), Query::ComponentSize(0)];
+    let payload = encode_queries(&queries);
+    let mut frame = encode_header(Opcode::QueryBatch, payload.len() as u32, 7).to_vec();
+    frame.extend_from_slice(&payload);
+
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    stream.set_nodelay(true).expect("nodelay");
+    for &b in &frame {
+        stream.write_all(&[b]).expect("dribble byte");
+        stream.flush().expect("flush");
+        std::thread::sleep(std::time::Duration::from_millis(1));
+    }
+    let (opcode, body) = read_one_frame(&mut stream).expect("answer despite dribble");
+    assert_eq!(opcode, Opcode::RespAnswers as u8);
+    assert_eq!(body.len(), queries.len() * 8, "one u64 answer per query");
+    let top = u64::from_le_bytes(body[0..8].try_into().unwrap());
+    assert!(top > 0);
+}
+
+/// A peer that sends half a frame and disappears wastes a read timeout,
+/// not a worker: the connection is dropped and the server keeps serving.
+#[test]
+fn truncated_frame_then_close_frees_the_worker() {
+    let server = start_server();
+    let addr = server.local_addr();
+
+    {
+        let mut stream = TcpStream::connect(addr).expect("connect");
+        stream.write_all(&encode_header(Opcode::QueryBatch, 24, 1)[..HEADER_LEN]).expect("header");
+        stream.write_all(&[0u8; 10]).expect("partial payload");
+        // Drop: close mid-frame.
+    }
+    // Half a header, then close.
+    {
+        let mut stream = TcpStream::connect(addr).expect("connect");
+        stream.write_all(&[0x43u8; 7]).expect("partial header");
+    }
+    assert_server_alive(addr);
+}
+
+/// A connection that opens and closes without sending anything is a clean
+/// close, not an error.
+#[test]
+fn silent_connection_is_a_clean_close() {
+    let server = start_server();
+    let addr = server.local_addr();
+    for _ in 0..8 {
+        drop(TcpStream::connect(addr).expect("connect"));
+    }
+    // The burst can transiently fill the depth-8 admission queue (the
+    // accept thread pumps the kernel backlog faster than workers wake),
+    // and a connect racing that window would be shed — correct behavior,
+    // tested elsewhere. Liveness is what this test pins, so wait until
+    // every burst connection is accounted for (served or shed) first.
+    let deadline = std::time::Instant::now() + std::time::Duration::from_secs(10);
+    while server.connections_served() + server.connections_shed() < 8 {
+        assert!(std::time::Instant::now() < deadline, "silent closes must drain");
+        std::thread::sleep(std::time::Duration::from_millis(2));
+    }
+    assert_server_alive(addr);
+}

@@ -51,9 +51,18 @@ pub enum CounterId {
     SnapshotBootBytes,
     /// Queries answered by the serving driver.
     QueriesServed,
+    /// Network connections admitted by the TCP front-end.
+    NetConnsAccepted,
+    /// Network connections shed with a typed `Overloaded` reply at the
+    /// admission high-water mark.
+    NetConnsShed,
+    /// Request frames the network front-end answered.
+    NetRequests,
+    /// Malformed frames rejected with a typed protocol error.
+    NetProtocolErrors,
 }
 
-const COUNTER_COUNT: usize = 16;
+const COUNTER_COUNT: usize = 20;
 
 impl CounterId {
     pub const ALL: [CounterId; COUNTER_COUNT] = [
@@ -73,6 +82,10 @@ impl CounterId {
         CounterId::SnapshotBoots,
         CounterId::SnapshotBootBytes,
         CounterId::QueriesServed,
+        CounterId::NetConnsAccepted,
+        CounterId::NetConnsShed,
+        CounterId::NetRequests,
+        CounterId::NetProtocolErrors,
     ];
 
     /// Prometheus metric name.
@@ -94,6 +107,10 @@ impl CounterId {
             CounterId::SnapshotBoots => "snapshot_boot_total",
             CounterId::SnapshotBootBytes => "snapshot_boot_bytes_total",
             CounterId::QueriesServed => "query_served_total",
+            CounterId::NetConnsAccepted => "net_connections_accepted_total",
+            CounterId::NetConnsShed => "net_connections_shed_total",
+            CounterId::NetRequests => "net_requests_total",
+            CounterId::NetProtocolErrors => "net_protocol_errors_total",
         }
     }
 
@@ -115,6 +132,10 @@ impl CounterId {
             CounterId::SnapshotBoots => "Snapshots booted from disk",
             CounterId::SnapshotBootBytes => "Bytes read by snapshot boots",
             CounterId::QueriesServed => "Connectivity queries answered by the serving driver",
+            CounterId::NetConnsAccepted => "Network connections admitted by the TCP front-end",
+            CounterId::NetConnsShed => "Connections shed with a typed Overloaded reply",
+            CounterId::NetRequests => "Request frames the network front-end answered",
+            CounterId::NetProtocolErrors => "Malformed frames rejected with a typed protocol error",
         }
     }
 }
@@ -127,18 +148,24 @@ pub enum GaugeId {
     RebuildQueueDepth = 0,
     /// Journal entries pending compaction in the live epoch.
     JournalPendingEntries,
+    /// Connections waiting in the network admission queue.
+    NetAdmissionQueueDepth,
 }
 
-const GAUGE_COUNT: usize = 2;
+const GAUGE_COUNT: usize = 3;
 
 impl GaugeId {
-    pub const ALL: [GaugeId; GAUGE_COUNT] =
-        [GaugeId::RebuildQueueDepth, GaugeId::JournalPendingEntries];
+    pub const ALL: [GaugeId; GAUGE_COUNT] = [
+        GaugeId::RebuildQueueDepth,
+        GaugeId::JournalPendingEntries,
+        GaugeId::NetAdmissionQueueDepth,
+    ];
 
     pub fn name(self) -> &'static str {
         match self {
             GaugeId::RebuildQueueDepth => "serve_rebuild_queue_depth",
             GaugeId::JournalPendingEntries => "serve_journal_pending_entries",
+            GaugeId::NetAdmissionQueueDepth => "net_admission_queue_depth",
         }
     }
 
@@ -146,6 +173,7 @@ impl GaugeId {
         match self {
             GaugeId::RebuildQueueDepth => "Rebuild tickets issued but not yet published",
             GaugeId::JournalPendingEntries => "Journal entries pending compaction",
+            GaugeId::NetAdmissionQueueDepth => "Connections waiting in the network admission queue",
         }
     }
 }
@@ -169,9 +197,14 @@ pub enum HistId {
     SnapshotBootNs,
     /// Per-query serving latency.
     QueryLatencyNs,
+    /// Server-side per-query service time on the network path (frame
+    /// decoded → answer computed, excluding socket I/O).
+    NetServiceNs,
+    /// Client-observed round-trip wire latency per request frame.
+    NetWireNs,
 }
 
-const HIST_COUNT: usize = 7;
+const HIST_COUNT: usize = 9;
 
 impl HistId {
     pub const ALL: [HistId; HIST_COUNT] = [
@@ -182,6 +215,8 @@ impl HistId {
         HistId::SnapshotPersistNs,
         HistId::SnapshotBootNs,
         HistId::QueryLatencyNs,
+        HistId::NetServiceNs,
+        HistId::NetWireNs,
     ];
 
     pub fn name(self) -> &'static str {
@@ -193,6 +228,8 @@ impl HistId {
             HistId::SnapshotPersistNs => "snapshot_persist_ns",
             HistId::SnapshotBootNs => "snapshot_boot_ns",
             HistId::QueryLatencyNs => "query_latency_ns",
+            HistId::NetServiceNs => "net_request_service_ns",
+            HistId::NetWireNs => "net_wire_latency_ns",
         }
     }
 
@@ -205,6 +242,8 @@ impl HistId {
             HistId::SnapshotPersistNs => "Snapshot persist time (ns)",
             HistId::SnapshotBootNs => "Snapshot boot time (ns)",
             HistId::QueryLatencyNs => "Per-query serving latency (ns)",
+            HistId::NetServiceNs => "Server-side per-query service time on the network path (ns)",
+            HistId::NetWireNs => "Client-observed round-trip wire latency per request frame (ns)",
         }
     }
 }

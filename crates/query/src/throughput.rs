@@ -31,14 +31,36 @@ pub fn single_pass(engine: &QueryEngine, queries: &[Query]) -> (f64, u64) {
 /// distributions and throughput are measured by different loops over the
 /// same engine.
 pub fn latency_pass(engine: &QueryEngine, queries: &[Query], hist: &ampc_obs::Histogram) -> u64 {
-    let global = ampc_obs::hist(ampc_obs::HistId::QueryLatencyNs);
+    timed_pass(engine, queries, hist, ampc_obs::hist(ampc_obs::HistId::QueryLatencyNs), |_| {})
+}
+
+/// The factored core of [`latency_pass`]: answers every query, timing each
+/// one into both `hist` and `global`, feeding each answer to `sink`, and
+/// returning the wrapping checksum.
+///
+/// The split exists for the network path: an in-process latency pass
+/// records into the process-wide `query_latency_ns` histogram and discards
+/// answers, while a network server worker records the same per-query spans
+/// into `net_request_service_ns` **and keeps the answers** to encode a
+/// reply frame — so wire latency (measured client-side around the round
+/// trip) and server-side service latency come out as two separate
+/// histograms instead of one conflated number.
+pub fn timed_pass(
+    engine: &QueryEngine,
+    queries: &[Query],
+    hist: &ampc_obs::Histogram,
+    global: &ampc_obs::Histogram,
+    mut sink: impl FnMut(u64),
+) -> u64 {
     let mut checksum = 0u64;
     for &q in queries {
         let t0 = Instant::now();
-        checksum = checksum.wrapping_add(engine.answer(q));
+        let answer = engine.answer(q);
         let ns = t0.elapsed().as_nanos() as u64;
         hist.record(ns);
         global.record(ns);
+        checksum = checksum.wrapping_add(answer);
+        sink(answer);
     }
     ampc_obs::counter(ampc_obs::CounterId::QueriesServed).add(queries.len() as u64);
     checksum

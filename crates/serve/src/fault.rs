@@ -22,6 +22,9 @@
 //! | `persist.pre-rename`  | snapshot write, temp durable but not renamed    |
 //! | `persist.pre-dirsync` | snapshot write, renamed but parent not fsynced  |
 //! | `snapshot.load`       | snapshot boot, before the file is read          |
+//! | `net.accept`          | network server, after a connection is accepted  |
+//! | `net.read`            | network frame read (server and client)          |
+//! | `net.write`           | network frame write (server and client)         |
 //! | `test.probe`          | reserved for framework unit tests (no call site)|
 //!
 //! The `persist.*` / `snapshot.load` sites live in `ampc_query::snapshot`
@@ -82,13 +85,22 @@ pub enum Site {
     PersistPreDirSync = 5,
     /// Snapshot boot, before the file is opened.
     SnapshotLoad = 6,
+    /// Network server accept loop, right after a connection is accepted —
+    /// firing drops the connection, simulating a failed accept.
+    NetAccept = 7,
+    /// Network frame read (traversed by server workers and clients alike);
+    /// firing surfaces as a typed I/O error on the reader.
+    NetRead = 8,
+    /// Network frame write; firing surfaces as a typed I/O error on the
+    /// writer.
+    NetWrite = 9,
     /// Reserved for framework unit tests; no production call site, so
     /// arming it can never perturb concurrently running service tests.
-    TestProbe = 7,
+    TestProbe = 10,
 }
 
 /// Every site, in registry order (the CLI prints this as the catalog).
-pub const ALL_SITES: [Site; 8] = [
+pub const ALL_SITES: [Site; 11] = [
     Site::RebuildPipeline,
     Site::CompactPublish,
     Site::JournalBuild,
@@ -96,6 +108,9 @@ pub const ALL_SITES: [Site; 8] = [
     Site::PersistPreRename,
     Site::PersistPreDirSync,
     Site::SnapshotLoad,
+    Site::NetAccept,
+    Site::NetRead,
+    Site::NetWrite,
     Site::TestProbe,
 ];
 
@@ -110,6 +125,9 @@ impl Site {
             Site::PersistPreRename => "persist.pre-rename",
             Site::PersistPreDirSync => "persist.pre-dirsync",
             Site::SnapshotLoad => "snapshot.load",
+            Site::NetAccept => "net.accept",
+            Site::NetRead => "net.read",
+            Site::NetWrite => "net.write",
             Site::TestProbe => "test.probe",
         }
     }

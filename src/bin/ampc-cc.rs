@@ -9,6 +9,10 @@
 //!                [--threads T] [--query-file F] [--top K] [--json]
 //!                [--stream N] [--stream-batch E] [--from-snapshot PATH]
 //!                [--fail SPEC] [--chaos SEED]
+//!                [--connect ADDR [--shutdown]]
+//! ampc-cc serve <file> [pipeline options as above]
+//!                [--listen ADDR] [--workers W] [--queue D]
+//!                [--port-file PATH] [--from-snapshot PATH] [--fail SPEC]
 //!
 //!   <file>       edge list ("u v" per line, optional "# nodes: N" header);
 //!                use "-" for stdin
@@ -66,15 +70,36 @@
 //!                 traversal (default 1st) of the named site errors (or
 //!                 panics). Sites: rebuild.pipeline, compact.publish,
 //!                 journal.build, persist.pre-tmp, persist.pre-rename,
-//!                 persist.pre-dirsync, snapshot.load. Repeatable. Injected
-//!                 faults surface as typed errors and a nonzero exit —
-//!                 never as corruption
+//!                 persist.pre-dirsync, snapshot.load, net.accept,
+//!                 net.read, net.write. Repeatable. Injected faults
+//!                 surface as typed errors and a nonzero exit — never as
+//!                 corruption
 //!   --chaos SEED  (query, with --stream) drive a seeded random failure
 //!                 schedule through the streaming phase: one-shot faults
 //!                 are armed on the insert/compaction path, rejected
 //!                 batches roll back, the oracle check runs every round,
 //!                 and the run converges back to healthy (reported in the
 //!                 summary and under "chaos" in --json)
+//!   --connect ADDR  (query) answer the workload over the wire against a
+//!                 running `ampc-cc serve` instead of in process. The
+//!                 graph file builds a local union-find oracle; the
+//!                 closed-loop harness (--threads connections, --batch
+//!                 queries per frame) must reproduce the oracle checksum
+//!                 byte-for-byte or the run exits nonzero. Reports wire
+//!                 latency (client round-trip) separately from the
+//!                 server's service latency (recovered from the metrics
+//!                 opcode), plus wire health — under "network" in --json
+//!   --shutdown    (query, with --connect) ask the server to exit once
+//!                 the workload completes
+//!   --listen ADDR (serve) bind address (default 127.0.0.1:0 — an
+//!                 ephemeral port, printed to stderr and --port-file)
+//!   --workers W   (serve) worker threads answering admitted connections
+//!                 (default 4)
+//!   --queue D     (serve) admission-queue high-water mark: connections
+//!                 past it are shed with a typed Overloaded reply
+//!                 (default 64)
+//!   --port-file PATH  (serve) write the bound address to PATH once
+//!                 listening — the handshake file a harness polls
 //! ```
 //!
 //! Example:
@@ -95,6 +120,7 @@ use adaptive_mpc_connectivity::cc::pipeline::{Algorithm, Pipeline as _, Pipeline
 use adaptive_mpc_connectivity::graph::{
     io as graph_io, metrics, reference_components, Graph, Labeling, VertexId,
 };
+use adaptive_mpc_connectivity::net;
 use adaptive_mpc_connectivity::query::{snapshot, workload, ComponentIndex, Query, QueryEngine};
 use adaptive_mpc_connectivity::serve::{
     driver, fault, FaultAction, HealthState, ServeError, ServiceBuilder,
@@ -124,11 +150,23 @@ struct QueryArgs {
     from_snapshot: Option<String>,
     chaos: Option<u64>,
     trace_events: Option<usize>,
+    connect: Option<String>,
+    shutdown: bool,
+}
+
+struct ServeArgs {
+    run: RunArgs,
+    listen: String,
+    workers: usize,
+    queue: usize,
+    port_file: Option<String>,
+    from_snapshot: Option<String>,
 }
 
 enum Cmd {
     Run(RunArgs),
     Query(QueryArgs),
+    Serve(ServeArgs),
 }
 
 fn parse_args() -> Result<Cmd, String> {
@@ -144,7 +182,8 @@ fn parse_args() -> Result<Cmd, String> {
     };
     let mut argv = std::env::args().skip(1).peekable();
     let is_query = argv.peek().map(|a| a == "query").unwrap_or(false);
-    if is_query {
+    let is_serve = argv.peek().map(|a| a == "serve").unwrap_or(false);
+    if is_query || is_serve {
         argv.next();
     }
     let mut mix = workload::Mix::Uniform;
@@ -158,6 +197,12 @@ fn parse_args() -> Result<Cmd, String> {
     let mut from_snapshot: Option<String> = None;
     let mut chaos: Option<u64> = None;
     let mut trace_events: Option<usize> = None;
+    let mut connect: Option<String> = None;
+    let mut shutdown = false;
+    let mut listen = "127.0.0.1:0".to_string();
+    let mut workers = 4usize;
+    let mut queue = 64usize;
+    let mut port_file: Option<String> = None;
 
     let mut it = argv;
     while let Some(a) = it.next() {
@@ -216,7 +261,25 @@ fn parse_args() -> Result<Cmd, String> {
             "--chaos" if is_query => {
                 chaos = Some(value("--chaos")?.parse().map_err(|e| format!("bad --chaos: {e}"))?)
             }
-            "--from-snapshot" if is_query => from_snapshot = Some(value("--from-snapshot")?),
+            "--from-snapshot" if is_query || is_serve => {
+                from_snapshot = Some(value("--from-snapshot")?)
+            }
+            "--connect" if is_query => connect = Some(value("--connect")?),
+            "--shutdown" if is_query => shutdown = true,
+            "--listen" if is_serve => listen = value("--listen")?,
+            "--workers" if is_serve => {
+                workers = value("--workers")?.parse().map_err(|e| format!("bad --workers: {e}"))?;
+                if workers == 0 {
+                    return Err("--workers must be positive".into());
+                }
+            }
+            "--queue" if is_serve => {
+                queue = value("--queue")?.parse().map_err(|e| format!("bad --queue: {e}"))?;
+                if queue == 0 {
+                    return Err("--queue must be positive".into());
+                }
+            }
+            "--port-file" if is_serve => port_file = Some(value("--port-file")?),
             "--query-file" if is_query => query_file = Some(value("--query-file")?),
             "--top" if is_query => {
                 top = value("--top")?.parse().map_err(|e| format!("bad --top: {e}"))?
@@ -243,7 +306,27 @@ fn parse_args() -> Result<Cmd, String> {
     if chaos.is_some() && stream == 0 {
         return Err("--chaos needs --stream (it injects faults into the streaming phase)".into());
     }
-    if is_query {
+    if connect.is_some() {
+        if stream > 0 || chaos.is_some() || top > 0 {
+            return Err("--connect answers over the wire: --stream/--chaos/--top are in-process \
+                        modes and cannot be combined with it"
+                .into());
+        }
+        if from_snapshot.is_some() || query_file.is_some() {
+            return Err("--connect builds its oracle from the graph file; --from-snapshot and \
+                        --query-file cannot be combined with it"
+                .into());
+        }
+        if run.file.is_empty() {
+            return Err("--connect needs the graph file (it is the local oracle)".into());
+        }
+    }
+    if shutdown && connect.is_none() {
+        return Err("--shutdown needs --connect (it asks the remote server to exit)".into());
+    }
+    if is_serve {
+        Ok(Cmd::Serve(ServeArgs { run, listen, workers, queue, port_file, from_snapshot }))
+    } else if is_query {
         Ok(Cmd::Query(QueryArgs {
             run,
             mix,
@@ -257,6 +340,8 @@ fn parse_args() -> Result<Cmd, String> {
             from_snapshot,
             chaos,
             trace_events,
+            connect,
+            shutdown,
         }))
     } else {
         Ok(Cmd::Run(run))
@@ -498,8 +583,210 @@ fn print_labels(labeling: &Labeling) {
     print!("{out}");
 }
 
+/// Builds the service (pipeline run or snapshot boot) and serves it over
+/// TCP until a client's Shutdown frame or a signal kills the process.
+fn cmd_serve(args: ServeArgs) -> Result<(), String> {
+    arm_failpoints(&args.run.fail)?;
+    let service = match &args.from_snapshot {
+        Some(path) => ServiceBuilder::from_snapshot(path)
+            .map_err(|e| format!("snapshot boot from {path} failed: {e}"))?,
+        None => {
+            let g = load(&args.run.file)
+                .map_err(|e| format!("error reading {}: {e}", args.run.file))?;
+            eprintln!("loaded: n = {}, m = {}", g.n(), g.m());
+            announce(&args.run.spec, &g);
+            ServiceBuilder::new(g)
+                .spec(args.run.spec.clone())
+                .build()
+                .map_err(|e| format!("service build failed: {e}"))?
+        }
+    };
+    let snap = service.snapshot();
+    eprintln!(
+        "serving: {} components over {} vertices | epoch {}",
+        snap.num_components(),
+        snap.index().num_vertices(),
+        snap.epoch()
+    );
+    let listener = std::net::TcpListener::bind(&args.listen)
+        .map_err(|e| format!("bind {} failed: {e}", args.listen))?;
+    let config = net::ServerConfig {
+        workers: args.workers,
+        queue_depth: args.queue,
+        max_payload: net::protocol::DEFAULT_MAX_PAYLOAD,
+    };
+    let mut handle =
+        net::serve(service, listener, config).map_err(|e| format!("server start failed: {e}"))?;
+    let addr = handle.local_addr();
+    eprintln!("listening on {addr} ({} workers, queue depth {})", args.workers, args.queue);
+    if let Some(path) = &args.port_file {
+        // The handshake file a harness polls: written only once the
+        // listener is live, so its existence means "connectable".
+        std::fs::write(path, format!("{addr}\n"))
+            .map_err(|e| format!("writing --port-file {path} failed: {e}"))?;
+    }
+    handle.wait();
+    let served = handle.connections_served();
+    let lat = handle.service_latency();
+    eprintln!(
+        "server stopped: {served} connections served | service latency p50 = {} ns, \
+         p99 = {} ns ({} queries)",
+        lat.quantile(0.5),
+        lat.quantile(0.99),
+        lat.count
+    );
+    Ok(())
+}
+
+/// The `query --connect` mode: replay the workload over the wire against
+/// a running server and hold its answers to the local oracle's checksum.
+fn cmd_query_connect(args: &QueryArgs, addr_spec: &str) -> Result<(), String> {
+    use std::net::ToSocketAddrs;
+    let addr = addr_spec
+        .to_socket_addrs()
+        .map_err(|e| format!("bad --connect address {addr_spec}: {e}"))?
+        .next()
+        .ok_or_else(|| format!("--connect address {addr_spec} resolved to nothing"))?;
+
+    // The local oracle: same graph file, same reference union-find, same
+    // seeded workload generation as the in-process path — identical index
+    // ⇒ identical workload ⇒ the wire checksum must match exactly.
+    let g = load(&args.run.file).map_err(|e| format!("error reading {}: {e}", args.run.file))?;
+    eprintln!("loaded: n = {}, m = {}", g.n(), g.m());
+    if args.run.metrics {
+        print_metrics(&g);
+    }
+    let (n, m) = (g.n(), g.m());
+    let oracle = ComponentIndex::build(&reference_components(&g));
+    let queries = workload::generate(&oracle, args.mix, args.queries, args.run.spec.seed);
+    let engine = QueryEngine::new(&oracle);
+    let expected: u64 = queries.iter().fold(0u64, |acc, &q| acc.wrapping_add(engine.answer(q)));
+    eprintln!(
+        "workload: {} ({} queries, batch = {}, connections = {}) → {addr}",
+        args.mix.name(),
+        queries.len(),
+        args.batch,
+        args.threads
+    );
+
+    let report = net::run_harness(
+        addr,
+        &queries,
+        net::HarnessConfig { connections: args.threads, batch: args.batch, retries: 0 },
+    )
+    .map_err(|e| format!("network harness failed: {e}"))?;
+    let checksum_ok = report.checksum == expected;
+    if !checksum_ok {
+        return Err(format!(
+            "wire checksum {} diverged from the oracle's {expected}: the server answered wrong",
+            report.checksum
+        ));
+    }
+    eprintln!(
+        "network: {:.0} q/s over {} connections | checksum {} matches the oracle",
+        report.qps, args.threads, report.checksum
+    );
+    eprintln!(
+        "wire latency: p50 = {} ns | p99 = {} ns | p999 = {} ns | max = {} ns \
+         ({} round-trips)",
+        report.wire.quantile(0.5),
+        report.wire.quantile(0.99),
+        report.wire.quantile(0.999),
+        report.wire.max,
+        report.wire.count
+    );
+
+    // One control connection fetches health and the metrics exposition;
+    // the server-side service histogram is recovered from the Prometheus
+    // text, so wire and service latency are reported side by side with no
+    // side channel.
+    let mut conn = net::Connection::connect(addr)
+        .map_err(|e| format!("control connection to {addr} failed: {e}"))?;
+    let health = conn.health().map_err(|e| format!("health opcode failed: {e}"))?;
+    let metrics_text = conn.metrics().map_err(|e| format!("metrics opcode failed: {e}"))?;
+    let service_lat = net::prom_histogram_quantiles(&metrics_text, "net_request_service_ns");
+    match &service_lat {
+        Some((count, qs)) => eprintln!(
+            "service latency (server-side): p50 = {} ns | p99 = {} ns | p999 = {} ns \
+             ({count} queries)",
+            qs[0].1, qs[1].1, qs[2].1
+        ),
+        None => eprintln!("service latency: not yet present in the server's exposition"),
+    }
+    eprintln!(
+        "server health: {} | epoch {} | {} components",
+        health.state_name(),
+        health.epoch,
+        health.components
+    );
+    if args.shutdown {
+        conn.shutdown_server().map_err(|e| format!("shutdown request failed: {e}"))?;
+        eprintln!("server acknowledged shutdown");
+    }
+
+    if args.run.json {
+        let mut s = String::new();
+        s.push_str("{\n");
+        let _ = writeln!(s, "  \"n\": {n},");
+        let _ = writeln!(s, "  \"m\": {m},");
+        let _ = writeln!(s, "  \"connect\": \"{}\",", json_escape(addr_spec));
+        s.push_str("  \"network\": {\n");
+        let _ = writeln!(s, "    \"workload\": \"{}\",", json_escape(args.mix.name()));
+        let _ = writeln!(s, "    \"queries\": {},", queries.len());
+        let _ = writeln!(s, "    \"batch\": {},", args.batch);
+        let _ = writeln!(s, "    \"connections\": {},", args.threads);
+        let _ = writeln!(s, "    \"queries_per_sec\": {:.0},", report.qps);
+        let _ = writeln!(s, "    \"checksum\": {},", report.checksum);
+        let _ = writeln!(s, "    \"checksum_matches_oracle\": {checksum_ok},");
+        let _ = writeln!(s, "    \"retries\": {},", report.retries_used);
+        let _ = writeln!(
+            s,
+            "    \"wire\": {{ \"round_trips\": {}, \"p50_ns\": {}, \"p99_ns\": {}, \
+             \"p999_ns\": {}, \"max_ns\": {}, \"mean_ns\": {:.1} }},",
+            report.wire.count,
+            report.wire.quantile(0.5),
+            report.wire.quantile(0.99),
+            report.wire.quantile(0.999),
+            report.wire.max,
+            report.wire.mean()
+        );
+        match &service_lat {
+            Some((count, qs)) => {
+                let _ = writeln!(
+                    s,
+                    "    \"service\": {{ \"queries\": {count}, \"p50_ns\": {}, \
+                     \"p99_ns\": {}, \"p999_ns\": {} }},",
+                    qs[0].1, qs[1].1, qs[2].1
+                );
+            }
+            None => {
+                let _ = writeln!(s, "    \"service\": null,");
+            }
+        }
+        let _ = writeln!(
+            s,
+            "    \"health\": {{ \"state\": \"{}\", \"consecutive_failures\": {}, \
+             \"total_incidents\": {}, \"epoch\": {}, \"components\": {} }}",
+            health.state_name(),
+            health.consecutive_failures,
+            health.total_incidents,
+            health.epoch,
+            health.components
+        );
+        s.push_str("  },\n");
+        s.push_str(&metrics_json_object());
+        let _ = writeln!(s, "  \"shutdown_sent\": {}", args.shutdown);
+        s.push_str("}\n");
+        print!("{s}");
+    }
+    Ok(())
+}
+
 fn cmd_query(args: QueryArgs) -> Result<(), String> {
     arm_failpoints(&args.run.fail)?;
+    if let Some(addr) = args.connect.clone() {
+        return cmd_query_connect(&args, &addr);
+    }
     let has_file = !args.run.file.is_empty();
     if args.stream > 0 && !has_file {
         return Err("--stream needs the graph file (a snapshot carries no edge list)".into());
@@ -1021,7 +1308,11 @@ fn main() -> ExitCode {
                  \x20                 [--batch B] [--threads T] [--query-file F] [--top K]\n\
                  \x20                 [--stream N] [--stream-batch E] [--json]\n\
                  \x20                 [--from-snapshot PATH] [--fail SITE[:K][:panic]]\n\
-                 \x20                 [--chaos SEED] [--trace [N]]"
+                 \x20                 [--chaos SEED] [--trace [N]]\n\
+                 \x20                 [--connect ADDR [--shutdown]]\n\
+                 \x20      ampc-cc serve <file> [pipeline options] [--listen ADDR]\n\
+                 \x20                 [--workers W] [--queue D] [--port-file PATH]\n\
+                 \x20                 [--from-snapshot PATH] [--fail SITE[:K][:panic]]"
             );
             return ExitCode::from(2);
         }
@@ -1029,6 +1320,7 @@ fn main() -> ExitCode {
     let result = match cmd {
         Cmd::Run(args) => cmd_run(args),
         Cmd::Query(args) => cmd_query(args),
+        Cmd::Serve(args) => cmd_serve(args),
     };
     match result {
         Ok(()) => ExitCode::SUCCESS,

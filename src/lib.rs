@@ -17,7 +17,11 @@
 //! * [`serve`] — the serving layer: `PipelineSpec`-driven
 //!   `ConnectivityService` with lock-free epoch-swapped index snapshots,
 //!   background rebuilds under live traffic, and the multi-threaded
-//!   workload driver.
+//!   workload driver;
+//! * [`net`] — the network front-end: a hand-rolled TCP server speaking a
+//!   length-prefixed binary protocol over the service's lock-free
+//!   snapshots, with bounded admission backpressure and a closed-loop
+//!   multi-connection client harness.
 //!
 //! See `examples/quickstart.rs` for a five-minute tour and `DESIGN.md` for
 //! the full system inventory.
@@ -25,5 +29,6 @@
 pub use ampc;
 pub use ampc_cc as cc;
 pub use ampc_graph as graph;
+pub use ampc_net as net;
 pub use ampc_query as query;
 pub use ampc_serve as serve;
